@@ -1,0 +1,116 @@
+"""Figure 1, consistency row — experiments F1.1–F1.4 (DESIGN.md §4).
+
+Reproduces the comparison-free cells of the paper's consistency table:
+
+=====================  =======================  ==========================
+cell                   paper                    measured here
+=====================  =======================  ==========================
+CONS(⇓), arbitrary     EXPTIME-complete          exponential sweep (F1.1)
+CONS(⇓), nested-rel.   PTIME (cubic)             polynomial sweep (F1.2)
+CONS(⇓,⇒), arbitrary   EXPTIME-complete          exponential sweep (F1.3)
+CONS(⇓,→), nested-rel. PSPACE-hard               exponential sweep (F1.4)
+=====================  =======================  ==========================
+"""
+
+from harness import print_table, sweep
+
+from repro.consistency import is_consistent_automata, is_consistent_nested
+from repro.workloads.families import (
+    cons_arbitrary_family,
+    cons_nested_family,
+    cons_next_sibling_family,
+)
+
+
+def test_f11_cons_down_arbitrary(benchmark):
+    """F1.1: CONS(⇓) over arbitrary DTDs — EXPTIME-complete."""
+    def make(n):
+        mapping = cons_arbitrary_family(n)
+        return lambda: is_consistent_automata(mapping)
+
+    rows = sweep(range(1, 7), make)
+    assert all(result is True for __, __, result in rows)
+    print_table(
+        "F1.1",
+        "CONS(⇓) arbitrary DTDs: EXPTIME-complete",
+        rows,
+        size_label="choices",
+        note="n independent disjunctive choices; automata state spaces double",
+    )
+    def make_negative(n):
+        mapping = cons_arbitrary_family(n, consistent=False)
+        return lambda: is_consistent_automata(mapping)
+
+    negative = sweep(range(1, 5), make_negative)
+    assert all(result is False for __, __, result in negative)
+    benchmark(lambda: is_consistent_automata(cons_arbitrary_family(4)))
+
+
+def test_f12_cons_down_nested_ptime(benchmark):
+    """F1.2: CONS(⇓) over nested-relational DTDs — PTIME."""
+    def make(n):
+        mapping = cons_nested_family(n)
+        return lambda: is_consistent_nested(mapping)
+
+    rows = sweep([2, 4, 8, 16, 32, 64], make)
+    assert all(result is True for __, __, result in rows)
+    print_table(
+        "F1.2",
+        "CONS(⇓) nested-relational DTDs: PTIME (cubic in [4])",
+        rows,
+        size_label="stds",
+        note="same copy workload scaled; growth stays polynomial",
+    )
+    negative = is_consistent_nested(cons_nested_family(16, consistent=False))
+    assert negative is False
+    benchmark(lambda: is_consistent_nested(cons_nested_family(32)))
+
+
+def test_f13_cons_horizontal_arbitrary(benchmark):
+    """F1.3: CONS(⇓,⇒) stays EXPTIME-complete (Theorem 5.2)."""
+    def make(n):
+        mapping = cons_next_sibling_family(n)
+        return lambda: is_consistent_automata(mapping)
+
+    rows = sweep(range(2, 9), make)
+    assert all(result is True for __, __, result in rows)
+    print_table(
+        "F1.3",
+        "CONS(⇓,⇒): EXPTIME-complete (Theorem 5.2)",
+        rows,
+        size_label="chain",
+        note="next-sibling chains of length n; horizontal NFAs in the closure automaton",
+    )
+    benchmark(lambda: is_consistent_automata(cons_next_sibling_family(5)))
+
+
+def test_f14_next_sibling_breaks_nested_ptime(benchmark):
+    """F1.4: CONS(⇓,→) over nested-relational DTDs is PSPACE-hard.
+
+    The PTIME algorithm refuses horizontal axes by design; only the
+    exponential automata algorithm applies, and its cost grows even
+    though the DTDs stay nested-relational — the frontier the paper's
+    Proposition 5.3 draws.
+    """
+    import pytest
+
+    from repro.errors import SignatureError
+
+    with pytest.raises(SignatureError):
+        is_consistent_nested(cons_next_sibling_family(3))
+    def make(n):
+        mapping = cons_next_sibling_family(n, consistent=False)
+        return lambda: is_consistent_automata(mapping)
+
+    rows = sweep(range(2, 8), make)
+    assert all(result is False for __, __, result in rows)
+    print_table(
+        "F1.4",
+        "CONS(⇓,→) nested-relational DTDs: PSPACE-hard (Prop 5.3)",
+        rows,
+        size_label="chain",
+        note="inconsistent order-contradiction instances; PTIME algorithm inapplicable",
+    )
+    benchmark(
+        lambda: is_consistent_automata(cons_next_sibling_family(5, consistent=False))
+    )

@@ -1,0 +1,147 @@
+"""Figure 2, composition — experiments F2.5–F2.7 and Theorem 7.1.
+
+=================================  ======================  ===================
+cell                               paper                   measured here
+=================================  ======================  ===================
+composition membership, data       EXPTIME-complete        middle-choice sweep
+  (SM(⇓,⇒))                                                (F2.5)
+composition membership, combined   2-EXPTIME/NEXPTIME-hard mapping-size sweep
+  (SM(⇓,⇒))                                                (F2.6)
+composition over SM(⇓,⇒,∼)         undecidable / not       bounded-search
+                                   uniformly decidable     effort (F2.7)
+consistency of composition         EXPTIME-complete        exact chained
+  (Theorem 7.1 / Prop 7.2)                                 automata (F7.1)
+=================================  ======================  ===================
+"""
+
+from harness import print_table, sweep
+
+from repro.composition.conscomp import is_composition_consistent
+from repro.composition.semantics import composition_contains
+from repro.mappings.mapping import SchemaMapping
+from repro.workloads.families import composition_choice_family, flat_document
+from repro.xmlmodel.parser import parse_tree
+
+
+def test_f25_composition_data(benchmark):
+    """F2.5: fixed mappings, growing documents — EXPTIME data complexity.
+
+    The mappings are fixed (a simple value-copy chain), but the
+    intermediate search space grows with the source document: more
+    triggered requirements, a larger active domain, bigger middles.
+    """
+    m12 = SchemaMapping.parse(
+        "r -> a*\na(v)", "m -> b*\nb(u)", ["r[a(x)] -> m[b(x)]"]
+    )
+    m23 = SchemaMapping.parse(
+        "m -> b*\nb(u)", "t -> c*\nc(w)", ["m[b(u)] -> t[c(u)]"]
+    )
+
+    def make(n):
+        t1 = parse_tree("r[" + ", ".join(f"a({i})" for i in range(n)) + "]")
+        t3 = parse_tree("t[" + ", ".join(f"c({i})" for i in range(n)) + "]")
+        return lambda: composition_contains(
+            m12, m23, t1, t3, max_mid_size=n + 1, extra_fresh=0
+        )
+
+    rows = sweep([1, 2, 3, 4], make)
+    assert all(result is True for __, __, result in rows)
+    print_table(
+        "F2.5",
+        "composition membership over SM(⇓,⇒), data: EXPTIME-complete",
+        rows,
+        size_label="|T1|",
+        note="fixed copy chain; intermediate enumeration grows with adom(T1)",
+    )
+    benchmark(make(3))
+
+
+def test_f26_composition_combined(benchmark):
+    """F2.6: growing mappings — combined complexity up to 2-EXPTIME."""
+
+    def decide(n: int) -> bool:
+        m12, m23, t1, t3 = composition_choice_family(n)
+        return composition_contains(m12, m23, t1, t3, max_mid_size=2 * n + 1)
+
+    rows = sweep(range(1, 4), lambda n: lambda: decide(n))
+    assert all(result is True for __, __, result in rows)
+    print_table(
+        "F2.6",
+        "composition membership over SM(⇓,⇒), combined: 2-EXPTIME / NEXPTIME-hard",
+        rows,
+        size_label="choices",
+        note="n binary middle choices; exponentially many middle shapes",
+    )
+    benchmark(lambda: decide(2))
+
+
+def test_f27_composition_with_values(benchmark):
+    """F2.7: with ∼ the problem is undecidable — bounded search only."""
+
+    def family(n: int):
+        source_lines = ["r -> " + ", ".join(f"a{i}" for i in range(n))]
+        source_lines += [f"a{i}(v)" for i in range(n)]
+        mid = "m -> b*\nb(u)"
+        stds12 = [f"r[a{i}(x)] -> m[b(x)]" for i in range(n)]
+        conditions = ", ".join(
+            f"x{i} != x{j}" for i in range(n) for j in range(i + 1, n)
+        )
+        bindings = ", ".join(f"b(x{i})" for i in range(n))
+        std23 = (
+            f"m[{bindings}], {conditions} -> t[c(x0)]"
+            if conditions
+            else f"m[{bindings}] -> t[c(x0)]"
+        )
+        m12 = SchemaMapping.parse("\n".join(source_lines), mid, stds12)
+        m23 = SchemaMapping.parse(mid, "t -> c*\nc(w)", [std23])
+        t1 = parse_tree(
+            "r[" + ", ".join(f"a{i}({i})" for i in range(n)) + "]"
+        )
+        # every source value can end up exported as x0 by some trigger order
+        t3 = parse_tree("t[" + ", ".join(f"c({i})" for i in range(n)) + "]")
+        return m12, m23, t1, t3
+
+    def decide(n: int) -> bool:
+        m12, m23, t1, t3 = family(n)
+        return composition_contains(
+            m12, m23, t1, t3, max_mid_size=n + 1, extra_fresh=0
+        )
+
+    rows = sweep(range(1, 4), lambda n: lambda: decide(n))
+    assert all(result is True for __, __, result in rows)
+    print_table(
+        "F2.7",
+        "composition over SM(⇓,⇒,∼): undecidable / not uniformly decidable",
+        rows,
+        size_label="values",
+        note="bounded intermediate search; no terminating complete procedure exists",
+    )
+    benchmark(lambda: decide(2))
+
+
+def test_f71_consistency_of_composition(benchmark):
+    """Theorem 7.1 / Prop 7.2: CONSCOMP is EXPTIME-complete, exactly decided."""
+
+    def chain(n: int):
+        d1 = "r -> a*\na(v)"
+        mid_lines = ["m -> " + ", ".join(f"x{i}" for i in range(n))]
+        final_lines = ["t -> " + ", ".join(f"y{i}?" for i in range(n))]
+        stds12, stds23 = [], []
+        for i in range(n):
+            mid_lines.append(f"x{i} -> p{i} | q{i}")
+            stds12.append(f"r[a(v)] -> m[x{i}[p{i}]]")
+            stds23.append(f"m[x{i}[p{i}]] -> t[y{i}]")
+        m12 = SchemaMapping.parse(d1, "\n".join(mid_lines), stds12)
+        m23 = SchemaMapping.parse("\n".join(mid_lines), "\n".join(final_lines), stds23)
+        return [m12, m23]
+
+    rows = sweep(range(1, 6), lambda n: lambda: is_composition_consistent(chain(n)))
+    assert all(result is True for __, __, result in rows)
+    print_table(
+        "F7.1",
+        "consistency of composition over SM(⇓,⇒): EXPTIME-complete (Thm 7.1)",
+        rows,
+        size_label="choices",
+        note="exact chained trigger-set reachability (Prop 7.2 generalizes to n mappings)",
+    )
+    benchmark(lambda: is_composition_consistent(chain(3)))

@@ -1,0 +1,87 @@
+"""Figure 2, membership in [[M]] — experiments F2.3 and F2.4.
+
+==============================  ======================  =====================
+cell                            paper                   measured here
+==============================  ======================  =====================
+mapping membership, data        DLOGSPACE-complete      near-linear (F2.3)
+mapping membership, combined    Pi_2^p-complete         exp. in #vars (F2.4)
+  fixed number of variables     PTIME                   polynomial (F2.4b)
+==============================  ======================  =====================
+"""
+
+from harness import print_table, sweep
+
+from repro.mappings.membership import is_solution
+from repro.workloads.families import (
+    flat_document,
+    membership_mapping,
+    target_document,
+)
+
+
+def test_f23_membership_data(benchmark):
+    """F2.3: fixed mapping, growing documents — low data complexity."""
+    mapping = membership_mapping(2)
+    def make(n):
+        source, target = flat_document(n), target_document(n)
+        return lambda: is_solution(mapping, source, target)
+
+    rows = sweep([10, 20, 40, 80, 160], make)
+    assert all(result is True for __, __, result in rows)
+    print_table(
+        "F2.3",
+        "mapping membership, data complexity: DLOGSPACE-complete",
+        rows,
+        size_label="|T|",
+        note="the mapping (2 variables) is fixed; only the documents grow",
+    )
+    benchmark(
+        lambda: is_solution(mapping, flat_document(80), target_document(80))
+    )
+
+
+def test_f24_membership_combined_variables(benchmark):
+    """F2.4: the number of variables drives the Pi_2^p blow-up."""
+    def make(k):
+        mapping = membership_mapping(k)
+        source, target = flat_document(12), target_document(12)
+        return lambda: is_solution(mapping, source, target)
+
+    rows = sweep([1, 2, 3, 4], make)
+    assert all(result is True for __, __, result in rows)
+    print_table(
+        "F2.4",
+        "mapping membership, combined complexity: Pi_2^p-complete",
+        rows,
+        size_label="#vars",
+        note="fixed documents (12 items); source matches grow like 12^k",
+    )
+    benchmark(
+        lambda: is_solution(
+            membership_mapping(3), flat_document(12), target_document(12)
+        )
+    )
+
+
+def test_f24b_membership_fixed_arity(benchmark):
+    """F2.4b: with the arity fixed, combined complexity is PTIME."""
+    mapping = membership_mapping(2)
+
+    def make(n):
+        source, target = flat_document(n), target_document(n)
+        return lambda: is_solution(mapping, source, target)
+
+    rows = sweep([10, 20, 40, 80], make)
+    assert all(result is True for __, __, result in rows)
+    print_table(
+        "F2.4b",
+        "membership with fixed arity: PTIME (Theorem 4.3)",
+        rows,
+        size_label="|T|",
+        note="2 variables fixed; documents grow — polynomial growth",
+    )
+    benchmark(
+        lambda: is_solution(
+            membership_mapping(2), flat_document(40), target_document(40)
+        )
+    )

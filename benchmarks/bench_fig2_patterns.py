@@ -1,0 +1,97 @@
+"""Figure 2, tree pattern evaluation — experiments F2.1 and F2.2.
+
+===========================  ====================  ========================
+cell                         paper                 measured here
+===========================  ====================  ========================
+pattern evaluation, data     DLOGSPACE-complete    near-linear sweep (F2.1)
+pattern evaluation, combined PTIME                 polynomial sweep (F2.2)
+===========================  ====================  ========================
+"""
+
+from harness import print_table, sweep
+
+from repro.patterns.matching import evaluate, matches_at_root
+from repro.patterns.parser import parse_pattern
+from repro.workloads.families import flat_document
+from repro.xmlmodel.tree import TreeNode
+
+
+FIXED_PATTERN = parse_pattern("r[a(x) ->* a(y), //a(z)]")
+
+
+def deep_document(depth: int, fanout: int = 2) -> TreeNode:
+    def build(level: int) -> TreeNode:
+        if level == 0:
+            return TreeNode("a", (level,))
+        return TreeNode(
+            "a", (level,), tuple(build(level - 1) for __ in range(fanout))
+        )
+
+    return TreeNode("r", (), (build(depth),))
+
+
+def test_f21_pattern_eval_data(benchmark):
+    """F2.1: fixed pattern, growing tree — low data complexity."""
+    def make(n):
+        document = flat_document(n)
+        return lambda: len(evaluate(FIXED_PATTERN, document))
+
+    rows = sweep([50, 100, 200, 400, 800], make)
+    print_table(
+        "F2.1",
+        "pattern evaluation, data complexity: DLOGSPACE-complete",
+        rows,
+        size_label="|T|",
+        note="fixed pattern with ->* and //; answers counted; growth ~ |answers|",
+    )
+    boolean_pattern = parse_pattern("r[a(5) ->* a(6)]")
+
+    def make_boolean(n):
+        document = flat_document(n)
+        return lambda: matches_at_root(boolean_pattern, document)
+
+    boolean_rows = sweep([200, 400, 800, 1600], make_boolean)
+    print_table(
+        "F2.1b",
+        "Boolean variant (memoized, near-linear)",
+        boolean_rows,
+        size_label="|T|",
+    )
+    benchmark(lambda: matches_at_root(FIXED_PATTERN, flat_document(400)))
+
+
+def test_f22_pattern_eval_combined(benchmark):
+    """F2.2: pattern and tree grow together — still PTIME."""
+
+    def chain_pattern(k: int):
+        text = "r[" + "a[" * k + "a" + "]" * k + "]"
+        return parse_pattern(text)
+
+    def make(k):
+        pattern, document = chain_pattern(k), deep_document(2 * k, 1)
+        return lambda: matches_at_root(pattern, document)
+
+    rows = sweep([2, 4, 8, 16, 32], make)
+    assert all(result is True for __, __, result in rows)
+    print_table(
+        "F2.2",
+        "pattern evaluation, combined complexity: PTIME",
+        rows,
+        size_label="k",
+        note="child chains of depth k against paths of depth 2k",
+    )
+    def make_descendant(k):
+        # fanout 1: the tree is a path, so the cost measured is the
+        # matcher's, not an exponentially growing input
+        pattern, document = parse_pattern("r" + "//a" * k), deep_document(4 * k, 1)
+        return lambda: matches_at_root(pattern, document)
+
+    descendant_rows = sweep([2, 4, 8, 16], make_descendant)
+    assert all(result is True for __, __, result in descendant_rows)
+    print_table(
+        "F2.2b",
+        "descendant chains (memoized //)",
+        descendant_rows,
+        size_label="k",
+    )
+    benchmark(lambda: matches_at_root(chain_pattern(16), deep_document(32, 1)))

@@ -1,0 +1,73 @@
+"""Shared helpers for the figure benchmarks.
+
+Every benchmark reproduces one cell of the paper's Figure 1 or Figure 2:
+it prints the paper's claimed complexity next to a measured scaling series
+so the *shape* (polynomial vs exponential growth, and where the
+tractability frontier falls) can be compared directly.  Absolute numbers
+are not the point — the substrate is a Python library, not the authors'
+formal machines.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable, Sequence
+
+
+def time_once(action: Callable[[], object]) -> tuple[float, object]:
+    """Wall-clock one call; returns (seconds, result)."""
+    start = time.perf_counter()
+    result = action()
+    return time.perf_counter() - start, result
+
+
+def sweep(
+    sizes: Iterable[int],
+    make_action: Callable[[int], Callable[[], object]],
+    min_repeat_seconds: float = 0.01,
+) -> list[tuple[int, float, object]]:
+    """Run ``make_action(n)()`` per size; fast points are repeated and averaged."""
+    rows: list[tuple[int, float, object]] = []
+    for n in sizes:
+        action = make_action(n)
+        elapsed, result = time_once(action)
+        repeats = 1
+        while elapsed < min_repeat_seconds and repeats < 1000:
+            more = max(1, int(min_repeat_seconds / max(elapsed / repeats, 1e-9)))
+            start = time.perf_counter()
+            for __ in range(more):
+                result = action()
+            elapsed += time.perf_counter() - start
+            repeats += more
+        rows.append((n, elapsed / repeats, result))
+    return rows
+
+
+def growth_ratios(rows: Sequence[tuple[int, float, object]]) -> list[float]:
+    """Consecutive timing ratios — the eyeball test for poly vs exponential."""
+    return [
+        rows[i + 1][1] / rows[i][1] if rows[i][1] > 0 else float("inf")
+        for i in range(len(rows) - 1)
+    ]
+
+
+def print_table(
+    experiment: str,
+    claim: str,
+    rows: Sequence[tuple[int, float, object]],
+    size_label: str = "n",
+    note: str = "",
+) -> None:
+    """Render one experiment's series in a fixed, grep-friendly format."""
+    print()
+    print(f"[{experiment}] paper: {claim}")
+    if note:
+        print(f"[{experiment}] note : {note}")
+    header = f"[{experiment}] {size_label:>6} | {'seconds':>12} | result"
+    print(header)
+    for n, seconds, result in rows:
+        print(f"[{experiment}] {n:>6} | {seconds:>12.6f} | {result}")
+    ratios = growth_ratios(rows)
+    if ratios:
+        rendered = ", ".join(f"{r:.2f}x" for r in ratios)
+        print(f"[{experiment}] growth: {rendered}")

@@ -1,0 +1,75 @@
+"""Quickstart: the paper's Introduction, end to end.
+
+Professors teach courses and supervise students (DTD D1); the university
+wants the data restructured by course and student (DTD D2).  We write the
+paper's third mapping — which preserves the order of courses and uses an
+inequality — and exercise the core API: conformance, pattern matching,
+membership in [[M]], violation diagnostics, consistency, and canonical
+target construction.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.consistency import consistency_witness, is_consistent
+from repro.exchange import canonical_solution
+from repro.mappings.membership import is_solution, violations
+from repro.patterns import evaluate, parse_pattern
+from repro.workloads.university import (
+    university_mapping,
+    university_source_document,
+    university_target_document,
+)
+from repro.xmlmodel.parser import serialize_tree
+
+
+def main() -> None:
+    mapping = university_mapping(order_preserving=True)
+    print("=== The mapping (paper, Section 3) ===")
+    print(f"class: {mapping.signature()}")
+    for std in mapping.stds:
+        print(f"  std: {std}")
+
+    print("\n=== A source document conforming to D1 ===")
+    source = university_source_document(n_professors=2, students_per_professor=1)
+    print(" ", serialize_tree(source))
+    assert mapping.source_dtd.conforms(source)
+
+    print("\n=== Pattern evaluation: who teaches what, in which order? ===")
+    pattern = parse_pattern(
+        "r[prof(x)[teach[year(y)[course(cn1) -> course(cn2)]]]]"
+    )
+    for row in sorted(evaluate(pattern, source), key=repr):
+        x, y, cn1, cn2 = row
+        print(f"  {x} taught {cn1} then {cn2} in {y}")
+
+    print("\n=== Membership: is T' a solution for T? ===")
+    good_target = university_target_document(source)
+    print("  order-preserving target:", is_solution(mapping, source, good_target))
+    # reverse the course order: the ->* requirement breaks
+    reversed_target = good_target.with_children(tuple(reversed(good_target.children)))
+    print("  order-reversed target:  ",
+          is_solution(mapping, source, reversed_target))
+    for std, valuation in violations(mapping, source, reversed_target):
+        pretty = {var.name: value for var, value in valuation.items()}
+        print(f"    violated for {pretty}")
+
+    print("\n=== Static analysis ===")
+    print("  mapping is consistent:", is_consistent(mapping))
+    witness = consistency_witness(mapping)
+    if witness:
+        w_source, w_target = witness
+        print("  smallest witness pair:")
+        print("    T  =", serialize_tree(w_source))
+        print("    T' =", serialize_tree(w_target))
+
+    print("\n=== Data exchange with the basic (fully-specified) mapping ===")
+    basic = university_mapping(order_preserving=False)
+    canonical = canonical_solution(basic, source)
+    print("  canonical solution:")
+    print("   ", serialize_tree(canonical))
+    assert is_solution(basic, source, canonical)
+    print("  (verified: it satisfies every std)")
+
+
+if __name__ == "__main__":
+    main()

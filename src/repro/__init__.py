@@ -1,0 +1,32 @@
+"""repro — a reproduction of "XML Schema Mappings" (PODS 2009).
+
+Expressive XML schema mappings with vertical/horizontal navigation and data
+comparisons, their static analysis (consistency, absolute consistency),
+complexity, and composition, as defined by Amano, Libkin and Murlak.
+
+The public API is re-exported here; see README.md for a tour.
+"""
+
+from repro.xmlmodel import (
+    DTD,
+    TreeNode,
+    from_xml,
+    parse_dtd,
+    parse_tree,
+    serialize_tree,
+    to_xml,
+    tree,
+)
+
+__all__ = [
+    "DTD",
+    "TreeNode",
+    "parse_dtd",
+    "parse_tree",
+    "serialize_tree",
+    "tree",
+    "from_xml",
+    "to_xml",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,233 @@
+"""Deterministic bottom-up unranked tree automata (DUTAs).
+
+A DUTA assigns every (label-only) tree exactly one *vertical* state,
+computed bottom-up.  Processing the children of a node is itself a
+deterministic left-to-right scan through *horizontal* states:
+
+    h0 = initial_horizontal(label)
+    hi = step_horizontal(label, h(i-1), state_of_child_i)
+    state = finish(label, hk)
+
+Both state spaces must be finite (and hashable) for the reachability
+algorithm to terminate; they are finite for every automaton in this
+library (subsets of NFA states, sets of subpatterns, and tuples thereof).
+
+:func:`reachable_states` computes the set of vertical states realized by
+*some* tree, together with a witness tree per state — this is emptiness
+testing with counterexample extraction, the engine behind the consistency
+algorithms of Section 5.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Hashable, Iterable
+
+from repro.xmlmodel.tree import TreeNode
+
+State = Hashable
+HState = Hashable
+
+
+class TreeAutomaton:
+    """Interface for deterministic bottom-up unranked tree automata."""
+
+    def labels(self) -> Iterable[str]:
+        """The finite label alphabet the automaton runs over."""
+        raise NotImplementedError
+
+    def initial_horizontal(self, label: str) -> HState:
+        """Horizontal state before reading any child of a *label* node."""
+        raise NotImplementedError
+
+    def step_horizontal(self, label: str, hstate: HState, child_state: State) -> HState:
+        """Horizontal state after reading one more child (in sibling order)."""
+        raise NotImplementedError
+
+    def finish(self, label: str, hstate: HState) -> State:
+        """Vertical state of a *label* node whose children produced *hstate*."""
+        raise NotImplementedError
+
+    def is_accepting(self, state: State) -> bool:
+        """Acceptance predicate on the root state."""
+        raise NotImplementedError
+
+
+def run(automaton: TreeAutomaton, node: TreeNode) -> State:
+    """The unique state the automaton assigns to the subtree *node*.
+
+    Attribute values are ignored: tree automata see only labels and shape.
+    Implemented iteratively (explicit stack) so deep trees cannot overflow
+    the Python recursion limit.
+    """
+    # post-order evaluation with an explicit stack
+    result: dict[int, State] = {}
+    stack: list[tuple[TreeNode, bool]] = [(node, False)]
+    while stack:
+        current, expanded = stack.pop()
+        if expanded:
+            hstate = automaton.initial_horizontal(current.label)
+            for child in current.children:
+                hstate = automaton.step_horizontal(
+                    current.label, hstate, result[id(child)]
+                )
+            result[id(current)] = automaton.finish(current.label, hstate)
+        else:
+            stack.append((current, True))
+            for child in reversed(current.children):
+                stack.append((child, False))
+    return result[id(node)]
+
+
+def accepts(automaton: TreeAutomaton, node: TreeNode) -> bool:
+    """True iff the automaton accepts the tree rooted at *node*."""
+    return automaton.is_accepting(run(automaton, node))
+
+
+class ProductAutomaton(TreeAutomaton):
+    """Synchronous product of several DUTAs; states are tuples.
+
+    Acceptance defaults to "all components accept"; pass *predicate* to
+    decide acceptance from the whole state tuple (this is how complements
+    and boolean combinations are expressed — determinism makes negation
+    free).
+    """
+
+    def __init__(
+        self,
+        components: Iterable[TreeAutomaton],
+        predicate: Callable[[tuple], bool] | None = None,
+    ):
+        self.components = tuple(components)
+        if not self.components:
+            raise ValueError("product of zero automata")
+        self._predicate = predicate
+
+    def labels(self) -> Iterable[str]:
+        alphabet: set[str] = set()
+        for component in self.components:
+            alphabet.update(component.labels())
+        return alphabet
+
+    def initial_horizontal(self, label: str) -> tuple:
+        return tuple(c.initial_horizontal(label) for c in self.components)
+
+    def step_horizontal(self, label: str, hstate: tuple, child_state: tuple) -> tuple:
+        return tuple(
+            component.step_horizontal(label, h, s)
+            for component, h, s in zip(self.components, hstate, child_state)
+        )
+
+    def finish(self, label: str, hstate: tuple) -> tuple:
+        return tuple(
+            component.finish(label, h)
+            for component, h in zip(self.components, hstate)
+        )
+
+    def is_accepting(self, state: tuple) -> bool:
+        if self._predicate is not None:
+            return self._predicate(state)
+        return all(
+            component.is_accepting(s)
+            for component, s in zip(self.components, state)
+        )
+
+
+def reachable_states(
+    automaton: TreeAutomaton,
+    stop: Callable[[State], bool] | None = None,
+    max_states: int | None = None,
+    prune: Callable[[State], bool] | None = None,
+    prune_horizontal: Callable[[str, HState], bool] | None = None,
+) -> dict[State, TreeNode]:
+    """All vertical states realized by some tree, with a witness tree each.
+
+    Saturation: starting from nothing, repeatedly try every label with
+    every horizontal run over already-realized child states; every
+    ``finish`` result is a realized state whose witness plugs the child
+    witnesses under the label.  Terminates because the state spaces are
+    finite.
+
+    *stop* aborts the search as soon as a state satisfying it is found
+    (the state is included in the result).  *max_states* caps the number
+    of realized states, guarding callers against runaway products.
+
+    *prune* discards useless states: a state satisfying it is neither
+    recorded nor offered as a child later.  Sound whenever pruned states
+    can never occur inside an accepted tree (e.g. non-conforming subtrees
+    in a product with a DTD automaton); pruning them collapses the search
+    space dramatically.  *prune_horizontal* does the same for horizontal
+    states (e.g. once the DTD component's word subset is empty, no
+    extension of the child sequence can recover).
+    """
+    labels = sorted(automaton.labels(), key=repr)
+    realized: dict[State, TreeNode] = {}
+    pruned: set[State] = set()
+    changed = True
+    while changed:
+        changed = False
+        known = list(realized)
+        for label in labels:
+            initial = automaton.initial_horizontal(label)
+            if prune_horizontal is not None and prune_horizontal(label, initial):
+                continue
+            # BFS over horizontal states; remember the children used
+            paths: dict[HState, tuple[State, ...]] = {initial: ()}
+            queue: deque[HState] = deque([initial])
+            while queue:
+                hstate = queue.popleft()
+                for child_state in known:
+                    successor = automaton.step_horizontal(label, hstate, child_state)
+                    if successor in paths:
+                        continue
+                    if prune_horizontal is not None and prune_horizontal(
+                        label, successor
+                    ):
+                        continue
+                    paths[successor] = paths[hstate] + (child_state,)
+                    queue.append(successor)
+            for hstate, children in paths.items():
+                state = automaton.finish(label, hstate)
+                if state in realized or state in pruned:
+                    continue
+                if prune is not None and prune(state):
+                    pruned.add(state)
+                    continue
+                realized[state] = TreeNode(
+                    label, (), tuple(realized[c] for c in children)
+                )
+                changed = True
+                if stop is not None and stop(state):
+                    return realized
+                if max_states is not None and len(realized) > max_states:
+                    raise RuntimeError(
+                        f"reachability exceeded {max_states} states"
+                    )
+    return realized
+
+
+def find_accepted(
+    automaton: TreeAutomaton,
+    predicate: Callable[[State], bool] | None = None,
+    prune: Callable[[State], bool] | None = None,
+    prune_horizontal: Callable[[str, HState], bool] | None = None,
+) -> tuple[State, TreeNode] | None:
+    """Find some tree whose root state satisfies *predicate* (default: accepting).
+
+    Returns ``(state, witness_tree)`` or None when no tree qualifies —
+    i.e., emptiness testing with counterexample extraction.
+    """
+    if predicate is None:
+        predicate = automaton.is_accepting
+    realized = reachable_states(
+        automaton, stop=predicate, prune=prune, prune_horizontal=prune_horizontal
+    )
+    for state, witness in realized.items():
+        if predicate(state):
+            return state, witness
+    return None
+
+
+def language_is_empty(automaton: TreeAutomaton) -> bool:
+    """True iff the automaton accepts no tree at all."""
+    return find_accepted(automaton) is None

@@ -1,0 +1,161 @@
+"""The closure automaton of a set of tree patterns.
+
+Given patterns ``pi_1, ..., pi_n``, this deterministic bottom-up automaton
+computes at every node ``v`` the pair
+
+    sat(v)   = { subpattern p : (T, v) |= p  *structurally* }
+    below(v) = { subpattern p : p satisfied at v or a proper descendant }
+
+over the set of *all* subpatterns of all input patterns.  The root state
+therefore reveals, for every input pattern simultaneously, whether the tree
+satisfies it — one deterministic automaton yields the full *trigger
+bit-vector*, and negations come for free.  This is the engine behind the
+EXPTIME consistency algorithm (Theorem 5.2): the state space is exponential
+in the patterns, matching the paper's bound.
+
+Tree automata see labels and shape, not data values, so "structurally"
+means: variables are treated as wildcards for the *values*, but the
+*arity* of a node formula still matters — ``a(x)`` cannot match a node
+whose element type carries two attributes.  The automaton therefore takes
+the DTD's arity function; pass patterns through ``strip_values()`` (all
+``vars`` become None) to ignore attributes entirely, or keep the variables
+and supply ``arity_of`` for arity-aware structural matching.  Equality
+constraints induced by repeated variables are *not* checked — the
+consistency algorithms account for them by choosing all data values equal
+(see ``repro.consistency``).
+
+Horizontal sequences (``->`` / ``->*``) are handled by a small NFA per
+sequence item, run in subset mode inside the horizontal state:
+
+    states 0..k for a sequence of k elements; state i advances to i+1 on a
+    child satisfying element i; self-loops sit at 0 (match can start
+    anywhere), at k (rest of the children is arbitrary), and at i with
+    0 < i < k when the connector before element i is ``->*`` (gaps allowed).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.automata.duta import TreeAutomaton
+from repro.errors import XsmError
+from repro.patterns.ast import WILDCARD, Descendant, Pattern, Sequence
+
+
+class PatternClosureAutomaton(TreeAutomaton):
+    """Deterministic automaton tracking structural satisfaction of subpatterns."""
+
+    def __init__(
+        self,
+        patterns: Iterable[Pattern],
+        extra_labels: Iterable[str] = (),
+        arity_of: Callable[[str], int] | None = None,
+    ):
+        self.patterns = tuple(patterns)
+        self.arity_of = arity_of
+        subpatterns: dict[Pattern, None] = {}
+        for pattern in self.patterns:
+            for sub in pattern.subpatterns():
+                if sub.vars is not None and arity_of is None:
+                    raise XsmError(
+                        "patterns constrain attributes but no arity function was "
+                        "given; strip_values() them or pass arity_of=dtd.arity"
+                    )
+                subpatterns.setdefault(sub, None)
+        self.subpatterns: tuple[Pattern, ...] = tuple(subpatterns)
+        sequences: dict[Sequence, None] = {}
+        for sub in self.subpatterns:
+            for item in sub.items:
+                if isinstance(item, Sequence):
+                    sequences.setdefault(item, None)
+        self.sequences: tuple[Sequence, ...] = tuple(sequences)
+        labels: set[str] = set(extra_labels)
+        for pattern in self.patterns:
+            labels.update(pattern.labels_used())
+        self._labels = frozenset(labels)
+
+    # -- DUTA interface -----------------------------------------------------
+
+    def labels(self) -> Iterable[str]:
+        return self._labels
+
+    def initial_horizontal(self, label: str):
+        return (
+            tuple(frozenset([0]) for __ in self.sequences),
+            frozenset(),
+        )
+
+    def step_horizontal(self, label: str, hstate, child_state):
+        subsets, below_union = hstate
+        child_sat, child_below = child_state
+        new_subsets = tuple(
+            self._step_sequence(sequence, subset, child_sat)
+            for sequence, subset in zip(self.sequences, subsets)
+        )
+        return (new_subsets, below_union | child_below)
+
+    @staticmethod
+    def _step_sequence(
+        sequence: Sequence, subset: frozenset, child_sat: frozenset
+    ) -> frozenset:
+        k = len(sequence.elements)
+        successors: set[int] = set()
+        for i in subset:
+            if i == 0 or i == k or sequence.connectors[i - 1] == "following":
+                successors.add(i)
+            if i < k and sequence.elements[i] in child_sat:
+                successors.add(i + 1)
+        return frozenset(successors)
+
+    def _node_formula_ok(self, sub: Pattern, label: str) -> bool:
+        if sub.label != WILDCARD and sub.label != label:
+            return False
+        if sub.vars is not None:
+            assert self.arity_of is not None
+            if len(sub.vars) != self.arity_of(label):
+                return False
+        return True
+
+    def finish(self, label: str, hstate):
+        subsets, below_union = hstate
+        sequence_ok = {
+            sequence: (len(sequence.elements) in subset)
+            for sequence, subset in zip(self.sequences, subsets)
+        }
+        sat: set[Pattern] = set()
+        for sub in self.subpatterns:
+            if not self._node_formula_ok(sub, label):
+                continue
+            satisfied = True
+            for item in sub.items:
+                if isinstance(item, Descendant):
+                    if item.pattern not in below_union:
+                        satisfied = False
+                        break
+                elif not sequence_ok[item]:
+                    satisfied = False
+                    break
+            if satisfied:
+                sat.add(sub)
+        sat_frozen = frozenset(sat)
+        return (sat_frozen, sat_frozen | below_union)
+
+    def is_accepting(self, state) -> bool:
+        """Default acceptance: every input pattern holds at the root."""
+        sat, __ = state
+        return all(pattern in sat for pattern in self.patterns)
+
+    # -- state inspection -----------------------------------------------------
+
+    @staticmethod
+    def satisfies(state, pattern: Pattern) -> bool:
+        """Does the tree assigned *state* satisfy *pattern* at its root?"""
+        sat, __ = state
+        return pattern in sat
+
+    def trigger_set(self, state) -> frozenset[int]:
+        """Indices of input patterns satisfied at the root under *state*."""
+        sat, __ = state
+        return frozenset(
+            index for index, pattern in enumerate(self.patterns) if pattern in sat
+        )

@@ -1,0 +1,207 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+
+validate   check that an XML document conforms to a DTD
+match      evaluate a tree pattern against an XML document
+check      static analysis of a mapping file (consistency, absolute consistency)
+member     is (source.xml, target.xml) in [[M]]?
+solve      build the canonical solution for a source document
+compose    compose two mapping files (Theorem 8.2) and print the result
+
+Documents are plain XML (see :mod:`repro.xmlmodel.xml_io`), DTDs use the
+textual production syntax, mappings the ``.xsm`` format of
+:mod:`repro.mappings.io`.  Exit status is 0 for "yes"/success and 1 for
+"no"/failure, so the commands compose in shell scripts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.composition.compose import compose as compose_mappings
+from repro.consistency import consistency_witness, is_consistent
+from repro.consistency.abscons import (
+    abscons_counterexample,
+    abscons_ptime_analysis,
+    is_absolutely_consistent_ptime,
+)
+from repro.errors import BoundExceededError, SignatureError, XsmError
+from repro.exchange import canonical_solution
+from repro.mappings.io import parse_mapping, render_mapping
+from repro.mappings.membership import is_solution, violations
+from repro.mappings.skolem import is_skolem_solution
+from repro.patterns.matching import find_matches
+from repro.patterns.parser import parse_pattern
+from repro.xmlmodel.dtd import parse_dtd
+from repro.xmlmodel.xml_io import from_xml, to_xml
+
+
+def _read(path: str) -> str:
+    return Path(path).read_text()
+
+
+def cmd_validate(args) -> int:
+    dtd = parse_dtd(_read(args.dtd))
+    document = from_xml(_read(args.document), dtd)
+    try:
+        dtd.check_conformance(document)
+    except XsmError as error:
+        print(f"INVALID: {error}")
+        return 1
+    print("VALID")
+    return 0
+
+
+def cmd_match(args) -> int:
+    pattern = parse_pattern(args.pattern)
+    document = from_xml(_read(args.document))
+    matches = find_matches(pattern, document)
+    variables = pattern.variables()
+    if not matches:
+        print("no matches")
+        return 1
+    for match in matches:
+        rendered = ", ".join(f"{v.name}={match[v]!r}" for v in variables)
+        print(rendered or "(match)")
+    return 0
+
+
+def cmd_check(args) -> int:
+    mapping = parse_mapping(_read(args.mapping))
+    print(f"class: {mapping.signature()}")
+    status = 0
+    try:
+        consistent = is_consistent(mapping)
+        print(f"consistent: {consistent}")
+        if consistent and args.witness:
+            pair = consistency_witness(mapping)
+            if pair:
+                print(f"  witness source: {to_xml(pair[0], mapping.source_dtd).strip()}")
+                print(f"  witness target: {to_xml(pair[1], mapping.target_dtd).strip()}")
+        if not consistent:
+            status = 1
+    except BoundExceededError:
+        print("consistent: inconclusive (class with data comparisons; "
+              "bounded search found no witness)")
+        status = 1
+    try:
+        problems = abscons_ptime_analysis(mapping)
+        absolutely = not problems
+        print(f"absolutely consistent: {absolutely}")
+        for problem in problems:
+            print(f"  why: {problem}")
+        if not absolutely:
+            counterexample = abscons_counterexample(mapping, 4, 5)
+            if counterexample is not None:
+                print("  unmappable document:")
+                print("  " + to_xml(counterexample, mapping.source_dtd).strip()
+                      .replace("\n", "\n  "))
+            status = 1
+    except SignatureError as error:
+        print(f"absolutely consistent: not decided ({error})")
+    return status
+
+
+def cmd_member(args) -> int:
+    mapping = parse_mapping(_read(args.mapping))
+    source = from_xml(_read(args.source), mapping.source_dtd)
+    target = from_xml(_read(args.target), mapping.target_dtd)
+    if mapping.uses_skolem_functions():
+        answer = is_skolem_solution(mapping, source, target)
+    else:
+        answer = is_solution(mapping, source, target)
+    print("YES" if answer else "NO")
+    if not answer and args.explain and not mapping.uses_skolem_functions():
+        for std, valuation in violations(mapping, source, target):
+            values = {v.name: value for v, value in valuation.items()}
+            print(f"  violated: {std}")
+            print(f"    with {values}")
+    return 0 if answer else 1
+
+
+def cmd_solve(args) -> int:
+    mapping = parse_mapping(_read(args.mapping))
+    source = from_xml(_read(args.source), mapping.source_dtd)
+    solution = canonical_solution(mapping, source)
+    if solution is None:
+        print("NO SOLUTION", file=sys.stderr)
+        return 1
+    output = to_xml(solution, mapping.target_dtd)
+    if args.output:
+        Path(args.output).write_text(output)
+    else:
+        print(output, end="")
+    return 0
+
+
+def cmd_compose(args) -> int:
+    first = parse_mapping(_read(args.first))
+    second = parse_mapping(_read(args.second))
+    composed = compose_mappings(first, second)
+    output = render_mapping(composed)
+    if args.output:
+        Path(args.output).write_text(output)
+    else:
+        print(output, end="")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="XML schema mappings (PODS 2009 reproduction) — "
+        "validation, matching, static analysis, exchange, composition",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    validate = commands.add_parser("validate", help="conformance of a document")
+    validate.add_argument("--dtd", required=True)
+    validate.add_argument("document")
+    validate.set_defaults(handler=cmd_validate)
+
+    match = commands.add_parser("match", help="evaluate a pattern on a document")
+    match.add_argument("--pattern", required=True)
+    match.add_argument("document")
+    match.set_defaults(handler=cmd_match)
+
+    check = commands.add_parser("check", help="static analysis of a mapping")
+    check.add_argument("mapping")
+    check.add_argument("--witness", action="store_true")
+    check.set_defaults(handler=cmd_check)
+
+    member = commands.add_parser("member", help="is (source, target) in [[M]]?")
+    member.add_argument("mapping")
+    member.add_argument("source")
+    member.add_argument("target")
+    member.add_argument("--explain", action="store_true")
+    member.set_defaults(handler=cmd_member)
+
+    solve = commands.add_parser("solve", help="canonical solution for a source")
+    solve.add_argument("mapping")
+    solve.add_argument("source")
+    solve.add_argument("--output")
+    solve.set_defaults(handler=cmd_solve)
+
+    compose = commands.add_parser("compose", help="compose two mappings (Thm 8.2)")
+    compose.add_argument("first")
+    compose.add_argument("second")
+    compose.add_argument("--output")
+    compose.set_defaults(handler=cmd_compose)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.handler(args)
+    except XsmError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

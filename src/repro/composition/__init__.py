@@ -1,0 +1,34 @@
+"""Composition of schema mappings (Sections 7 and 8).
+
+* :mod:`repro.composition.semantics` — membership in
+  ``[[M12]] ∘ [[M23]]`` (Theorem 7.3) via intermediate-tree search with a
+  finite data-value abstraction.
+* :mod:`repro.composition.conscomp` — consistency of composition
+  (Theorem 7.1 / Proposition 7.2), exact for comparison-free mappings via
+  chained trigger-set reachability over tree automata.
+* :mod:`repro.composition.compose` — the constructive closure result
+  (Theorem 8.2): syntactic composition for Skolem mappings over strictly
+  nested-relational DTDs with fully-specified stds.
+* :mod:`repro.composition.gallery` — the Proposition 8.1 counterexamples
+  showing which features break closure.
+"""
+
+from repro.composition.semantics import (
+    composition_contains,
+    composition_contains_exact,
+    composition_value_domain,
+)
+from repro.composition.conscomp import (
+    is_composition_consistent,
+    is_composition_consistent_bounded,
+)
+from repro.composition.compose import compose
+
+__all__ = [
+    "composition_contains",
+    "composition_contains_exact",
+    "composition_value_domain",
+    "is_composition_consistent",
+    "is_composition_consistent_bounded",
+    "compose",
+]

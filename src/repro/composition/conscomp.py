@@ -1,0 +1,137 @@
+"""Consistency of composition: is ``[[M1]] ∘ ... ∘ [[Mn]]`` non-empty?
+(Theorem 7.1 and Proposition 7.2.)
+
+For comparison-free mappings the problem is EXPTIME-complete and decided
+exactly by chaining the trigger-set machinery of Section 5:
+
+* the first source DTD yields the achievable trigger sets of ``Sigma_1``'s
+  source patterns;
+* each intermediate DTD ``D_i`` yields achievable pairs
+  ``(satisfied targets of Sigma_{i-1}, triggered sources of Sigma_i)``
+  from **one** closure automaton holding both pattern families — a tree
+  ``T_i`` works iff its satisfied-set covers some feasible trigger set
+  from the previous stage, in which case its own trigger set becomes
+  feasible for the next;
+* the last target DTD must cover some feasible final trigger set.
+
+All data values are taken equal, which is lossless without comparisons
+(same argument as in :mod:`repro.consistency.cons_automata`).
+
+With comparisons the problem is undecidable (Theorem 7.1(2)); the bounded
+variant searches for an explicit witness chain.
+"""
+
+from __future__ import annotations
+
+from repro.automata.dtd_automaton import DTDAutomaton
+from repro.automata.duta import ProductAutomaton, reachable_states
+from repro.automata.pattern_automaton import PatternClosureAutomaton
+from repro.errors import SignatureError, XsmError
+from repro.mappings.mapping import SchemaMapping
+from repro.mappings.membership import is_solution
+from repro.patterns.ast import Pattern
+from repro.values import Const
+from repro.verification.enumeration import enumerate_trees
+from repro.xmlmodel.dtd import DTD
+
+
+def _check_chain(mappings: list[SchemaMapping]) -> None:
+    if not mappings:
+        raise XsmError("composition of zero mappings")
+    for mapping in mappings:
+        if mapping.uses_data_comparisons():
+            raise SignatureError(
+                "exact consistency of composition handles comparison-free "
+                "mappings only (the problem is undecidable with ∼); "
+                "use is_composition_consistent_bounded"
+            )
+        for std in mapping.stds:
+            for pattern in (std.source, std.target):
+                if any(isinstance(t, Const) for t in pattern.terms()):
+                    raise SignatureError("constants are outside SM(⇓,⇒)")
+    for left, right in zip(mappings, mappings[1:]):
+        if left.target_dtd.labels != right.source_dtd.labels or any(
+            str(left.target_dtd.productions[l]) != str(right.source_dtd.productions[l])
+            for l in left.target_dtd.labels
+        ):
+            raise XsmError("mappings do not chain: target DTD differs from next source DTD")
+
+
+def _pattern_labels(patterns: list[Pattern]) -> frozenset[str]:
+    labels: set[str] = set()
+    for pattern in patterns:
+        labels.update(pattern.labels_used())
+    return frozenset(labels)
+
+
+def _achievable(dtd: DTD, patterns: list[Pattern]):
+    """Achievable satisfaction bit-sets of *patterns* over conforming trees."""
+    extra = _pattern_labels(patterns)
+    closure = PatternClosureAutomaton(
+        patterns, extra_labels=dtd.labels | extra, arity_of=dtd.arity
+    )
+    dtd_automaton = DTDAutomaton(dtd, extra_labels=extra)
+    product = ProductAutomaton([dtd_automaton, closure])
+    realized = reachable_states(
+        product,
+        prune=lambda state: not state[0][1],
+        prune_horizontal=lambda label, h: dtd_automaton.horizontal_dead(h[0]),
+    )
+    sets = set()
+    for state, __ in realized.items():
+        if dtd_automaton.is_accepting(state[0]):
+            sets.add(closure.trigger_set(state[1]))
+    return sets
+
+
+def is_composition_consistent(mappings: list[SchemaMapping]) -> bool:
+    """Exact ``CONSCOMP`` for a chain of comparison-free mappings (EXPTIME)."""
+    _check_chain(mappings)
+    first = mappings[0]
+    feasible = _achievable(first.source_dtd, [std.source for std in first.stds])
+    if not feasible:
+        return False
+    for index in range(len(mappings)):
+        current = mappings[index]
+        nxt = mappings[index + 1] if index + 1 < len(mappings) else None
+        target_patterns = [std.target for std in current.stds]
+        next_sources = [std.source for std in nxt.stds] if nxt else []
+        combined = _achievable(current.target_dtd, target_patterns + next_sources)
+        k = len(target_patterns)
+        new_feasible = set()
+        for bits in combined:
+            satisfied = frozenset(i for i in bits if i < k)
+            triggered = frozenset(i - k for i in bits if i >= k)
+            if any(required <= satisfied for required in feasible):
+                new_feasible.add(triggered)
+        if not new_feasible:
+            return False
+        feasible = new_feasible
+    # the final stage's "triggered" sets are all empty frozensets; success
+    return True
+
+
+def is_composition_consistent_bounded(
+    mappings: list[SchemaMapping],
+    max_tree_size: int = 5,
+    value_domain: tuple = (0, 1),
+) -> bool:
+    """Bounded witness-chain search (sound only): works with comparisons."""
+    if not mappings:
+        raise XsmError("composition of zero mappings")
+
+    def extend(index: int, previous) -> bool:
+        if index == len(mappings):
+            return True
+        mapping = mappings[index]
+        for tree in enumerate_trees(mapping.target_dtd, max_tree_size, value_domain):
+            if is_solution(mapping, previous, tree, check_conformance=False):
+                if extend(index + 1, tree):
+                    return True
+        return False
+
+    first = mappings[0]
+    for source in enumerate_trees(first.source_dtd, max_tree_size, value_domain):
+        if extend(0, source):
+            return True
+    return False

@@ -1,0 +1,92 @@
+"""The Proposition 8.1 gallery: features that break closure under composition.
+
+The paper exhibits mapping pairs whose composition is a *disjunctive*
+relation that no mapping of the std language defines.  For the features
+(a) wildcard, (b) descendant, (c) next-sibling, (d) inequality — with
+attributes only on starred element types — the composition over
+``D = {r -> eps}`` and ``D' = {r -> c1? c2? c3?}`` is exactly
+
+    { (r, T) : T matches r/c1  or  T matches r/c2 } ,
+
+and for fully-specified stds with an attribute on an *unstarred* element
+type (the paper's second illustration) it is
+
+    { (T, r) : T carries at most two distinct data values } ,
+
+whose definition would need ``x = y ∨ y = z ∨ x = z``.
+
+Inexpressibility itself is a proof, not a computation; what the library
+*demonstrates* (see ``tests/test_composition_closure.py``) is that the
+semantics of each pair really is the stated disjunction, by exhaustive
+enumeration over the possible trees.
+"""
+
+from __future__ import annotations
+
+from repro.mappings.skolem import SkolemMapping
+
+#: Source and final DTDs shared by the (a)-(d) gallery entries.
+D1_TEXT = "r -> eps"
+D3_TEXT = "r -> c1? c2? c3?"
+
+
+def wildcard_pair() -> tuple[SkolemMapping, SkolemMapping]:
+    """(a) The paper's base example: r -> r/_/b3 composed with r/bi -> r/ci.
+
+    Every middle tree is r[b1[b3]] or r[b2[b3]]; the choice of branch
+    decides whether c1 or c2 is required.
+    """
+    d2 = "r -> b1 | b2\nb1 -> b3\nb2 -> b3"
+    m12 = SkolemMapping.parse(D1_TEXT, d2, ["r -> r/_/b3"])
+    m23 = SkolemMapping.parse(d2, D3_TEXT, ["r/b1 -> r/c1", "r/b2 -> r/c2"])
+    return m12, m23
+
+
+def descendant_pair() -> tuple[SkolemMapping, SkolemMapping]:
+    """(b) Descendant instead of wildcard: r -> r//b3."""
+    d2 = "r -> b1 | b2\nb1 -> b3\nb2 -> b3"
+    m12 = SkolemMapping.parse(D1_TEXT, d2, ["r -> r//b3"])
+    m23 = SkolemMapping.parse(d2, D3_TEXT, ["r/b1 -> r/c1", "r/b2 -> r/c2"])
+    return m12, m23
+
+
+def next_sibling_pair() -> tuple[SkolemMapping, SkolemMapping]:
+    """(c) Next-sibling: the middle is (b1, b3) or (b3, b2)."""
+    d2 = "r -> (b1, b3) | (b3, b2)"
+    m12 = SkolemMapping.parse(D1_TEXT, d2, ["r -> r[_ -> _]"])
+    m23 = SkolemMapping.parse(d2, D3_TEXT, ["r/b1 -> r/c1", "r/b2 -> r/c2"])
+    return m12, m23
+
+
+def inequality_pair() -> tuple[SkolemMapping, SkolemMapping]:
+    """(d) Inequality: the middle carries one d-value and one e-value.
+
+    Sigma12 forces at least one ``d`` and one ``e``; a minimal middle has
+    exactly one of each.  If their values are chosen equal, only the
+    equality std of Sigma23 fires (requiring c1); if distinct, only the
+    inequality std fires (requiring c2).  Hence the composition is exactly
+    the disjunction c1-or-c2.
+    """
+    d2 = "r -> d*, e*\nd(x)\ne(y)"
+    m12 = SkolemMapping.parse(D1_TEXT, d2, ["r -> r[d(u), e(w)]"])
+    m23 = SkolemMapping.parse(
+        d2,
+        D3_TEXT,
+        ["r[d(x), e(x)] -> r/c1", "r[d(x), e(y)], x != y -> r/c2"],
+    )
+    return m12, m23
+
+
+def unstarred_attribute_pair() -> tuple[SkolemMapping, SkolemMapping]:
+    """Fully-specified stds, but attributes on unstarred elements.
+
+    The paper's second illustration: D1 = {r -> a*}, D2 = {r -> b, b},
+    D3 = {r -> eps}, with Sigma12 copying every a-value into a b and
+    Sigma23 trivial.  The middle has exactly two b's, so a source tree has
+    a solution iff it carries at most two distinct values — a condition
+    needing the disjunction ``x = y ∨ y = z ∨ x = z``.
+    """
+    d2 = "r2 -> b, b\nb(x)"  # two b children; b is unstarred yet carries a value
+    m12 = SkolemMapping.parse("r -> a*\na(x)", d2, ["r/a(x) -> r2/b(x)"])
+    m23 = SkolemMapping.parse(d2, "r3 -> eps", ["r2 -> r3"])
+    return m12, m23

@@ -1,0 +1,114 @@
+"""Membership in the composition ``[[M12]] ∘ [[M23]]`` (Section 7.2).
+
+``(T1, T3)`` belongs to the composition iff some ``T2 |= D2`` is a solution
+for ``T1`` under ``M12`` and has ``T3`` as a solution under ``M23``.  We
+search for ``T2`` directly, made feasible by a **finite value
+abstraction**:
+
+    For mappings without data comparisons, if any ``T2`` works then the
+    tree obtained by collapsing every value outside
+    ``adom(T1) ∪ adom(T3) ∪ constants`` to a single fresh value also
+    works: collapsing preserves the requirement matches of ``Sigma12``
+    (constants and exported values survive), and every ``Sigma23``
+    trigger exports only values that must literally occur in ``T3``
+    anyway.
+
+So for ``SM(⇓, ⇒)`` the abstraction is exact, and the only approximation
+left is the bound on ``|T2|`` (the paper's upper bound is 2-EXPTIME with a
+construction not given in the text; see DESIGN.md, substitution 2).  With
+comparisons, composition is undecidable (Theorem 7.3), and this search is
+the corresponding sound-but-bounded procedure — extra fresh values can be
+requested via *extra_fresh* since distinct values then matter.
+"""
+
+from __future__ import annotations
+
+from repro.consistency.bounded import mapping_constants
+from repro.mappings.mapping import SchemaMapping
+from repro.mappings.membership import is_solution
+from repro.mappings.skolem import is_skolem_solution
+from repro.verification.enumeration import enumerate_trees
+from repro.xmlmodel.tree import TreeNode
+
+
+def composition_value_domain(
+    m12: SchemaMapping,
+    m23: SchemaMapping,
+    source_tree: TreeNode,
+    final_tree: TreeNode,
+    extra_fresh: int = 1,
+) -> tuple:
+    """The finite domain for intermediate values; exact for SM(⇓,⇒) with 1 fresh."""
+    domain: dict[object, None] = {}
+    for value in sorted(source_tree.adom() | final_tree.adom(), key=repr):
+        domain.setdefault(value, None)
+    for value in mapping_constants(m12) + mapping_constants(m23):
+        domain.setdefault(value, None)
+    for i in range(extra_fresh):
+        domain.setdefault(f"#mid{i}", None)
+    return tuple(domain)
+
+
+def default_mid_size(
+    m12: SchemaMapping, m23: SchemaMapping, source_tree: TreeNode
+) -> int:
+    """Heuristic bound on the intermediate tree size.
+
+    The canonical middle merges one target-pattern instance per
+    ``Sigma12`` trigger plus the required structure of ``D2``; this bound
+    covers it for the instance families used in tests and benchmarks.
+    """
+    pattern_budget = sum(std.target.size for std in m12.stds)
+    triggers = max(1, sum(1 for node in source_tree.nodes()))
+    return min(3 + pattern_budget * 2, 2 + pattern_budget + triggers)
+
+
+def composition_contains(
+    m12: SchemaMapping,
+    m23: SchemaMapping,
+    source_tree: TreeNode,
+    final_tree: TreeNode,
+    max_mid_size: int | None = None,
+    extra_fresh: int = 1,
+    skolem: bool = False,
+) -> bool:
+    """Is ``(T1, T3) ∈ [[M12]] ∘ [[M23]]`` (with a bounded intermediate)?"""
+    if not m12.source_dtd.conforms(source_tree):
+        return False
+    if not m23.target_dtd.conforms(final_tree):
+        return False
+    if max_mid_size is None:
+        max_mid_size = default_mid_size(m12, m23, source_tree)
+    domain = composition_value_domain(m12, m23, source_tree, final_tree, extra_fresh)
+    check = is_skolem_solution if skolem else is_solution
+    for middle in enumerate_trees(m12.target_dtd, max_mid_size, domain):
+        if check(m12, source_tree, middle, check_conformance=False) and check(
+            m23, middle, final_tree, check_conformance=False
+        ):
+            return True
+    return False
+
+
+def composition_contains_exact(
+    m12: SchemaMapping,
+    m23: SchemaMapping,
+    source_tree: TreeNode,
+    final_tree: TreeNode,
+) -> bool:
+    """Exact composition membership for the Theorem 8.2 class.
+
+    For Skolem mappings over strictly nested-relational DTDs with
+    fully-specified stds, the composed mapping is *equal* to the
+    composition, so membership reduces to one Skolem-membership check on
+    ``compose(M12, M23)`` — no intermediate-tree bound at all.  Raises
+    :class:`~repro.errors.NotInClassError` outside the class (fall back to
+    :func:`composition_contains` there).
+    """
+    from repro.composition.compose import compose
+    from repro.mappings.skolem import SkolemMapping
+
+    composed = compose(
+        SkolemMapping(m12.source_dtd, m12.target_dtd, m12.stds),
+        SkolemMapping(m23.source_dtd, m23.target_dtd, m23.stds),
+    )
+    return is_skolem_solution(composed, source_tree, final_tree)

@@ -1,0 +1,369 @@
+"""Absolute consistency: does *every* source tree have a solution? (Section 6)
+
+Three procedures, mirroring the paper's results:
+
+* :func:`is_absolutely_consistent_sm0` — exact for ``SM°`` mappings
+  (no attribute values anywhere; Proposition 6.1, Pi_2^p).  With values
+  erased, a tree's trigger set is purely structural, so the question is:
+  for every achievable source trigger set ``S`` there must be an
+  achievable target satisfaction set ``B ⊇ S``.  Both families of sets
+  come from the closure automata of Section 5's machinery.
+
+* :func:`is_absolutely_consistent_ptime` — exact for nested-relational
+  DTDs + fully-specified stds (Theorem 6.3, PTIME).  The paper notes that
+  value *counting* is what makes the general problem hard; in this class
+  the counting collapses to a **rigidity analysis**:
+
+  - a position (label path + attribute slot) is *rigid* when every step
+    of the path has multiplicity ``1``/``?`` — a conforming tree has at
+    most one node there, so its value is global;
+  - a source position under a ``*``/``+`` step is *repeatable*: one tree
+    can export two distinct values through it;
+  - every rigid *target* cell written by an std must receive a globally
+    unique value, so the mapping is absolutely consistent iff no rigid
+    target class (closing under same-trigger existential-variable chains
+    and shared rigid target cells) receives either a repeatable source
+    cell or two source cells that are not forced equal (i.e. not the same
+    rigid source position) — plus the structural condition that every
+    triggerable std has a target embeddable in ``D_t``.
+
+* :func:`abscons_counterexample` — a sound bounded refuter for the general
+  case (Theorem 6.2 proves decidability in EXPSPACE; the paper's counting
+  construction is not given, so completeness is only up to the bounds —
+  see DESIGN.md, substitution 1).
+"""
+
+from __future__ import annotations
+
+from repro.automata.dtd_automaton import DTDAutomaton
+from repro.automata.duta import ProductAutomaton, reachable_states
+from repro.automata.pattern_automaton import PatternClosureAutomaton
+from repro.consistency.bounded import default_value_domain
+from repro.consistency.cons_nested import _Embedder
+from repro.errors import BoundExceededError, SignatureError
+from repro.mappings.mapping import SchemaMapping
+from repro.mappings.std import STD
+from repro.patterns.ast import Pattern, Sequence
+from repro.values import Const, Var
+from repro.verification.enumeration import enumerate_trees
+from repro.verification.oracle import oracle_has_solution
+from repro.xmlmodel.dtd import DTD
+from repro.xmlmodel.tree import TreeNode
+
+
+# ---------------------------------------------------------------------------
+# Proposition 6.1: SM° mappings
+# ---------------------------------------------------------------------------
+
+
+def _check_sm0(mapping: SchemaMapping) -> None:
+    for std in mapping.stds:
+        if std.source_conditions or std.target_conditions:
+            raise SignatureError("SM° mappings have no comparison formulae")
+        for pattern in (std.source, std.target):
+            if any(sub.vars is not None for sub in pattern.subpatterns()):
+                raise SignatureError(
+                    "SM° mappings mention no attributes; call .strip_values()"
+                )
+
+
+def _achievable_sets(dtd: DTD, patterns: list[Pattern], extra: frozenset[str]):
+    closure = PatternClosureAutomaton(patterns, extra_labels=dtd.labels | extra)
+    dtd_automaton = DTDAutomaton(dtd, extra_labels=extra)
+    product = ProductAutomaton([dtd_automaton, closure])
+    realized = reachable_states(
+        product,
+        prune=lambda state: not state[0][1],
+        prune_horizontal=lambda label, h: dtd_automaton.horizontal_dead(h[0]),
+    )
+    sets: dict[frozenset[int], TreeNode] = {}
+    for state, witness in realized.items():
+        if dtd_automaton.is_accepting(state[0]):
+            sets.setdefault(closure.trigger_set(state[1]), witness)
+    return sets
+
+
+def is_absolutely_consistent_sm0(mapping: SchemaMapping) -> bool:
+    """Exact ``ABSCONS°(⇓,⇒)`` decision for value-free mappings."""
+    _check_sm0(mapping)
+    extra = frozenset(
+        label
+        for std in mapping.stds
+        for pattern in (std.source, std.target)
+        for label in pattern.labels_used()
+    )
+    source_sets = _achievable_sets(
+        mapping.source_dtd, [std.source for std in mapping.stds], extra
+    )
+    target_sets = _achievable_sets(
+        mapping.target_dtd, [std.target for std in mapping.stds], extra
+    )
+    maximal_targets = [
+        satisfied
+        for satisfied in target_sets
+        if not any(satisfied < other for other in target_sets)
+    ]
+    return all(
+        any(triggered <= satisfied for satisfied in maximal_targets)
+        for triggered in source_sets
+    )
+
+
+def sm0_counterexample(mapping: SchemaMapping) -> TreeNode | None:
+    """A source tree (values erased) with no solution, for SM° mappings."""
+    _check_sm0(mapping)
+    extra = frozenset(
+        label
+        for std in mapping.stds
+        for pattern in (std.source, std.target)
+        for label in pattern.labels_used()
+    )
+    source_sets = _achievable_sets(
+        mapping.source_dtd, [std.source for std in mapping.stds], extra
+    )
+    target_sets = _achievable_sets(
+        mapping.target_dtd, [std.target for std in mapping.stds], extra
+    )
+    for triggered, witness in source_sets.items():
+        if not any(triggered <= satisfied for satisfied in target_sets):
+            return DTDAutomaton(mapping.source_dtd).decorate(witness)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Theorem 6.3: nested-relational DTDs + fully-specified stds (PTIME)
+# ---------------------------------------------------------------------------
+
+
+def _check_ptime_class(mapping: SchemaMapping) -> None:
+    if mapping.uses_data_comparisons():
+        raise SignatureError("the PTIME ABSCONS algorithm handles SM(↓) without ∼")
+    if not mapping.is_fully_specified():
+        raise SignatureError("stds must be fully specified (Theorem 6.3)")
+    if not mapping.is_nested_relational():
+        raise SignatureError("both DTDs must be nested-relational (Theorem 6.3)")
+    for std in mapping.stds:
+        for pattern in (std.source, std.target):
+            if any(isinstance(t, Const) for t in pattern.terms()):
+                raise SignatureError("constants are outside SM(↓)")
+
+
+def _pattern_cells(pattern: Pattern, dtd: DTD):
+    """Yield ``(path, slot, term, rigid, repeatable)`` for every attribute term.
+
+    *path* is the label path from the pattern root; *rigid* means every
+    step below the root has multiplicity 1/?; *repeatable* means some step
+    has multiplicity */+.  Fully-specified patterns only (single-element
+    sequences, no wildcard), so paths are concrete.
+    """
+    multiplicity_of = {
+        label: dict(dtd.nested_relational_children(label)) for label in dtd.labels
+    }
+
+    def walk(node: Pattern, path: tuple[str, ...], rigid: bool, repeatable: bool):
+        if node.vars is not None:
+            for slot, term in enumerate(node.vars):
+                yield (path, slot, term, rigid, repeatable)
+        for item in node.items:
+            assert isinstance(item, Sequence) and len(item.elements) == 1
+            (child,) = item.elements
+            step = multiplicity_of.get(path[-1], {}).get(child.label)
+            starred = step in ("*", "+")
+            yield from walk(
+                child,
+                path + (child.label,),
+                rigid and not starred,
+                repeatable or starred,
+            )
+
+    yield from walk(pattern, (pattern.label,), True, False)
+
+
+class _UnionFind:
+    def __init__(self):
+        self._parent: dict = {}
+
+    def find(self, x):
+        self._parent.setdefault(x, x)
+        root = x
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[x] != root:
+            self._parent[x], x = root, self._parent[x]
+        return root
+
+    def union(self, x, y):
+        self._parent[self.find(x)] = self.find(y)
+
+
+def abscons_ptime_analysis(mapping: SchemaMapping) -> list[str]:
+    """The Theorem 6.3 rigidity analysis, with explanations.
+
+    Returns the list of problems found (empty = absolutely consistent);
+    each entry is a human-readable reason a source document can be built
+    that has no solution.  :func:`is_absolutely_consistent_ptime` is the
+    Boolean view.
+    """
+    _check_ptime_class(mapping)
+    source_embedder = _Embedder(mapping.source_dtd)
+    target_embedder = _Embedder(mapping.target_dtd)
+    union_find = _UnionFind()
+    problems: list[str] = []
+    # class annotations: root -> set of source-cell identities
+    writers: dict[object, set] = {}
+    repeatable_identities: set = set()
+    identity_origin: dict[object, str] = {}
+
+    live_stds: list[STD] = []
+    for std in mapping.stds:
+        if std.source.label != mapping.source_dtd.root:
+            continue
+        if not source_embedder.embeddable(std.source, mapping.source_dtd.root):
+            continue  # never triggers
+        if std.target.label != mapping.target_dtd.root or not target_embedder.embeddable(
+            std.target, mapping.target_dtd.root
+        ):
+            problems.append(
+                f"std `{std}` can be triggered, but its target pattern does "
+                f"not embed into the target DTD"
+            )
+            continue
+        live_stds.append(std)
+
+    def pretty(path: tuple, slot: int) -> str:
+        return "/".join(path) + f"@{slot}"
+
+    for index, std in enumerate(live_stds):
+        # where does each (necessarily unique) source variable live?
+        source_home: dict[Var, tuple] = {}
+        for path, slot, term, rigid, repeatable in _pattern_cells(
+            std.source, mapping.source_dtd
+        ):
+            assert isinstance(term, Var)
+            if rigid and not repeatable:
+                identity = ("spos", path, slot)  # globally unique cell
+            else:
+                identity = ("cell", index, path, slot)
+            source_home[term] = (identity, repeatable)
+            identity_origin[identity] = (
+                f"variable {term.name} of std #{index + 1} "
+                f"(source position {pretty(path, slot)})"
+            )
+        shared = set(std.shared_variables())
+        for path, slot, term, rigid, repeatable in _pattern_cells(
+            std.target, mapping.target_dtd
+        ):
+            if not rigid:
+                continue  # flexible positions absorb anything
+            cell = ("tpos", path, slot)
+            identity_origin.setdefault(
+                cell, f"rigid target position {pretty(path, slot)}"
+            )
+            assert isinstance(term, Var)
+            if term in shared:
+                identity, source_repeatable = source_home[term]
+                union_find.union(cell, identity)
+                new_root = union_find.find(cell)
+                writers.setdefault(new_root, set()).add(identity)
+                if source_repeatable:
+                    repeatable_identities.add(identity)
+            else:
+                union_find.union(cell, ("ez", index, term))
+
+    # normalize annotations to final roots
+    final_writers: dict[object, set] = {}
+    for root, cells in writers.items():
+        final_writers.setdefault(union_find.find(root), set()).update(cells)
+    for root, cells in final_writers.items():
+        if len(cells) > 1:
+            origins = sorted(identity_origin.get(c, str(c)) for c in cells)
+            problems.append(
+                "a rigid target position receives values from independent "
+                "sources that one document can make distinct: "
+                + "; ".join(origins)
+            )
+            continue
+        (cell,) = cells
+        if cell in repeatable_identities:
+            problems.append(
+                "a rigid target position (one node in every solution) is "
+                "written from a repeatable source position that one document "
+                "can fill with two distinct values: "
+                + identity_origin.get(cell, str(cell))
+            )
+    return problems
+
+
+def is_absolutely_consistent_ptime(mapping: SchemaMapping) -> bool:
+    """Exact PTIME decision of ``ABSCONS(↓)`` for the Theorem 6.3 class."""
+    return not abscons_ptime_analysis(mapping)
+
+
+# ---------------------------------------------------------------------------
+# Theorem 6.2 (general case): bounded refutation
+# ---------------------------------------------------------------------------
+
+
+def abscons_counterexample(
+    mapping: SchemaMapping,
+    max_source_size: int = 5,
+    max_target_size: int = 6,
+    value_domain: tuple | None = None,
+    extra_target_values: int = 2,
+) -> TreeNode | None:
+    """A bounded source tree with no bounded solution, or None.
+
+    Sound refuter for the general ``ABSCONS`` problem: a returned tree
+    genuinely has no solution *within the target bound*; None means
+    absolute consistency holds as far as the bounds can see.
+    """
+    if value_domain is None:
+        value_domain = default_value_domain(mapping)
+    target_domain = tuple(value_domain) + tuple(
+        f"#null{i}" for i in range(extra_target_values)
+    )
+    for source in enumerate_trees(mapping.source_dtd, max_source_size, value_domain):
+        if not oracle_has_solution(mapping, source, max_target_size, target_domain):
+            return source
+    return None
+
+
+def is_absolutely_consistent(
+    mapping: SchemaMapping,
+    max_source_size: int = 5,
+    max_target_size: int = 6,
+) -> bool:
+    """Dispatch to the strongest applicable ABSCONS procedure.
+
+    Exact for SM° mappings and for the Theorem 6.3 class; otherwise a
+    bounded refutation is attempted and finding nothing raises
+    :class:`BoundExceededError` (the honest outcome for a problem whose
+    general algorithm is EXPSPACE with an unpublished construction).
+    """
+    is_sm0 = all(
+        not std.source_conditions
+        and not std.target_conditions
+        and all(sub.vars is None for sub in std.source.subpatterns())
+        and all(sub.vars is None for sub in std.target.subpatterns())
+        for std in mapping.stds
+    )
+    if is_sm0:
+        return is_absolutely_consistent_sm0(mapping)
+    try:
+        return is_absolutely_consistent_ptime(mapping)
+    except SignatureError:
+        pass
+    # exact fallback for wildcard/descendant *sources* via expansion
+    from repro.consistency.expansion import is_absolutely_consistent_expanded
+
+    try:
+        return is_absolutely_consistent_expanded(mapping)
+    except (SignatureError, BoundExceededError):
+        pass
+    if abscons_counterexample(mapping, max_source_size, max_target_size) is not None:
+        return False
+    raise BoundExceededError(
+        "no counterexample within the bounds; the general ABSCONS algorithm "
+        "(EXPSPACE, Theorem 6.2) is approximated by bounded refutation only",
+        bound=max_source_size,
+    )

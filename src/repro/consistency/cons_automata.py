@@ -1,0 +1,119 @@
+"""The EXPTIME consistency algorithm for ``SM(⇓, ⇒)`` (Theorem 5.2).
+
+Applicable to mappings **without data comparisons** (no ``alpha`` formulae,
+no repeated source variables, no constants).  The paper's key observation:
+for such mappings, ``CONS`` is no harder than ``CONS°`` — data values do
+not matter, because
+
+* source patterns bind each variable once and test nothing, so the set of
+  stds *triggered* by a tree is purely structural, and
+* choosing **all data values equal** (in both trees) makes every exported
+  tuple constant, so target-side variable reuse is satisfied for free.
+
+Consistency thus becomes an automata question.  Let ``trig(T)`` be the set
+of stds whose source pattern matches ``T`` and ``sat(T')`` the set whose
+target pattern matches ``T'``.  Then ``M`` is consistent iff
+
+    ∃ T |= D_s, ∃ T' |= D_t :  trig(T) ⊆ sat(T')
+
+and both ``trig`` and ``sat`` are computed by the pattern *closure
+automaton* (one deterministic automaton per side — no 2^|Sigma| subset
+enumeration, negative information is free because the automaton is
+deterministic).  The exponential cost lives in the automaton state spaces,
+matching the EXPTIME-completeness of the problem.
+"""
+
+from __future__ import annotations
+
+from repro.automata.dtd_automaton import DTDAutomaton
+from repro.automata.duta import ProductAutomaton, reachable_states
+from repro.automata.pattern_automaton import PatternClosureAutomaton
+from repro.errors import SignatureError
+from repro.mappings.mapping import SchemaMapping
+from repro.patterns.ast import Pattern
+from repro.values import Const
+from repro.xmlmodel.dtd import DTD
+from repro.xmlmodel.tree import TreeNode
+
+
+def _check_applicable(mapping: SchemaMapping) -> None:
+    if mapping.uses_data_comparisons():
+        raise SignatureError(
+            "the automata algorithm decides CONS only for mappings without "
+            "data comparisons (SM(⇓,⇒)); use the bounded procedures for SM(..,∼)"
+        )
+    for std in mapping.stds:
+        for pattern in (std.source, std.target):
+            if any(isinstance(t, Const) for t in pattern.terms()):
+                raise SignatureError(
+                    "constants in patterns are outside SM(⇓,⇒); "
+                    "use the bounded procedures"
+                )
+
+
+def _achievable_sets(
+    dtd: DTD, patterns: list[Pattern], extra_labels: frozenset[str]
+) -> list[tuple[frozenset[int], TreeNode]]:
+    """All achievable (pattern satisfaction set, witness tree) pairs.
+
+    One reachability pass over the product of the DTD automaton and the
+    closure automaton of *patterns*; the satisfaction set of a conforming
+    root state is read off the closure component.
+    """
+    closure = PatternClosureAutomaton(
+        patterns, extra_labels=dtd.labels | extra_labels, arity_of=dtd.arity
+    )
+    dtd_automaton = DTDAutomaton(dtd, extra_labels=extra_labels)
+    product = ProductAutomaton([dtd_automaton, closure])
+    # a non-conforming subtree never occurs inside a conforming tree:
+    # prune states whose DTD component is dead
+    realized = reachable_states(
+        product,
+        prune=lambda state: not state[0][1],
+        prune_horizontal=lambda label, h: dtd_automaton.horizontal_dead(h[0]),
+    )
+    results: dict[frozenset[int], TreeNode] = {}
+    for state, witness in realized.items():
+        if not dtd_automaton.is_accepting(state[0]):
+            continue
+        satisfied = closure.trigger_set(state[1])
+        if satisfied not in results:
+            results[satisfied] = witness
+    return list(results.items())
+
+
+def consistency_witness_automata(
+    mapping: SchemaMapping,
+) -> tuple[TreeNode, TreeNode] | None:
+    """A pair ``(T, T') ∈ [[M]]`` (all values 0), or None if inconsistent."""
+    _check_applicable(mapping)
+    pattern_labels = frozenset(
+        label
+        for std in mapping.stds
+        for pattern in (std.source, std.target)
+        for label in pattern.labels_used()
+    )
+    source_sets = _achievable_sets(
+        mapping.source_dtd, [std.source for std in mapping.stds], pattern_labels
+    )
+    if not source_sets:
+        return None  # source DTD unsatisfiable
+    target_sets = _achievable_sets(
+        mapping.target_dtd, [std.target for std in mapping.stds], pattern_labels
+    )
+    # prune: only minimal trigger sets / maximal satisfaction sets matter
+    source_sets.sort(key=lambda pair: len(pair[0]))
+    target_sets.sort(key=lambda pair: -len(pair[0]))
+    for triggered, source_witness in source_sets:
+        for satisfied, target_witness in target_sets:
+            if triggered <= satisfied:
+                return (
+                    DTDAutomaton(mapping.source_dtd).decorate(source_witness),
+                    DTDAutomaton(mapping.target_dtd).decorate(target_witness),
+                )
+    return None
+
+
+def is_consistent_automata(mapping: SchemaMapping) -> bool:
+    """Decide ``CONS`` for mappings without data comparisons (exact)."""
+    return consistency_witness_automata(mapping) is not None

@@ -1,0 +1,191 @@
+"""The PTIME consistency algorithm for ``CONS(⇓)`` over nested-relational
+DTDs (Fact 5.1, following [4]).
+
+Nested-relational productions ``l -> l1^m1 ... lk^mk`` have **no
+disjunction**, which buys two structural facts:
+
+1. *Unique minimal tree.*  ``T_min`` (required children only) embeds into
+   every conforming tree, and downward patterns are preserved under that
+   embedding, so ``T_min`` triggers the fewest stds of all source trees —
+   ``trig(T_min) ⊆ trig(T)`` for every ``T |= D_s``.
+2. *Individual = joint satisfiability.*  Any set of ``⇓``-patterns each
+   individually satisfiable against a nested-relational DTD is jointly
+   satisfiable: productions never forbid combinations of children, so
+   witnesses merge (choose all data values equal to defuse target-side
+   variable reuse).
+
+Hence ``M`` is consistent iff every std triggered by ``T_min`` has a
+target pattern embeddable into ``D_t`` — a quadratic number of
+label-vs-subpattern embeddability checks, each computable by memoized
+recursion, in line with the paper's cubic bound.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+
+from repro.errors import SignatureError, XsmError
+from repro.mappings.mapping import SchemaMapping
+from repro.mappings.std import STD
+from repro.patterns.ast import WILDCARD, Descendant, Pattern, Sequence
+from repro.patterns.matching import matches_at_root
+from repro.values import Const
+from repro.xmlmodel.dtd import DTD
+from repro.xmlmodel.tree import TreeNode
+
+
+def _check_applicable(mapping: SchemaMapping) -> None:
+    if mapping.uses_data_comparisons():
+        raise SignatureError("the nested-relational PTIME algorithm handles SM(⇓) only")
+    for std in mapping.stds:
+        for pattern in (std.source, std.target):
+            for sub in pattern.subpatterns():
+                for item in sub.items:
+                    if isinstance(item, Sequence) and len(item.elements) > 1:
+                        raise SignatureError(
+                            "horizontal axes are outside CONS(⇓); "
+                            "use the automata algorithm"
+                        )
+            if any(isinstance(t, Const) for t in pattern.terms()):
+                raise SignatureError("constants are outside SM(⇓)")
+    if not mapping.source_dtd.is_nested_relational():
+        raise SignatureError("source DTD is not nested-relational")
+    if not mapping.target_dtd.is_nested_relational():
+        raise SignatureError("target DTD is not nested-relational")
+
+
+def _strict_descendant_labels(dtd: DTD) -> dict[str, frozenset[str]]:
+    """For each label, the labels reachable through >= 1 production step."""
+    children = {
+        label: frozenset(production.symbols())
+        for label, production in dtd.productions.items()
+    }
+    reach: dict[str, set[str]] = {label: set(kids) for label, kids in children.items()}
+    changed = True
+    while changed:
+        changed = False
+        for label in reach:
+            extended = set(reach[label])
+            for child in list(reach[label]):
+                extended |= reach.get(child, set())
+            if extended != reach[label]:
+                reach[label] = extended
+                changed = True
+    return {label: frozenset(labels) for label, labels in reach.items()}
+
+
+class _Embedder:
+    """Memoized 'pattern embeddable at label' recursion (PTIME)."""
+
+    def __init__(self, dtd: DTD):
+        self.dtd = dtd
+        self.reach = _strict_descendant_labels(dtd)
+        self._memo: dict[tuple[Pattern, str], bool] = {}
+
+    def embeddable(self, pattern: Pattern, label: str) -> bool:
+        key = (pattern, label)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        self._memo[key] = False  # guards against (impossible) cycles
+        result = self._embeddable(pattern, label)
+        self._memo[key] = result
+        return result
+
+    def _embeddable(self, pattern: Pattern, label: str) -> bool:
+        if pattern.label != WILDCARD and pattern.label != label:
+            return False
+        if pattern.vars is not None and len(pattern.vars) != self.dtd.arity(label):
+            return False
+        for item in pattern.items:
+            if isinstance(item, Descendant):
+                if not any(
+                    self.embeddable(item.pattern, below)
+                    for below in self.reach.get(label, ())
+                ):
+                    return False
+            else:
+                (element,) = item.elements
+                child_labels = self.dtd.productions[label].symbols()
+                if not any(self.embeddable(element, child) for child in child_labels):
+                    return False
+        return True
+
+
+def target_satisfiable_nested(dtd: DTD, pattern: Pattern) -> bool:
+    """Is the ``⇓``-pattern satisfiable against the nested-relational DTD?"""
+    return _Embedder(dtd).embeddable(pattern, dtd.root)
+
+
+def triggered_by_minimal_tree(mapping: SchemaMapping) -> list[STD]:
+    """The stds whose source pattern matches ``T_min`` (all values equal)."""
+    minimal = mapping.source_dtd.minimal_tree()
+    return [std for std in mapping.stds if matches_at_root(std.source, minimal)]
+
+
+def is_consistent_nested(mapping: SchemaMapping) -> bool:
+    """Decide ``CONS(⇓)`` over nested-relational DTDs in polynomial time."""
+    _check_applicable(mapping)
+    embedder = _Embedder(mapping.target_dtd)
+    return all(
+        embedder.embeddable(std.target, mapping.target_dtd.root)
+        for std in triggered_by_minimal_tree(mapping)
+    )
+
+
+# -- witness construction ------------------------------------------------------
+
+
+def merge_nested_trees(dtd: DTD, left: TreeNode, right: TreeNode) -> TreeNode:
+    """Merge two conforming trees of a nested-relational DTD.
+
+    Children of multiplicity ``1``/``?`` are merged recursively; starred
+    children are concatenated.  Attribute values must agree (they do in
+    this module: everything is decorated with the single value 0).
+    """
+    if left.label != right.label:
+        raise XsmError(f"cannot merge {left.label!r} with {right.label!r}")
+    if left.attrs != right.attrs:
+        raise XsmError(f"attribute clash while merging {left.label!r}")
+    by_label_left: dict[str, list[TreeNode]] = {}
+    for child in left.children:
+        by_label_left.setdefault(child.label, []).append(child)
+    by_label_right: dict[str, list[TreeNode]] = {}
+    for child in right.children:
+        by_label_right.setdefault(child.label, []).append(child)
+    children: list[TreeNode] = []
+    for child_label, multiplicity in dtd.nested_relational_children(left.label):
+        ours = by_label_left.get(child_label, [])
+        theirs = by_label_right.get(child_label, [])
+        if multiplicity in ("1", "?"):
+            if ours and theirs:
+                children.append(merge_nested_trees(dtd, ours[0], theirs[0]))
+            else:
+                children.extend(ours or theirs)
+        else:
+            children.extend(ours)
+            children.extend(theirs)
+    return TreeNode(left.label, left.attrs, children)
+
+
+def nested_consistency_witness(
+    mapping: SchemaMapping,
+) -> tuple[TreeNode, TreeNode] | None:
+    """A witness pair for the PTIME algorithm: ``(T_min, merged targets)``."""
+    from repro.patterns.satisfiability import satisfying_tree
+
+    _check_applicable(mapping)
+    triggered = triggered_by_minimal_tree(mapping)
+    witnesses = []
+    for std in triggered:
+        witness = satisfying_tree(mapping.target_dtd, std.target)
+        if witness is None:
+            return None
+        witnesses.append(witness)
+    base = mapping.target_dtd.minimal_tree()
+    target = reduce(
+        lambda acc, tree: merge_nested_trees(mapping.target_dtd, acc, tree),
+        witnesses,
+        base,
+    )
+    return mapping.source_dtd.minimal_tree(), target

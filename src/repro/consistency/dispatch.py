@@ -1,0 +1,95 @@
+"""Front door for consistency checking: picks the strongest algorithm.
+
+Mirrors Figure 1 of the paper:
+
+====================  =======================  ===========================
+features              DTDs                     algorithm
+====================  =======================  ===========================
+no comparisons, ⇓     nested-relational        PTIME (cons_nested)
+no comparisons        arbitrary                EXPTIME (cons_automata)
+with ∼ / constants    any                      bounded search (sound only)
+====================  =======================  ===========================
+
+For the bounded case :func:`is_consistent` raises
+:class:`~repro.errors.BoundExceededError` when no witness is found — a
+caller wanting the raw tri-state uses
+:func:`repro.consistency.bounded.is_consistent_bounded` directly.
+"""
+
+from __future__ import annotations
+
+from repro.consistency.bounded import find_consistency_witness_bounded
+from repro.consistency.cons_automata import consistency_witness_automata
+from repro.consistency.cons_nested import (
+    is_consistent_nested,
+    nested_consistency_witness,
+)
+from repro.errors import BoundExceededError
+from repro.mappings.mapping import SchemaMapping
+from repro.patterns.features import HORIZONTAL
+from repro.values import Const
+from repro.xmlmodel.tree import TreeNode
+
+#: Default bounds for the bounded fallback.
+DEFAULT_MAX_SOURCE_SIZE = 6
+DEFAULT_MAX_TARGET_SIZE = 6
+
+
+def _uses_constants(mapping: SchemaMapping) -> bool:
+    return any(
+        isinstance(term, Const)
+        for std in mapping.stds
+        for pattern in (std.source, std.target)
+        for term in pattern.terms()
+    )
+
+
+def _nested_ptime_applicable(mapping: SchemaMapping) -> bool:
+    if mapping.uses_data_comparisons() or _uses_constants(mapping):
+        return False
+    if mapping.signature().features & HORIZONTAL:
+        return False
+    return mapping.is_nested_relational()
+
+
+def consistency_witness(
+    mapping: SchemaMapping,
+    max_source_size: int = DEFAULT_MAX_SOURCE_SIZE,
+    max_target_size: int = DEFAULT_MAX_TARGET_SIZE,
+) -> tuple[TreeNode, TreeNode] | None:
+    """A pair in ``[[M]]``, or None when the mapping is (known) inconsistent."""
+    if not mapping.uses_data_comparisons() and not _uses_constants(mapping):
+        if _nested_ptime_applicable(mapping):
+            return nested_consistency_witness(mapping)
+        return consistency_witness_automata(mapping)
+    witness = find_consistency_witness_bounded(
+        mapping, max_source_size, max_target_size
+    )
+    if witness is None:
+        raise BoundExceededError(
+            "no witness within the default bounds; the class of this mapping "
+            "admits no complete procedure (Theorem 5.4) — "
+            "use is_consistent_bounded with explicit bounds",
+            bound=max_source_size,
+        )
+    return witness
+
+
+def is_consistent(
+    mapping: SchemaMapping,
+    max_source_size: int = DEFAULT_MAX_SOURCE_SIZE,
+    max_target_size: int = DEFAULT_MAX_TARGET_SIZE,
+) -> bool:
+    """Decide consistency with the strongest applicable algorithm.
+
+    Exact for mappings without data comparisons; raises
+    :class:`BoundExceededError` when only an inconclusive bounded search is
+    available and it finds nothing.
+    """
+    from repro.consistency.cons_automata import is_consistent_automata
+
+    if not mapping.uses_data_comparisons() and not _uses_constants(mapping):
+        if _nested_ptime_applicable(mapping):
+            return is_consistent_nested(mapping)
+        return is_consistent_automata(mapping)
+    return consistency_witness(mapping, max_source_size, max_target_size) is not None

@@ -1,0 +1,13 @@
+"""Data exchange: constructing target instances (the paper's Section 9
+future-work direction, realized for the tractable class).
+
+:func:`~repro.exchange.canonical.canonical_solution` builds a canonical
+target tree for a source tree under a mapping with fully-specified stds
+and a nested-relational target DTD — the class where solutions merge
+deterministically (rigid positions are forced together, starred positions
+stay apart, missing required structure is filled minimally with nulls).
+"""
+
+from repro.exchange.canonical import canonical_solution
+
+__all__ = ["canonical_solution"]

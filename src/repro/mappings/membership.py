@@ -1,0 +1,110 @@
+"""Membership in ``[[M]]``: is ``T'`` a solution for ``T``? (Section 4)
+
+For each std and each match ``nu`` of the source pattern on ``T`` whose
+values satisfy the source conditions, some extension of ``nu`` restricted
+to the shared variables must match the target pattern on ``T'`` and
+satisfy the target conditions.
+
+Data complexity of this check is low (DLOGSPACE in the paper; here, a
+polynomial pass for a fixed mapping); combined complexity is
+``Pi_2^p``-complete — the exponential lives in the number of variables per
+pattern, which is exactly what the Figure-2 benchmarks sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import XsmError
+from repro.mappings.mapping import SchemaMapping
+from repro.mappings.std import STD
+from repro.patterns.matching import find_matches
+from repro.values import Var
+from repro.xmlmodel.tree import TreeNode
+
+
+def _source_matches(std: STD, source_tree: TreeNode) -> Iterator[dict[Var, object]]:
+    """Matches of the source side that pass the source conditions."""
+    for valuation in find_matches(std.source, source_tree):
+        if all(c.evaluate(valuation) for c in std.source_conditions):
+            yield valuation
+
+
+def std_is_satisfied(
+    std: STD, source_tree: TreeNode, target_tree: TreeNode
+) -> bool:
+    """Do ``(T, T')`` satisfy this single std?"""
+    if std.skolem_functions():
+        raise XsmError(
+            "std uses Skolem functions; use repro.mappings.skolem.is_skolem_solution"
+        )
+    shared = set(std.shared_variables())
+    for valuation in _source_matches(std, source_tree):
+        exported = {var: value for var, value in valuation.items() if var in shared}
+        target_pattern = std.target.substitute(exported)
+        satisfied = False
+        for extension in find_matches(target_pattern, target_tree):
+            combined = {**exported, **extension}
+            if all(c.evaluate(combined) for c in std.target_conditions):
+                satisfied = True
+                break
+        if not satisfied:
+            return False
+    return True
+
+
+def is_solution(
+    mapping: SchemaMapping,
+    source_tree: TreeNode,
+    target_tree: TreeNode,
+    check_conformance: bool = True,
+) -> bool:
+    """``(T, T') ∈ [[M]]``: conformance to both DTDs plus all stds."""
+    if check_conformance:
+        if not mapping.source_dtd.conforms(source_tree):
+            return False
+        if not mapping.target_dtd.conforms(target_tree):
+            return False
+    return all(
+        std_is_satisfied(std, source_tree, target_tree) for std in mapping.stds
+    )
+
+
+def violations(
+    mapping: SchemaMapping, source_tree: TreeNode, target_tree: TreeNode
+) -> list[tuple[STD, dict[Var, object]]]:
+    """Diagnostic version: every (std, source match) lacking a target match."""
+    failures: list[tuple[STD, dict[Var, object]]] = []
+    for std in mapping.stds:
+        shared = set(std.shared_variables())
+        for valuation in _source_matches(std, source_tree):
+            exported = {v: value for v, value in valuation.items() if v in shared}
+            target_pattern = std.target.substitute(exported)
+            for extension in find_matches(target_pattern, target_tree):
+                combined = {**exported, **extension}
+                if all(c.evaluate(combined) for c in std.target_conditions):
+                    break
+            else:
+                failures.append((std, valuation))
+    return failures
+
+
+def triggered_requirements(
+    mapping: SchemaMapping, source_tree: TreeNode
+) -> list[tuple[STD, dict[Var, object]]]:
+    """All (std, exported shared-variable assignment) pairs the source fires.
+
+    These are the obligations any solution must fulfil; the canonical
+    solution construction in :mod:`repro.exchange` consumes them.
+    """
+    requirements: list[tuple[STD, dict[Var, object]]] = []
+    for std in mapping.stds:
+        shared = set(std.shared_variables())
+        seen: set[tuple] = set()
+        for valuation in _source_matches(std, source_tree):
+            exported = {v: value for v, value in valuation.items() if v in shared}
+            key = tuple(sorted(((v.name, value) for v, value in exported.items()), key=repr))
+            if key not in seen:
+                seen.add(key)
+                requirements.append((std, exported))
+    return requirements

@@ -1,0 +1,173 @@
+"""Embedding relational schema mappings into XML schema mappings (Section 3).
+
+The paper observes that XML schema mappings generalize relational ones:
+a relational schema ``S = {S1(A,B), S2(C,D)}`` becomes the DTD
+
+    r -> s1, s2 ; s1 -> t1* ; s2 -> t2*
+
+with ``t1``/``t2`` carrying the attributes, and a conjunctive query such
+as ``S1(x,y), S2(y,z)`` becomes the pattern
+
+    r[s1[t1(x, y)], s2[t2(y, z)]]
+
+(variable reuse expressing the join).  This module implements the
+embedding: schemas to DTDs, instances to trees (and back), conjunctive
+queries to patterns, and relational stds to XML stds — so the library's
+XML machinery can be cross-validated against plain relational semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import XsmError
+from repro.mappings.mapping import SchemaMapping
+from repro.mappings.std import STD, Comparison
+from repro.patterns.ast import Pattern, Sequence as PatternSequence
+from repro.values import Const, Term, Var
+from repro.xmlmodel.dtd import DTD
+from repro.xmlmodel.tree import TreeNode
+
+
+@dataclass(frozen=True)
+class RelationalSchema:
+    """A relational schema: relation name -> ordered attribute names."""
+
+    relations: tuple[tuple[str, tuple[str, ...]], ...]
+
+    @staticmethod
+    def of(relations: Mapping[str, Sequence[str]]) -> "RelationalSchema":
+        return RelationalSchema(
+            tuple((name, tuple(attrs)) for name, attrs in relations.items())
+        )
+
+    def arity(self, relation: str) -> int:
+        for name, attrs in self.relations:
+            if name == relation:
+                return len(attrs)
+        raise XsmError(f"unknown relation {relation!r}")
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(name for name, __ in self.relations)
+
+
+def wrapper_label(relation: str) -> str:
+    """The per-relation wrapper element (``s1`` in the paper's example)."""
+    return relation.lower()
+
+
+def tuple_label(relation: str) -> str:
+    """The per-tuple element (``t1`` in the paper's example)."""
+    return relation.lower() + "_t"
+
+
+def schema_to_dtd(schema: RelationalSchema, root: str = "r") -> DTD:
+    """The paper's DTD encoding of a relational schema."""
+    productions: dict[str, str] = {
+        root: ", ".join(wrapper_label(name) for name in schema.names()) or "eps"
+    }
+    attributes: dict[str, tuple[str, ...]] = {}
+    for name, attrs in schema.relations:
+        productions[wrapper_label(name)] = tuple_label(name) + "*"
+        productions[tuple_label(name)] = "eps"
+        attributes[tuple_label(name)] = tuple(attrs)
+    return DTD(root, productions, attributes)
+
+
+Instance = dict[str, set[tuple]]
+
+
+def instance_to_tree(schema: RelationalSchema, instance: Instance, root: str = "r") -> TreeNode:
+    """Encode a relational instance as a conforming tree (tuples sorted)."""
+    wrappers = []
+    for name, attrs in schema.relations:
+        rows = sorted(instance.get(name, ()), key=repr)
+        for row in rows:
+            if len(row) != len(attrs):
+                raise XsmError(
+                    f"tuple {row!r} has wrong arity for {name}({', '.join(attrs)})"
+                )
+        children = tuple(TreeNode(tuple_label(name), row) for row in rows)
+        wrappers.append(TreeNode(wrapper_label(name), (), children))
+    return TreeNode(root, (), tuple(wrappers))
+
+
+def tree_to_instance(schema: RelationalSchema, tree: TreeNode) -> Instance:
+    """Decode a conforming tree back into a relational instance."""
+    instance: Instance = {name: set() for name in schema.names()}
+    by_wrapper = {wrapper_label(name): name for name in schema.names()}
+    for wrapper in tree.children:
+        name = by_wrapper.get(wrapper.label)
+        if name is None:
+            raise XsmError(f"unexpected wrapper element {wrapper.label!r}")
+        for row in wrapper.children:
+            instance[name].add(row.attrs)
+    return instance
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A relational atom ``R(t1, ..., tk)``; strings coerce to variables."""
+
+    relation: str
+    terms: tuple[Term, ...]
+
+    @staticmethod
+    def of(relation: str, *terms) -> "Atom":
+        coerced = tuple(
+            Var(t) if isinstance(t, str) else (t if isinstance(t, (Var, Const)) else Const(t))
+            for t in terms
+        )
+        return Atom(relation, coerced)
+
+
+def cq_to_pattern(schema: RelationalSchema, atoms: Iterable[Atom], root: str = "r") -> Pattern:
+    """Translate a conjunction of atoms into a tree pattern over the DTD encoding.
+
+    Joins are expressed by direct variable reuse (the paper notes the two
+    styles — reuse vs. explicit equalities — are interchangeable).
+    """
+    items = []
+    for atom in atoms:
+        if len(atom.terms) != schema.arity(atom.relation):
+            raise XsmError(f"atom {atom} has wrong arity")
+        tuple_node = Pattern(tuple_label(atom.relation), tuple(atom.terms))
+        wrapper_node = Pattern(
+            wrapper_label(atom.relation), None, (PatternSequence((tuple_node,)),)
+        )
+        items.append(PatternSequence((wrapper_node,)))
+    return Pattern(root, None, tuple(items))
+
+
+def relational_std(
+    source_schema: RelationalSchema,
+    target_schema: RelationalSchema,
+    source_atoms: Iterable[Atom],
+    target_atoms: Iterable[Atom],
+    source_conditions: Iterable[Comparison] = (),
+    target_conditions: Iterable[Comparison] = (),
+) -> STD:
+    """An XML std encoding the relational std ``phi_s -> psi_t``."""
+    return STD(
+        cq_to_pattern(source_schema, source_atoms),
+        cq_to_pattern(target_schema, target_atoms),
+        tuple(source_conditions),
+        tuple(target_conditions),
+    )
+
+
+def relational_mapping(
+    source_schema: RelationalSchema,
+    target_schema: RelationalSchema,
+    stds: Iterable[tuple[Iterable[Atom], Iterable[Atom]]],
+) -> SchemaMapping:
+    """A full XML schema mapping encoding a relational mapping."""
+    return SchemaMapping(
+        schema_to_dtd(source_schema),
+        schema_to_dtd(target_schema),
+        [
+            relational_std(source_schema, target_schema, source_atoms, target_atoms)
+            for source_atoms, target_atoms in stds
+        ],
+    )

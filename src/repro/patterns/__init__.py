@@ -1,0 +1,65 @@
+"""Tree patterns: the paper's extended pattern language (grammar (2)).
+
+Patterns describe tree shapes with four navigation axes — child,
+descendant (``//``), next-sibling (``->``), following-sibling (``->*``) —
+wildcard labels (``_``) and variables/constants on attributes::
+
+    r[prof(x)[teach[year(y)[course(cn1) -> course(cn2)]],
+              supervise[student(s)]]]
+
+The subpackage provides the AST (:mod:`repro.patterns.ast`), a parser
+(:mod:`repro.patterns.parser`), the matching semantics of Section 3
+(:mod:`repro.patterns.matching`), satisfiability with respect to a DTD
+(:mod:`repro.patterns.satisfiability`, Lemma 4.1) and feature/signature
+analysis (:mod:`repro.patterns.features`).
+"""
+
+from repro.patterns.ast import (
+    WILDCARD,
+    Descendant,
+    Pattern,
+    Sequence,
+    node,
+    seq,
+)
+from repro.patterns.parser import parse_pattern
+from repro.patterns.matching import (
+    evaluate,
+    find_matches,
+    holds,
+    matches_at_root,
+)
+from repro.patterns.features import Axes, axes_of, is_fully_specified
+from repro.patterns.satisfiability import (
+    is_satisfiable,
+    satisfying_tree,
+    structural_witness,
+)
+from repro.patterns.separation import (
+    find_separating_tree,
+    pattern_contained,
+    patterns_equivalent,
+)
+
+__all__ = [
+    "WILDCARD",
+    "Pattern",
+    "Descendant",
+    "Sequence",
+    "node",
+    "seq",
+    "parse_pattern",
+    "evaluate",
+    "find_matches",
+    "holds",
+    "matches_at_root",
+    "Axes",
+    "axes_of",
+    "is_fully_specified",
+    "is_satisfiable",
+    "satisfying_tree",
+    "structural_witness",
+    "find_separating_tree",
+    "pattern_contained",
+    "patterns_equivalent",
+]

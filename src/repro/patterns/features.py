@@ -1,0 +1,107 @@
+"""Feature analysis of patterns: axes used, fully-specified check.
+
+The paper classifies mappings by a signature ``sigma`` of features: the
+navigation axes (child, descendant, next-sibling, following-sibling),
+wildcard, and the data comparisons ``=`` / ``!=``.  The axis part of the
+signature is determined by the patterns; this module extracts it.
+
+*Fully-specified* patterns (grammar (5), used in the PTIME result of
+Theorem 6.3 and the closure result of Theorem 8.2) disallow wildcard,
+descendant, and both horizontal axes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.patterns.ast import WILDCARD, Descendant, Pattern, Sequence
+
+#: Canonical feature names used in signatures.
+CHILD = "child"
+DESCENDANT = "descendant"
+NEXT_SIBLING = "next-sibling"
+FOLLOWING_SIBLING = "following-sibling"
+WILDCARD_FEATURE = "wildcard"
+EQUALITY = "="
+INEQUALITY = "!="
+
+#: The paper's shorthand groups.
+VERTICAL = frozenset({CHILD, DESCENDANT})          # ⇓
+HORIZONTAL = frozenset({NEXT_SIBLING, FOLLOWING_SIBLING})  # ⇒
+COMPARISONS = frozenset({EQUALITY, INEQUALITY})    # ∼
+
+ALL_FEATURES = VERTICAL | HORIZONTAL | COMPARISONS | {WILDCARD_FEATURE}
+
+
+@dataclass(frozen=True)
+class Axes:
+    """The navigational features used by a pattern."""
+
+    descendant: bool = False
+    next_sibling: bool = False
+    following_sibling: bool = False
+    wildcard: bool = False
+
+    def as_signature(self) -> frozenset[str]:
+        """Feature-name set; the child axis is always present by convention."""
+        features = {CHILD}
+        if self.descendant:
+            features.add(DESCENDANT)
+        if self.next_sibling:
+            features.add(NEXT_SIBLING)
+        if self.following_sibling:
+            features.add(FOLLOWING_SIBLING)
+        if self.wildcard:
+            features.add(WILDCARD_FEATURE)
+        return frozenset(features)
+
+    def __or__(self, other: "Axes") -> "Axes":
+        return Axes(
+            self.descendant or other.descendant,
+            self.next_sibling or other.next_sibling,
+            self.following_sibling or other.following_sibling,
+            self.wildcard or other.wildcard,
+        )
+
+
+def axes_of(pattern: Pattern) -> Axes:
+    """Compute which axes/wildcard the pattern uses."""
+    descendant = False
+    next_sibling = False
+    following_sibling = False
+    wildcard = False
+
+    def walk(p: Pattern) -> None:
+        nonlocal descendant, next_sibling, following_sibling, wildcard
+        if p.label == WILDCARD:
+            wildcard = True
+        for item in p.items:
+            if isinstance(item, Descendant):
+                descendant = True
+                walk(item.pattern)
+            else:
+                assert isinstance(item, Sequence)
+                for connector in item.connectors:
+                    if connector == "next":
+                        next_sibling = True
+                    else:
+                        following_sibling = True
+                for element in item.elements:
+                    walk(element)
+
+    walk(pattern)
+    return Axes(descendant, next_sibling, following_sibling, wildcard)
+
+
+def is_fully_specified(pattern: Pattern) -> bool:
+    """Grammar (5): no wildcard, no descendant, no horizontal ordering."""
+    axes = axes_of(pattern)
+    return not (
+        axes.wildcard or axes.descendant or axes.next_sibling or axes.following_sibling
+    )
+
+
+def uses_only_child_axis(pattern: Pattern) -> bool:
+    """True iff the pattern stays in the ``⇓``-free fragment {child} (+wildcard)."""
+    axes = axes_of(pattern)
+    return not (axes.descendant or axes.next_sibling or axes.following_sibling)

@@ -1,0 +1,214 @@
+"""Pattern matching semantics (Section 3 of the paper).
+
+The relation ``(T, s) |= pi(a)`` is implemented by computing, for a node and
+a pattern, the *set of valuations* (assignments of data values to the
+pattern's variables) under which the pattern matches at that node.  This is
+conjunctive-query evaluation over trees: valuations of subpatterns are
+joined, and a join fails when the same variable would receive two values
+(which is exactly how repeated variables express equality).
+
+Patterns are witnessed at the root (``T |= pi`` iff the pattern's root node
+formula matches the root of ``T``); descendant subpatterns ``//pi`` may
+match anywhere strictly below their context node.
+
+The evaluator memoizes on ``(node identity, subpattern)`` so that repeated
+subtrees and descendant recursion stay polynomial for a fixed pattern
+(matching the paper's DLOGSPACE/PTIME data-complexity results in spirit).
+"""
+
+from __future__ import annotations
+
+from repro.errors import XsmError
+from repro.patterns.ast import WILDCARD, Descendant, Pattern, Sequence
+from repro.values import Const, SkolemTerm, Var
+from repro.xmlmodel.tree import TreeNode
+
+#: A valuation is stored as a frozenset of (Var, value) pairs so sets of
+#: valuations can be deduplicated; the public API converts them to dicts.
+Valuation = frozenset
+
+_EMPTY_VALUATION: Valuation = frozenset()
+
+
+def _merge(a: Valuation, b: Valuation) -> Valuation | None:
+    """Join two valuations; None on conflicting variable bindings."""
+    if len(b) > len(a):
+        a, b = b, a
+    merged = dict(a)
+    for var, value in b:
+        existing = merged.get(var, _MISSING)
+        if existing is _MISSING:
+            merged[var] = value
+        elif existing != value:
+            return None
+    return frozenset(merged.items())
+
+
+_MISSING = object()
+
+
+def _join(lhs: set[Valuation], rhs: set[Valuation]) -> set[Valuation]:
+    out: set[Valuation] = set()
+    for a in lhs:
+        for b in rhs:
+            merged = _merge(a, b)
+            if merged is not None:
+                out.add(merged)
+    return out
+
+
+class _Matcher:
+    """One evaluation run over a fixed tree; holds the memo tables."""
+
+    def __init__(self):
+        # (id(node), pattern) -> valuations of the pattern matched AT node
+        self._at: dict[tuple[int, Pattern], set[Valuation]] = {}
+        # (id(node), pattern) -> valuations matched at node or any descendant
+        self._below: dict[tuple[int, Pattern], set[Valuation]] = {}
+
+    def match_at(self, node: TreeNode, pattern: Pattern) -> set[Valuation]:
+        key = (id(node), pattern)
+        cached = self._at.get(key)
+        if cached is not None:
+            return cached
+        result = self._match_at(node, pattern)
+        self._at[key] = result
+        return result
+
+    def _match_at(self, node: TreeNode, pattern: Pattern) -> set[Valuation]:
+        base = self._match_node_formula(node, pattern)
+        if base is None:
+            return set()
+        valuations = {base}
+        for item in pattern.items:
+            if isinstance(item, Descendant):
+                item_valuations = self.match_strictly_below(node, item.pattern)
+            else:
+                item_valuations = self._match_sequence(node.children, item)
+            if not item_valuations:
+                return set()
+            valuations = _join(valuations, item_valuations)
+            if not valuations:
+                return set()
+        return valuations
+
+    def _match_node_formula(
+        self, node: TreeNode, pattern: Pattern
+    ) -> Valuation | None:
+        """Match label and attribute tuple; return the induced valuation."""
+        if pattern.label != WILDCARD and pattern.label != node.label:
+            return None
+        if pattern.vars is None:
+            return _EMPTY_VALUATION
+        if len(pattern.vars) != len(node.attrs):
+            return None
+        binding: dict[Var, object] = {}
+        for term, value in zip(pattern.vars, node.attrs):
+            if isinstance(term, Var):
+                bound = binding.get(term, _MISSING)
+                if bound is _MISSING:
+                    binding[term] = value
+                elif bound != value:
+                    return None
+            elif isinstance(term, Const):
+                if term.value != value:
+                    return None
+            elif isinstance(term, SkolemTerm):
+                raise XsmError(
+                    "Skolem terms cannot be matched directly; instantiate the "
+                    "pattern through repro.mappings.skolem first"
+                )
+            else:
+                raise TypeError(f"unexpected term {term!r}")
+        return frozenset(binding.items())
+
+    def match_strictly_below(
+        self, node: TreeNode, pattern: Pattern
+    ) -> set[Valuation]:
+        """Valuations of *pattern* matched at some proper descendant of *node*."""
+        result: set[Valuation] = set()
+        for child in node.children:
+            result |= self._match_at_or_below(child, pattern)
+        return result
+
+    def _match_at_or_below(self, node: TreeNode, pattern: Pattern) -> set[Valuation]:
+        key = (id(node), pattern)
+        cached = self._below.get(key)
+        if cached is not None:
+            return cached
+        result = set(self.match_at(node, pattern))
+        for child in node.children:
+            result |= self._match_at_or_below(child, pattern)
+        self._below[key] = result
+        return result
+
+    def _match_sequence(
+        self, children: tuple[TreeNode, ...], sequence: Sequence
+    ) -> set[Valuation]:
+        """Valuations under which the sequence matches among *children*."""
+        result: set[Valuation] = set()
+        for start in range(len(children)):
+            result |= self._match_sequence_from(children, start, sequence, 0)
+        return result
+
+    def _match_sequence_from(
+        self,
+        children: tuple[TreeNode, ...],
+        position: int,
+        sequence: Sequence,
+        index: int,
+    ) -> set[Valuation]:
+        """Match ``sequence.elements[index:]`` with element *index* at *position*."""
+        here = self.match_at(children[position], sequence.elements[index])
+        if not here or index == len(sequence.elements) - 1:
+            return here
+        connector = sequence.connectors[index]
+        if connector == "next":
+            if position + 1 >= len(children):
+                return set()
+            rest = self._match_sequence_from(children, position + 1, sequence, index + 1)
+            return _join(here, rest)
+        # following-sibling: any strictly later position
+        result: set[Valuation] = set()
+        for later in range(position + 1, len(children)):
+            rest = self._match_sequence_from(children, later, sequence, index + 1)
+            if rest:
+                result |= _join(here, rest)
+        return result
+
+
+def find_matches(pattern: Pattern, root: TreeNode) -> list[dict[Var, object]]:
+    """All valuations under which ``(T, root) |= pattern``, as dicts.
+
+    Every returned dict assigns all of ``pattern.variables()``.
+    """
+    matcher = _Matcher()
+    return [dict(valuation) for valuation in matcher.match_at(root, pattern)]
+
+
+def find_matches_anywhere(pattern: Pattern, root: TreeNode) -> list[dict[Var, object]]:
+    """All valuations matching *pattern* at the root or any descendant."""
+    matcher = _Matcher()
+    return [dict(v) for v in matcher._match_at_or_below(root, pattern)]
+
+
+def matches_at_root(pattern: Pattern, root: TreeNode) -> bool:
+    """``T |= pi`` for some valuation (Boolean satisfaction at the root)."""
+    return bool(_Matcher().match_at(root, pattern))
+
+
+def evaluate(pattern: Pattern, root: TreeNode) -> set[tuple]:
+    """The answer set ``pi(T)``: tuples over ``pattern.variables()`` order."""
+    variables = pattern.variables()
+    return {
+        tuple(valuation[var] for var in variables)
+        for valuation in find_matches(pattern, root)
+    }
+
+
+def holds(pattern: Pattern, root: TreeNode, assignment: dict[Var, object]) -> bool:
+    """``T |= pi(a)``: does the pattern match under (an extension of) *assignment*?
+
+    Variables not mentioned in *assignment* are existential.
+    """
+    return matches_at_root(pattern.substitute(assignment), root)

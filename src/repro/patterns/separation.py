@@ -1,0 +1,85 @@
+"""The paper's Section 9 "technical problem": pattern separation.
+
+    Given a DTD ``D`` and two sets of patterns ``P+`` and ``P-``, can we
+    find a tree ``T |= D`` that matches all the patterns in ``P+`` and
+    none in ``P-``?
+
+The paper notes this problem underlies most of its complexity gaps and
+pins it between NP-hardness and EXPTIME.  For *structural* matching (data
+values free — the regime of every comparison-free result) the closure
+automaton answers it directly: one deterministic automaton tracks all
+patterns of ``P+ ∪ P-`` at once, so the question is reachability of a
+conforming root state whose satisfaction set contains ``P+`` and avoids
+``P-`` — the EXPTIME upper bound, implemented.
+
+Pattern containment over a DTD is the special case
+``P+ = {p1}, P- = {p2}`` being unseparable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.patterns.ast import Pattern
+from repro.xmlmodel.dtd import DTD
+from repro.xmlmodel.tree import TreeNode
+
+
+def find_separating_tree(
+    dtd: DTD,
+    positives: Iterable[Pattern],
+    negatives: Iterable[Pattern],
+) -> TreeNode | None:
+    """A conforming tree matching all *positives* and no *negatives*, or None.
+
+    Exact for structural satisfaction: patterns may carry variables (their
+    arity constrains, their values do not — decorate the witness freely),
+    but constants are not supported here.
+    """
+    # imported here: repro.automata depends on repro.patterns.ast, so a
+    # top-level import would be circular
+    from repro.automata.dtd_automaton import DTDAutomaton
+    from repro.automata.duta import ProductAutomaton, find_accepted
+    from repro.automata.pattern_automaton import PatternClosureAutomaton
+
+    positives = list(positives)
+    negatives = list(negatives)
+    patterns = positives + negatives
+    extra = frozenset(
+        label for pattern in patterns for label in pattern.labels_used()
+    )
+    closure = PatternClosureAutomaton(
+        patterns, extra_labels=dtd.labels | extra, arity_of=dtd.arity
+    )
+    dtd_automaton = DTDAutomaton(dtd, extra_labels=extra)
+
+    def separated(state) -> bool:
+        if not dtd_automaton.is_accepting(state[0]):
+            return False
+        sat = state[1][0]
+        return all(p in sat for p in positives) and not any(
+            p in sat for p in negatives
+        )
+
+    product = ProductAutomaton([dtd_automaton, closure], predicate=separated)
+    found = find_accepted(
+        product,
+        prune=lambda state: not state[0][1],
+        prune_horizontal=lambda label, h: dtd_automaton.horizontal_dead(h[0]),
+    )
+    if found is None:
+        return None
+    return dtd_automaton.decorate(found[1])
+
+
+def pattern_contained(dtd: DTD, smaller: Pattern, larger: Pattern) -> bool:
+    """Structural containment over *dtd*: every conforming tree matching
+    *smaller* also matches *larger*."""
+    return find_separating_tree(dtd, [smaller], [larger]) is None
+
+
+def patterns_equivalent(dtd: DTD, left: Pattern, right: Pattern) -> bool:
+    """Structural equivalence of two patterns over *dtd*."""
+    return pattern_contained(dtd, left, right) and pattern_contained(
+        dtd, right, left
+    )

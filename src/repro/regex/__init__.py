@@ -1,0 +1,53 @@
+"""Regular expressions and finite word automata.
+
+This subpackage is the horizontal-language substrate of the library: DTD
+productions are regular expressions over element types, and the horizontal
+languages of unranked tree automata are regular languages over automaton
+states.  It provides
+
+* a regex AST (:mod:`repro.regex.ast`) with the operators used by DTDs
+  (concatenation, union, ``*``, ``+``, ``?``, epsilon),
+* a parser for the DTD production syntax (:mod:`repro.regex.parser`),
+* Glushkov-construction NFAs with product/union/emptiness/membership
+  (:mod:`repro.regex.nfa`),
+* determinization, complementation and minimization
+  (:mod:`repro.regex.dfa`).
+"""
+
+from repro.regex.ast import (
+    Regex,
+    Epsilon,
+    Empty,
+    Symbol,
+    Concat,
+    Union,
+    Star,
+    Plus,
+    Optional,
+    EPSILON,
+    EMPTY,
+    concat,
+    union,
+)
+from repro.regex.parser import parse_regex
+from repro.regex.nfa import NFA
+from repro.regex.dfa import DFA
+
+__all__ = [
+    "Regex",
+    "Epsilon",
+    "Empty",
+    "Symbol",
+    "Concat",
+    "Union",
+    "Star",
+    "Plus",
+    "Optional",
+    "EPSILON",
+    "EMPTY",
+    "concat",
+    "union",
+    "parse_regex",
+    "NFA",
+    "DFA",
+]

@@ -1,0 +1,39 @@
+"""Gadgets behind the undecidability results (Theorem 5.4).
+
+Consistency becomes undecidable as soon as one navigation feature beyond
+the child axis meets one data-comparison feature.  The proofs (in the
+paper's full version) reduce from Post's Correspondence Problem; this
+package ships the ingredients and demonstrates, through its tests, *why*
+the frontier collapses:
+
+* :class:`~repro.undecidability.pcp.PCPInstance` with a bounded solver;
+* the *value-functionality gadget*: stds with ``=`` and an unsatisfiable
+  target let a mapping forbid two nodes from sharing a key — positive
+  patterns gain a limited but crucial form of negation;
+* the *equality-chain gadget*: with ``↓*`` (or ``→``) plus ``=``, a
+  mapping relates unboundedly distant positions through chained value
+  equalities, which is how a reduction synchronizes the two PCP words;
+* the *rigid-collector gadget*: a rigid (multiplicity-1) target position
+  forces all exported values to coincide, giving a universal quantifier
+  over data values.
+
+A full machine-checked reduction is out of scope because the paper's text
+only states the theorem (DESIGN.md, substitution 3); the bounded searches
+of :mod:`repro.consistency.bounded` are the corresponding semi-decision
+procedures, and ``benchmarks/bench_fig1_cons_data.py`` measures their
+unbounded-growth behaviour on the gadget families.
+"""
+
+from repro.undecidability.pcp import PCPInstance
+from repro.undecidability.gadgets import (
+    equality_chain_gadget,
+    rigid_collector_gadget,
+    value_functionality_gadget,
+)
+
+__all__ = [
+    "PCPInstance",
+    "value_functionality_gadget",
+    "equality_chain_gadget",
+    "rigid_collector_gadget",
+]

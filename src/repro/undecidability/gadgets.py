@@ -1,0 +1,68 @@
+"""The mapping gadgets that power the Theorem 5.4 reductions.
+
+Each constructor returns a :class:`SchemaMapping` whose consistency
+behaviour demonstrates one capability that data comparisons add to
+patterns; the tests (``tests/test_undecidability.py``) verify the claimed
+behaviour with the library's own decision procedures.
+"""
+
+from __future__ import annotations
+
+from repro.mappings.mapping import SchemaMapping
+
+
+def value_functionality_gadget() -> SchemaMapping:
+    """Keys must determine values: ``=`` plus a failing target is negation.
+
+    Source: a set of ``entry(key, value)`` pairs.  The std fires whenever
+    two entries share a key but differ in value, demanding an impossible
+    target — so the mapping's solutions are exactly the sources where
+    ``key -> value`` is a function.  Positive patterns alone cannot say
+    this; it is the first brick of every PCP reduction (tile/position
+    tables must be functional).
+    """
+    return SchemaMapping.parse(
+        "r -> entry*\nentry(key, value)",
+        "t -> ok?",
+        ["r[entry(k, v1), entry(k, v2)], v1 != v2 -> t[zzz]"],
+    )
+
+
+def equality_chain_gadget() -> SchemaMapping:
+    """Chained equalities relate unboundedly distant positions (``↓*`` + ``=``).
+
+    Source: a linked list ``cell(id, next)`` nested by depth.  The stds
+    enforce: (1) every cell's ``next`` is realized by a cell strictly
+    below it, and (2) ids never repeat at different depths.  Together they
+    force every conforming source to encode one faithful, finite, acyclic
+    chain — the backbone a PCP reduction uses to lay out a candidate
+    solution word of unbounded length.  This is exactly the regime where
+    witness sizes cannot be bounded (the mapping is consistent, but its
+    witnesses can be required to be arbitrarily deep by strengthening the
+    DTD), so only semi-decision procedures exist.
+    """
+    return SchemaMapping.parse(
+        "r -> cell\ncell(id, next) -> cell?",
+        "t -> ok?",
+        [
+            # distinct cells never share an id (ids are positions)
+            "r//cell(i, n1)[//cell(i, n2)] -> t[zzz]",
+            # a non-terminated link must be realized below
+            "r//cell(i, n)[cell(m, k)], m != n -> t[zzz]",
+        ],
+    )
+
+
+def rigid_collector_gadget() -> SchemaMapping:
+    """A rigid target position universally quantifies over exported values.
+
+    Every ``item`` value must equal the value of the single ``summary``
+    node — so solutions exist exactly for sources whose items all agree.
+    This is the counting/collection mechanism that makes ABSCONS(⇓) hard
+    (Section 6) and that reductions use to compare whole value sets.
+    """
+    return SchemaMapping.parse(
+        "r -> item*\nitem(v)",
+        "t -> summary\nsummary(w)",
+        ["r[item(v)] -> t[summary(v)]"],
+    )

@@ -1,0 +1,78 @@
+"""Post's Correspondence Problem: instances and a bounded solver.
+
+PCP is the canonical undecidable problem behind Theorem 5.4.  An instance
+is a list of tiles ``(u_i, v_i)`` over an alphabet; a solution is a
+non-empty index sequence ``i_1 ... i_k`` with
+``u_{i_1} ... u_{i_k} = v_{i_1} ... v_{i_k}``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PCPInstance:
+    """A PCP instance: tiles of (top word, bottom word)."""
+
+    tiles: tuple[tuple[str, str], ...]
+
+    @staticmethod
+    def of(*tiles: tuple[str, str]) -> "PCPInstance":
+        return PCPInstance(tuple(tiles))
+
+    def check(self, sequence: list[int] | tuple[int, ...]) -> bool:
+        """Is *sequence* a solution?"""
+        if not sequence:
+            return False
+        top = "".join(self.tiles[i][0] for i in sequence)
+        bottom = "".join(self.tiles[i][1] for i in sequence)
+        return top == bottom
+
+    def solve(self, max_length: int) -> tuple[int, ...] | None:
+        """Breadth-first search for a solution of at most *max_length* tiles.
+
+        The search state is the outstanding *overhang* (the suffix by
+        which one word leads the other); termination for a fixed bound is
+        guaranteed, but no bound works for every instance — that is PCP's
+        undecidability, inherited by CONS(↓*, =).
+        """
+        # state: (overhang string, +1 if top leads / -1 if bottom leads)
+        start_states: deque[tuple[tuple[int, ...], str, int]] = deque()
+        for index, (top, bottom) in enumerate(self.tiles):
+            if top.startswith(bottom):
+                start_states.append(((index,), top[len(bottom):], 1))
+            elif bottom.startswith(top):
+                start_states.append(((index,), bottom[len(top):], -1))
+        seen: set[tuple[str, int, int]] = set()
+        queue = start_states
+        while queue:
+            sequence, overhang, leader = queue.popleft()
+            if not overhang:
+                return sequence
+            if len(sequence) >= max_length:
+                continue
+            key = (overhang, leader, len(sequence))
+            if key in seen:
+                continue
+            seen.add(key)
+            for index, (top, bottom) in enumerate(self.tiles):
+                if leader == 1:
+                    lead, follow = overhang + top, bottom
+                else:
+                    lead, follow = overhang + bottom, top
+                if lead.startswith(follow):
+                    rest = lead[len(follow):]
+                    queue.append((sequence + (index,), rest, leader))
+                elif follow.startswith(lead):
+                    rest = follow[len(lead):]
+                    queue.append((sequence + (index,), rest, -leader))
+        return None
+
+
+#: A classic solvable instance: solution (0, 1, 2) or similar.
+SOLVABLE_EXAMPLE = PCPInstance.of(("a", "baa"), ("ab", "aa"), ("bba", "bb"))
+
+#: An instance with no solution (top words always longer).
+UNSOLVABLE_EXAMPLE = PCPInstance.of(("ab", "a"), ("ba", "b"))

@@ -1,0 +1,139 @@
+"""Data values, variables, nulls and Skolem terms.
+
+The paper's trees carry *data values* on attributes; patterns carry
+*variables* that range over data values; target sides of stds may carry
+*Skolem terms* (Section 8).  This module defines the term language shared by
+patterns, stds and the composition machinery.
+
+Data values themselves are ordinary hashable Python objects (strings or
+ints in practice).  Terms are:
+
+* :class:`Var` -- a named variable,
+* :class:`Const` -- a wrapped data value appearing literally in a pattern,
+* :class:`SkolemTerm` -- ``f(t1, ..., tn)`` with a function name and
+  argument terms,
+* :class:`Null` -- a labelled null (fresh invented value), produced when
+  existential variables or Skolem terms are instantiated while building
+  canonical solutions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+
+@dataclass(frozen=True, slots=True)
+class Var:
+    """A variable, identified by name."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Const:
+    """A literal data value used inside a pattern."""
+
+    value: object
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class SkolemTerm:
+    """An applied Skolem function ``f(t1, ..., tn)``.
+
+    Arguments are themselves terms, so nested terms such as ``f(g(x), y)``
+    arising from composition are representable.
+    """
+
+    function: str
+    args: tuple["Term", ...]
+
+    def __str__(self) -> str:
+        return f"{self.function}({', '.join(str(a) for a in self.args)})"
+
+
+@dataclass(frozen=True, slots=True)
+class Null:
+    """A labelled null: a fresh value distinct from all data values.
+
+    Two nulls are equal iff their labels are equal, which is exactly the
+    semantics needed for Skolem functions (same arguments, same null).
+    """
+
+    label: object
+
+    def __str__(self) -> str:
+        return f"⊥{self.label}"
+
+
+Term = Union[Var, Const, SkolemTerm]
+
+
+def term_variables(term: Term) -> Iterator[Var]:
+    """Yield every variable occurring in *term* (depth-first, with repeats)."""
+    if isinstance(term, Var):
+        yield term
+    elif isinstance(term, SkolemTerm):
+        for arg in term.args:
+            yield from term_variables(arg)
+
+
+def term_functions(term: Term) -> Iterator[str]:
+    """Yield every Skolem function name occurring in *term* (with repeats)."""
+    if isinstance(term, SkolemTerm):
+        yield term.function
+        for arg in term.args:
+            yield from term_functions(arg)
+
+
+def substitute(term: Term, assignment: dict[Var, object]) -> object:
+    """Evaluate *term* under a variable *assignment*.
+
+    Variables are replaced by their assigned data values; Skolem terms are
+    evaluated to :class:`Null` values labelled by the function name and the
+    evaluated arguments, which realizes the "same arguments, same value"
+    semantics of Skolem functions.  Raises :class:`KeyError` on unassigned
+    variables.
+    """
+    if isinstance(term, Var):
+        return assignment[term]
+    if isinstance(term, Const):
+        return term.value
+    if isinstance(term, SkolemTerm):
+        evaluated = tuple(substitute(a, assignment) for a in term.args)
+        return Null((term.function, evaluated))
+    raise TypeError(f"not a term: {term!r}")
+
+
+def is_ground(term: Term) -> bool:
+    """Return True iff *term* contains no variables."""
+    return next(term_variables(term), None) is None
+
+
+class FreshVariableFactory:
+    """Produces variables guaranteed fresh wrt a set of reserved names."""
+
+    def __init__(self, reserved: set[str] | None = None, prefix: str = "v"):
+        self._reserved = set(reserved or ())
+        self._prefix = prefix
+        self._counter = 0
+
+    def fresh(self, hint: str | None = None) -> Var:
+        """Return a new :class:`Var` whose name collides with nothing seen."""
+        base = hint or self._prefix
+        while True:
+            self._counter += 1
+            name = f"{base}_{self._counter}"
+            if name not in self._reserved:
+                self._reserved.add(name)
+                return Var(name)
+
+    def reserve(self, name: str) -> None:
+        """Mark *name* as taken so it is never returned by :meth:`fresh`."""
+        self._reserved.add(name)

@@ -1,0 +1,35 @@
+"""Brute-force machinery for cross-validating the real algorithms.
+
+Everything in this package is deliberately naive: it enumerates trees
+conforming to a DTD up to a size bound over a small data-value domain and
+decides consistency / membership / composition questions by exhaustive
+search.  The test suite compares every polished algorithm against these
+oracles on small random instances — which is how a reproduction of a
+theory paper earns trust in its decision procedures.
+"""
+
+from repro.verification.enumeration import (
+    count_trees,
+    enumerate_label_trees,
+    enumerate_trees,
+)
+from repro.verification.oracle import (
+    oracle_composition_contains,
+    oracle_counterexample,
+    oracle_has_solution,
+    oracle_is_absolutely_consistent,
+    oracle_is_consistent,
+    oracle_solutions,
+)
+
+__all__ = [
+    "enumerate_label_trees",
+    "enumerate_trees",
+    "count_trees",
+    "oracle_has_solution",
+    "oracle_solutions",
+    "oracle_is_consistent",
+    "oracle_is_absolutely_consistent",
+    "oracle_counterexample",
+    "oracle_composition_contains",
+]

@@ -1,0 +1,127 @@
+"""Brute-force oracles for the decision problems of the paper.
+
+Each oracle enumerates all conforming trees up to explicit size bounds over
+an explicit finite value domain and decides by exhaustive search.  They are
+*complete relative to their bounds*: tests pair them with instances whose
+relevant witnesses provably fit.
+
+Domain guidance (used throughout the test suite):
+
+* consistency without data comparisons — a single value ``(0,)`` suffices
+  (the paper's Theorem 5.2 observation: triggers are structural, and equal
+  values satisfy every equality);
+* with comparisons — take as many values as there are variables in the
+  mapping, plus one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.mappings.mapping import SchemaMapping
+from repro.mappings.membership import is_solution
+from repro.mappings.skolem import is_skolem_solution
+from repro.verification.enumeration import enumerate_trees
+from repro.xmlmodel.tree import TreeNode
+
+
+def oracle_has_solution(
+    mapping: SchemaMapping,
+    source_tree: TreeNode,
+    max_target_size: int,
+    domain: Iterable[object],
+) -> bool:
+    """Does ``SOL_M(T)`` contain a tree of size <= bound over *domain*?"""
+    for candidate in enumerate_trees(mapping.target_dtd, max_target_size, domain):
+        if is_solution(mapping, source_tree, candidate, check_conformance=False):
+            return True
+    return False
+
+
+def oracle_solutions(
+    mapping: SchemaMapping,
+    source_tree: TreeNode,
+    max_target_size: int,
+    domain: Iterable[object],
+) -> Iterator[TreeNode]:
+    """All bounded solutions for *source_tree* (for inspection in tests)."""
+    for candidate in enumerate_trees(mapping.target_dtd, max_target_size, domain):
+        if is_solution(mapping, source_tree, candidate, check_conformance=False):
+            yield candidate
+
+
+def oracle_is_consistent(
+    mapping: SchemaMapping,
+    max_source_size: int,
+    max_target_size: int,
+    domain: Iterable[object],
+) -> bool:
+    """Is some bounded (T, T') pair in ``[[M]]``?"""
+    domain = tuple(domain)
+    for source in enumerate_trees(mapping.source_dtd, max_source_size, domain):
+        if oracle_has_solution(mapping, source, max_target_size, domain):
+            return True
+    return False
+
+
+def oracle_is_absolutely_consistent(
+    mapping: SchemaMapping,
+    max_source_size: int,
+    max_target_size: int,
+    source_domain: Iterable[object],
+    extra_target_values: int = 2,
+) -> bool:
+    """Does every bounded source tree have a bounded solution?
+
+    Target values may copy source values or be fresh nulls; the oracle
+    offers the source domain plus *extra_target_values* fresh symbols.
+    """
+    source_domain = tuple(source_domain)
+    target_domain = source_domain + tuple(
+        f"#null{i}" for i in range(extra_target_values)
+    )
+    for source in enumerate_trees(mapping.source_dtd, max_source_size, source_domain):
+        if not oracle_has_solution(mapping, source, max_target_size, target_domain):
+            return False
+    return True
+
+
+def oracle_counterexample(
+    mapping: SchemaMapping,
+    max_source_size: int,
+    max_target_size: int,
+    source_domain: Iterable[object],
+    extra_target_values: int = 2,
+) -> TreeNode | None:
+    """A bounded source tree with no bounded solution, if any."""
+    source_domain = tuple(source_domain)
+    target_domain = source_domain + tuple(
+        f"#null{i}" for i in range(extra_target_values)
+    )
+    for source in enumerate_trees(mapping.source_dtd, max_source_size, source_domain):
+        if not oracle_has_solution(mapping, source, max_target_size, target_domain):
+            return source
+    return None
+
+
+def oracle_composition_contains(
+    m12: SchemaMapping,
+    m23: SchemaMapping,
+    source_tree: TreeNode,
+    final_tree: TreeNode,
+    max_mid_size: int,
+    domain: Iterable[object],
+    skolem: bool = False,
+) -> bool:
+    """Is ``(T1, T3)`` in ``[[M12]] o [[M23]]`` with a bounded intermediate?"""
+    check = is_skolem_solution if skolem else is_solution
+    if not m12.source_dtd.conforms(source_tree):
+        return False
+    if not m23.target_dtd.conforms(final_tree):
+        return False
+    for middle in enumerate_trees(m12.target_dtd, max_mid_size, domain):
+        if check(m12, source_tree, middle, check_conformance=False) and check(
+            m23, middle, final_tree, check_conformance=False
+        ):
+            return True
+    return False

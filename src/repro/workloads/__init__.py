@@ -1,0 +1,34 @@
+"""Workload generators: random instances and the benchmark scaling families.
+
+* :mod:`repro.workloads.random_instances` — random nested-relational DTDs,
+  random conforming trees, random fully-specified mappings (seeded,
+  reproducible).
+* :mod:`repro.workloads.families` — the parameterized *hard-instance
+  families* behind every figure benchmark: each function documents which
+  experiment id of DESIGN.md it drives.
+* :mod:`repro.workloads.university` — the paper's running example (the
+  professors/courses scenario of the Introduction) as ready-made DTDs,
+  mappings and document generators.
+"""
+
+from repro.workloads.random_instances import (
+    random_conforming_tree,
+    random_fully_specified_mapping,
+    random_nested_relational_dtd,
+)
+from repro.workloads.university import (
+    university_mapping,
+    university_source_dtd,
+    university_source_document,
+    university_target_dtd,
+)
+
+__all__ = [
+    "random_nested_relational_dtd",
+    "random_conforming_tree",
+    "random_fully_specified_mapping",
+    "university_source_dtd",
+    "university_target_dtd",
+    "university_mapping",
+    "university_source_document",
+]

@@ -1,0 +1,275 @@
+"""Parameterized hard-instance families for the figure benchmarks.
+
+Each function documents the experiment id (DESIGN.md §4) it drives and the
+complexity phenomenon it is built to expose.  Families come in consistent
+and inconsistent variants where the decision answer matters, so benchmarks
+exercise both outcomes.
+"""
+
+from __future__ import annotations
+
+from repro.mappings.mapping import SchemaMapping
+from repro.mappings.skolem import SkolemMapping
+from repro.xmlmodel.tree import TreeNode
+
+
+# ---------------------------------------------------------------------------
+# F1.1 / F1.3: CONS over arbitrary DTDs (EXPTIME via automata products)
+# ---------------------------------------------------------------------------
+
+
+def cons_arbitrary_family(n: int, consistent: bool = True) -> SchemaMapping:
+    """``n`` independent binary choices on both sides (experiment F1.1).
+
+    Source: ``r -> x1, ..., xn`` with ``xi -> ai | bi``; each choice is
+    reported by an std into a matching target choice.  The closure
+    automata track ``2n`` patterns at once, so their state spaces — and
+    the consistency check — grow exponentially with ``n``, which is the
+    EXPTIME-completeness of CONS(⇓) made visible.  The inconsistent
+    variant adds an always-triggered std with an unsatisfiable target.
+    """
+    source_lines = ["r -> " + ", ".join(f"x{i}" for i in range(n))]
+    target_lines = ["t -> " + ", ".join(f"y{i}" for i in range(n))]
+    stds = []
+    for i in range(n):
+        source_lines.append(f"x{i} -> a{i} | b{i}")
+        target_lines.append(f"y{i} -> c{i} | d{i}")
+        stds.append(f"r[x{i}[a{i}]] -> t[y{i}[c{i}]]")
+        stds.append(f"r[x{i}[b{i}]] -> t[y{i}[d{i}]]")
+    if not consistent:
+        stds.append(f"r[x0] -> t[y0[c0], y0[d0]]")  # c0 and d0 exclude each other
+    return SchemaMapping.parse("\n".join(source_lines), "\n".join(target_lines), stds)
+
+
+# ---------------------------------------------------------------------------
+# F1.2: CONS(⇓) over nested-relational DTDs (PTIME)
+# ---------------------------------------------------------------------------
+
+
+def cons_nested_family(n: int, consistent: bool = True) -> SchemaMapping:
+    """``n`` optional source relations copied into ``n`` target relations."""
+    source_lines = ["r -> " + ", ".join(f"a{i}*" for i in range(n))]
+    source_lines += [f"a{i}(v)" for i in range(n)]
+    target_lines = ["t -> " + ", ".join(f"b{i}*" for i in range(n))]
+    target_lines += [f"b{i}(w)" for i in range(n)]
+    stds = [f"r[a{i}(x)] -> t[b{i}(x)]" for i in range(n)]
+    if not consistent:
+        # force a trigger whose target label does not exist
+        parts = ["a0+"] + [f"a{i}*" for i in range(1, n)]
+        source_lines[0] = "r -> " + ", ".join(parts)
+        stds.append("r[a0(x)] -> t[zzz(x)]")
+    return SchemaMapping.parse("\n".join(source_lines), "\n".join(target_lines), stds)
+
+
+# ---------------------------------------------------------------------------
+# F1.4: CONS(⇓, →) over nested-relational DTDs (PSPACE-hard flavour)
+# ---------------------------------------------------------------------------
+
+
+def cons_next_sibling_family(n: int, consistent: bool = True) -> SchemaMapping:
+    """Sibling-order chains of length ``n`` over a starred production.
+
+    The horizontal NFAs of the closure automaton must track all chain
+    prefixes simultaneously; state spaces grow quickly with ``n``, showing
+    why adding ``→`` destroys the nested-relational PTIME result.
+    """
+    if n < 2:
+        raise ValueError("the next-sibling family needs n >= 2")
+    source = "r -> a*\na(v)"
+    target_order = ", ".join(f"c{i}" for i in range(n))
+    target = f"t -> ({target_order})?"
+    chain = " -> ".join("a" for __ in range(n))
+    target_chain = " -> ".join(f"c{i}" for i in range(n))
+    if consistent:
+        stds = [f"r[{chain}] -> t[{target_chain}]"]
+    else:
+        # exactly n a's force the trigger; the reversed target chain is
+        # unsatisfiable under the fixed target order
+        reversed_chain = " -> ".join(f"c{i}" for i in reversed(range(n)))
+        stds = [f"r[{chain}] -> t[{reversed_chain}]"]
+        source = "r -> " + ", ".join("a" for __ in range(n)) + "\na(v)"
+    return SchemaMapping.parse(source, target, stds)
+
+
+# ---------------------------------------------------------------------------
+# F1.5 / F1.7: undecidable cells — semi-decision search effort
+# ---------------------------------------------------------------------------
+
+
+def distinct_values_family(n: int, consistent: bool = True) -> SchemaMapping:
+    """Witnesses need ``n`` pairwise distinct data values (experiments F1.5/F1.7).
+
+    The bounded search must enumerate value assignments over a domain of
+    size ``n``, so its cost explodes with ``n`` — the visible face of the
+    undecidability of CONS with data comparisons: no algorithm can bound
+    the witness search in general.
+    """
+    source_lines = ["r -> " + ", ".join(f"a{i}" for i in range(n))]
+    source_lines += [f"a{i}(v)" for i in range(n)]
+    target_lines = ["t -> c?", "c(w)"]
+    stds = []
+    # punish every equal pair: witnesses must use pairwise distinct values
+    for i in range(n):
+        for j in range(i + 1, n):
+            stds.append(f"r[a{i}(x), a{j}(y)], x = y -> t[zzz]")
+    variables = [f"x{i}" for i in range(n)]
+    bindings = ", ".join(f"a{i}({variables[i]})" for i in range(n))
+    conditions = ", ".join(
+        f"{variables[i]} != {variables[j]}"
+        for i in range(n)
+        for j in range(i + 1, n)
+    )
+    target = "t[c(x0)]" if consistent else "t[zzz]"
+    if conditions:
+        stds.append(f"r[{bindings}], {conditions} -> {target}")
+    else:
+        stds.append(f"r[{bindings}] -> {target}")
+    return SchemaMapping.parse("\n".join(source_lines), "\n".join(target_lines), stds)
+
+
+# ---------------------------------------------------------------------------
+# F1.6: CONS(⇓, ∼) over nested-relational DTDs (NEXPTIME flavour)
+# ---------------------------------------------------------------------------
+
+
+def equality_case_split_family(n: int, consistent: bool = True) -> SchemaMapping:
+    """``n`` value comparisons whose case split the search must explore."""
+    source_lines = ["r -> " + ", ".join(f"a{i}" for i in range(n))]
+    source_lines += [f"a{i}(v)" for i in range(n)]
+    target_lines = ["t -> " + ", ".join(f"c{i}?" for i in range(n))]
+    target_lines += [f"c{i}(w)" for i in range(n)]
+    stds = []
+    for i in range(n):
+        j = (i + 1) % n
+        if consistent:
+            stds.append(f"r[a{i}(x), a{j}(y)], x = y -> t[c{i}(x)]")
+            stds.append(f"r[a{i}(x), a{j}(y)], x != y -> t[c{i}(y)]")
+        else:
+            # one of the two branches fires whatever the values are
+            stds.append(f"r[a{i}(x), a{j}(y)], x = y -> t[zzz]")
+            stds.append(f"r[a{i}(x), a{j}(y)], x != y -> t[zzz]")
+    return SchemaMapping.parse("\n".join(source_lines), "\n".join(target_lines), stds)
+
+
+# ---------------------------------------------------------------------------
+# F1.8 – F1.10: absolute consistency families
+# ---------------------------------------------------------------------------
+
+
+def abscons_sm0_family(n: int, consistent: bool = True) -> SchemaMapping:
+    """SM° absolute consistency over ``n`` optional triggers (Pi_2^p, F1.8)."""
+    source_lines = ["r -> " + ", ".join(f"a{i}?" for i in range(n))]
+    target_lines = ["t -> " + ", ".join(f"c{i}?" for i in range(n))]
+    stds = [f"r[a{i}] -> t[c{i}]" for i in range(n)]
+    if not consistent:
+        stds.append("r[a0] -> t[zzz]")
+    return SchemaMapping.parse(
+        "\n".join(source_lines), "\n".join(target_lines), stds
+    ).strip_values()
+
+
+def abscons_ptime_family(n: int, consistent: bool = True) -> SchemaMapping:
+    """Fully-specified nested-relational ABSCONS instances (PTIME, F1.9).
+
+    The inconsistent variant writes a repeatable source value into a rigid
+    target position (the paper's Section 6 counting example, scaled).
+    """
+    source_lines = ["r -> " + ", ".join(f"a{i}*" for i in range(n))]
+    source_lines += [f"a{i}(v)" for i in range(n)]
+    if consistent:
+        target_lines = ["t -> " + ", ".join(f"b{i}*" for i in range(n))]
+    else:
+        target_lines = ["t -> " + ", ".join(
+            ("b0" if i == 0 else f"b{i}*") for i in range(n)
+        )]
+    target_lines += [f"b{i}(w)" for i in range(n)]
+    stds = [f"r[a{i}(x)] -> t[b{i}(x)]" for i in range(n)]
+    return SchemaMapping.parse("\n".join(source_lines), "\n".join(target_lines), stds)
+
+
+def abscons_wildcard_family(n: int, consistent: bool = True) -> SchemaMapping:
+    """F1.9 plus a wildcard: outside the PTIME class (NEXPTIME-hard, F1.10)."""
+    mapping = abscons_ptime_family(n, consistent)
+    extra = "r[_(x)] -> t[b0(x)]" if not consistent else "r[_(x)] -> t[b1(x)]"
+    if n < 2:
+        raise ValueError("wildcard family needs n >= 2")
+    return SchemaMapping(
+        mapping.source_dtd, mapping.target_dtd, list(mapping.stds) + [extra]
+    )
+
+
+# ---------------------------------------------------------------------------
+# F2.x: evaluation / membership / composition scaling
+# ---------------------------------------------------------------------------
+
+
+def flat_document(n_items: int, n_values: int = 8, label: str = "a") -> TreeNode:
+    """A flat conforming document ``r[a(v1), ..., a(vn)]``."""
+    return TreeNode(
+        "r",
+        (),
+        tuple(TreeNode(label, (i % n_values,)) for i in range(n_items)),
+    )
+
+
+def membership_mapping(k_variables: int) -> SchemaMapping:
+    """One std with ``k`` variables (combined-complexity driver, F2.4)."""
+    bindings = ", ".join(f"a(x{i})" for i in range(k_variables))
+    outputs = ", ".join(f"b(x{i})" for i in range(k_variables))
+    return SchemaMapping.parse(
+        "r -> a*\na(v)",
+        "t -> b*\nb(w)",
+        [f"r[{bindings}] -> t[{outputs}]"],
+    )
+
+
+def target_document(n_items: int, n_values: int = 8) -> TreeNode:
+    return TreeNode(
+        "t",
+        (),
+        tuple(TreeNode("b", (i % n_values,)) for i in range(n_items)),
+    )
+
+
+def composition_choice_family(
+    n: int,
+) -> tuple[SchemaMapping, SchemaMapping, TreeNode, TreeNode]:
+    """``n``-way middle choice for composition membership (F2.5/F2.6).
+
+    The middle DTD makes ``n`` independent binary choices; deciding
+    ``(T1, T3) ∈ [[M12]] ∘ [[M23]]`` must reason about exponentially many
+    middle shapes.  Returns ``(M12, M23, T1, T3)`` with a positive answer.
+    """
+    d1 = "r -> a*\na(v)"
+    mid_lines = ["m -> " + ", ".join(f"x{i}" for i in range(n))]
+    final_lines = ["t -> " + ", ".join(f"y{i}?" for i in range(n))]
+    stds12 = []
+    stds23 = []
+    for i in range(n):
+        mid_lines.append(f"x{i} -> p{i} | q{i}")
+        stds12.append(f"r[a(v)] -> m[x{i}]")
+        stds23.append(f"m[x{i}[p{i}]] -> t[y{i}]")
+    m12 = SchemaMapping.parse(d1, "\n".join(mid_lines), stds12)
+    m23 = SchemaMapping.parse("\n".join(mid_lines), "\n".join(final_lines), stds23)
+    t1 = flat_document(1)
+    t3 = TreeNode("t", (), tuple(TreeNode(f"y{i}") for i in range(n)))
+    return m12, m23, t1, t3
+
+
+def skolem_copy_chain(n_relations: int, stage: int) -> SkolemMapping:
+    """Stage ``stage`` of an iterated-composition chain (experiment F8.1)."""
+    left = f"s{stage}"
+    right = f"s{stage + 1}"
+    source_lines = [f"{left} -> " + ", ".join(
+        f"{left}rel{i}*" for i in range(n_relations)
+    )]
+    source_lines += [f"{left}rel{i}(v)" for i in range(n_relations)]
+    target_lines = [f"{right} -> " + ", ".join(
+        f"{right}rel{i}*" for i in range(n_relations)
+    )]
+    target_lines += [f"{right}rel{i}(v)" for i in range(n_relations)]
+    stds = [
+        f"{left}[{left}rel{i}(x)] -> {right}[{right}rel{i}(x), {right}rel{(i + 1) % n_relations}(z)]"
+        for i in range(n_relations)
+    ]
+    return SkolemMapping.parse("\n".join(source_lines), "\n".join(target_lines), stds)

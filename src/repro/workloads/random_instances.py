@@ -1,0 +1,434 @@
+"""Seeded random generators for DTDs, trees and mappings.
+
+All functions take a :class:`random.Random` so every workload is
+reproducible from a seed; the benchmark harness prints the seeds it uses.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.errors import XsmError
+from repro.mappings.mapping import SchemaMapping
+from repro.mappings.std import STD
+from repro.patterns.ast import Pattern, Sequence as PatternSequence
+from repro.values import Var
+from repro.xmlmodel.dtd import DTD
+from repro.xmlmodel.tree import TreeNode
+
+MULTIPLICITY_CHOICES = ("1", "?", "*", "+")
+
+
+def random_nested_relational_dtd(
+    rng: random.Random,
+    n_labels: int = 6,
+    max_children: int = 3,
+    max_arity: int = 2,
+    root: str = "r",
+    label_prefix: str = "n",
+    starred_attributes_only: bool = False,
+    multiplicities: tuple[str, ...] = MULTIPLICITY_CHOICES,
+) -> DTD:
+    """A random nested-relational DTD with *n_labels* element types.
+
+    Labels are layered to guarantee non-recursion; each label gets up to
+    *max_children* children from later layers with random multiplicities
+    (drawn from *multiplicities*) and up to *max_arity* attributes.  With
+    ``starred_attributes_only`` the DTD is strictly nested-relational.
+    """
+    labels = [root] + [f"{label_prefix}{i}" for i in range(1, n_labels)]
+    productions: dict[str, str] = {}
+    attributes: dict[str, tuple[str, ...]] = {}
+    starred: set[str] = set()
+    for index, label in enumerate(labels):
+        pool = labels[index + 1:]
+        rng.shuffle(pool)
+        chosen = pool[: rng.randint(0, min(max_children, len(pool)))]
+        parts = []
+        for child in chosen:
+            multiplicity = rng.choice(multiplicities)
+            if multiplicity in ("*", "+"):
+                starred.add(child)
+            parts.append(child + (multiplicity if multiplicity != "1" else ""))
+        productions[label] = ", ".join(parts) if parts else "eps"
+    for label in labels:
+        if label == root:
+            continue
+        if starred_attributes_only and label not in starred:
+            continue
+        arity = rng.randint(0, max_arity)
+        if arity:
+            attributes[label] = tuple(f"at{i}" for i in range(arity))
+    return DTD(root, productions, attributes)
+
+
+def random_conforming_tree(
+    dtd: DTD,
+    rng: random.Random,
+    max_repeat: int = 3,
+    value_pool: Sequence[object] = (0, 1, 2),
+    max_depth: int = 12,
+) -> TreeNode:
+    """A random tree conforming to *dtd* (random walk over the productions).
+
+    Starred children repeat between 0/1 and *max_repeat* times.  Works for
+    nested-relational DTDs (the generic case would need automaton
+    sampling); raises on recursion deeper than *max_depth*.
+    """
+
+    def build(label: str, depth: int) -> TreeNode:
+        if depth > max_depth:
+            raise XsmError("DTD recursion exceeded max_depth while sampling")
+        children: list[TreeNode] = []
+        for child_label, multiplicity in dtd.nested_relational_children(label):
+            if multiplicity == "1":
+                count = 1
+            elif multiplicity == "?":
+                count = rng.randint(0, 1)
+            elif multiplicity == "*":
+                count = rng.randint(0, max_repeat)
+            else:
+                count = rng.randint(1, max_repeat)
+            children.extend(build(child_label, depth + 1) for __ in range(count))
+        attrs = tuple(rng.choice(value_pool) for __ in dtd.attributes[label])
+        return TreeNode(label, attrs, children)
+
+    return build(dtd.root, 0)
+
+
+def _random_pattern_for(
+    dtd: DTD,
+    rng: random.Random,
+    variables: list[Var],
+    branch_probability: float = 0.7,
+) -> Pattern:
+    """A random fully-specified pattern satisfiable against *dtd*."""
+
+    def build(label: str, depth: int) -> Pattern:
+        items = []
+        if depth < 4:
+            for child_label, __ in dtd.nested_relational_children(label):
+                if rng.random() < branch_probability:
+                    items.append(PatternSequence((build(child_label, depth + 1),)))
+        arity = dtd.arity(label)
+        if arity and rng.random() < 0.9:
+            vars_ = tuple(
+                variables[rng.randrange(len(variables))] for __ in range(arity)
+            )
+        else:
+            vars_ = None
+        return Pattern(label, vars_, tuple(items))
+
+    return build(dtd.root, 0)
+
+
+def random_stds_between(
+    rng: random.Random,
+    source_dtd: DTD,
+    target_dtd: DTD,
+    n_stds: int,
+) -> list[STD]:
+    """Random fully-specified stds from *source_dtd* into *target_dtd*.
+
+    Source patterns use each variable exactly once; target patterns reuse
+    the source variables or introduce existentials.
+    """
+    stds = []
+    for __ in range(n_stds):
+        counter = [0]
+
+        def fresh(prefix="x"):
+            counter[0] += 1
+            return Var(f"{prefix}{counter[0]}")
+
+        source_vars: list[Var] = []
+
+        def source_pattern(label: str, depth: int) -> Pattern:
+            items = []
+            if depth < 4:
+                for child_label, __ in source_dtd.nested_relational_children(label):
+                    if rng.random() < 0.7:
+                        items.append(
+                            PatternSequence((source_pattern(child_label, depth + 1),))
+                        )
+            arity = source_dtd.arity(label)
+            vars_ = None
+            if arity:
+                slot_vars = tuple(fresh() for __ in range(arity))
+                source_vars.extend(slot_vars)
+                vars_ = slot_vars
+            return Pattern(label, vars_, tuple(items))
+
+        source = source_pattern(source_dtd.root, 0)
+        target_variables = list(source_vars) or [fresh("z")]
+        existentials = [fresh("z") for __ in range(rng.randint(0, 2))]
+        target = _random_pattern_for(target_dtd, rng, target_variables + existentials)
+        stds.append(STD(source, target))
+    return stds
+
+
+def random_composable_pair(
+    rng: random.Random,
+    n_labels: int = 4,
+    n_stds: int = 2,
+) -> tuple["SkolemMapping", "SkolemMapping"]:
+    """A random pair of mappings in the Theorem 8.2 composable class.
+
+    All three DTDs are strictly nested-relational; the shared middle DTD
+    avoids ``+`` (the compose() implementation restriction).
+    """
+    from repro.mappings.skolem import SkolemMapping
+
+    first = random_nested_relational_dtd(
+        rng, n_labels, root="r", label_prefix="s", starred_attributes_only=True
+    )
+    middle = random_nested_relational_dtd(
+        rng, n_labels, root="m", label_prefix="m",
+        starred_attributes_only=True, multiplicities=("1", "?", "*"),
+    )
+    # compose() requires attribute-carrying middle elements to occur only
+    # under '*'; strip attributes from labels with any rigid occurrence
+    rigid_children = {
+        child
+        for label in middle.labels
+        for child, mult in middle.nested_relational_children(label)
+        if mult in ("1", "?")
+    }
+    if any(middle.arity(label) for label in rigid_children):
+        middle = DTD(
+            middle.root,
+            {label: middle.productions[label] for label in middle.labels},
+            {
+                label: attrs
+                for label, attrs in middle.attributes.items()
+                if attrs and label not in rigid_children
+            },
+        )
+    last = random_nested_relational_dtd(
+        rng, n_labels, root="t", label_prefix="t", starred_attributes_only=True
+    )
+    # keep M12 requirements small: the exhaustive semantic verification of
+    # compose() enumerates middles large enough to merge all of them
+    for __ in range(20):
+        stds12 = random_stds_between(rng, first, middle, n_stds)
+        if sum(std.target.size for std in stds12) <= 4:
+            break
+    m12 = SkolemMapping(first, middle, stds12)
+    m23 = SkolemMapping(middle, last, random_stds_between(rng, middle, last, n_stds))
+    return m12, m23
+
+
+def random_fully_specified_mapping(
+    rng: random.Random,
+    n_stds: int = 3,
+    source_labels: int = 5,
+    target_labels: int = 5,
+    n_variables: int = 3,
+) -> SchemaMapping:
+    """A random mapping with fully-specified stds over nested-relational DTDs.
+
+    Source patterns use each variable at most once (fresh variables per
+    slot); target patterns reuse the source variables or introduce
+    existentials.
+    """
+    source_dtd = random_nested_relational_dtd(
+        rng, source_labels, root="r", label_prefix="s"
+    )
+    target_dtd = random_nested_relational_dtd(
+        rng, target_labels, root="t", label_prefix="t"
+    )
+    stds = []
+    for __ in range(n_stds):
+        counter = [0]
+
+        def fresh(prefix="x"):
+            counter[0] += 1
+            return Var(f"{prefix}{counter[0]}")
+
+        source_vars: list[Var] = []
+
+        def source_pattern(label: str, depth: int) -> Pattern:
+            items = []
+            if depth < 4:
+                for child_label, __ in source_dtd.nested_relational_children(label):
+                    if rng.random() < 0.7:
+                        items.append(
+                            PatternSequence((source_pattern(child_label, depth + 1),))
+                        )
+            arity = source_dtd.arity(label)
+            vars_ = None
+            if arity:
+                slot_vars = tuple(fresh() for __ in range(arity))
+                source_vars.extend(slot_vars)
+                vars_ = slot_vars
+            return Pattern(label, vars_, tuple(items))
+
+        source = source_pattern(source_dtd.root, 0)
+        target_variables = list(source_vars) or [fresh("z")]
+        existentials = [fresh("z") for __ in range(rng.randint(0, 2))]
+        target = _random_pattern_for(
+            target_dtd, rng, target_variables + existentials
+        )
+        stds.append(STD(source, target))
+    return SchemaMapping(source_dtd, target_dtd, stds)
+
+
+# ---------------------------------------------------------------------------
+# arbitrary (non-nested-relational) DTDs and structural mappings
+# ---------------------------------------------------------------------------
+
+
+def random_production(rng: random.Random, symbols: list[str]) -> str:
+    """A small random production over *symbols* (may use , | * + ?)."""
+    if not symbols:
+        return "eps"
+    parts = []
+    for __ in range(rng.randint(1, min(3, len(symbols)))):
+        symbol = rng.choice(symbols)
+        form = rng.random()
+        if form < 0.35:
+            parts.append(symbol)
+        elif form < 0.5:
+            parts.append(symbol + "?")
+        elif form < 0.65:
+            parts.append(symbol + "*")
+        elif form < 0.75:
+            parts.append(symbol + "+")
+        else:
+            other = rng.choice(symbols)
+            parts.append(f"({symbol} | {other})")
+    return ", ".join(parts)
+
+
+def random_arbitrary_dtd(
+    rng: random.Random,
+    n_labels: int = 5,
+    max_arity: int = 1,
+    root: str = "r",
+    label_prefix: str = "n",
+) -> DTD:
+    """A random DTD with disjunctive productions (layered, non-recursive)."""
+    labels = [root] + [f"{label_prefix}{i}" for i in range(1, n_labels)]
+    productions: dict[str, str] = {}
+    attributes: dict[str, tuple[str, ...]] = {}
+    for index, label in enumerate(labels):
+        pool = labels[index + 1:]
+        productions[label] = random_production(rng, pool) if pool else "eps"
+    for label in labels[1:]:
+        arity = rng.randint(0, max_arity)
+        if arity:
+            attributes[label] = tuple(f"at{i}" for i in range(arity))
+    return DTD(root, productions, attributes)
+
+
+def random_tree_from_dtd(
+    dtd: DTD,
+    rng: random.Random,
+    value_pool: Sequence[object] = (0, 1),
+    max_nodes: int = 30,
+) -> TreeNode:
+    """A random conforming tree for an arbitrary (satisfiable) DTD.
+
+    Children words are sampled by a random walk over the production NFA,
+    biased toward accepting states once the node budget runs low (using
+    the DTD's minimal subtree costs to guarantee termination).
+    """
+    costs = dtd.label_costs()
+    if costs[dtd.root] == float("inf"):
+        raise XsmError("cannot sample from an unsatisfiable DTD")
+    budget = [max_nodes]
+
+    def sample_word(label: str) -> tuple[str, ...]:
+        nfa = dtd.production_nfa(label)
+        states = nfa.initial
+        word: list[str] = []
+        while True:
+            can_stop = bool(states & nfa.accepting)
+            options = sorted(
+                {
+                    symbol
+                    for state in states
+                    for symbol in nfa.transitions.get(state, {})
+                    if costs.get(symbol, float("inf")) != float("inf")
+                },
+            )
+            low_budget = budget[0] <= 0 or len(word) >= 4
+            if can_stop and (not options or low_budget or rng.random() < 0.45):
+                return tuple(word)
+            if not options:
+                # dead-ish branch: restart the walk (productions are tiny)
+                states = nfa.initial
+                word = []
+                continue
+            symbol = rng.choice(options)
+            word.append(symbol)
+            states = nfa.step(states, symbol)
+
+    def build(label: str) -> TreeNode:
+        budget[0] -= 1
+        word = sample_word(label) if budget[0] > 0 else \
+            dtd._cheapest_word(label, costs)
+        attrs = tuple(rng.choice(value_pool) for __ in dtd.attributes[label])
+        return TreeNode(label, attrs, tuple(build(child) for child in word))
+
+    return build(dtd.root)
+
+
+def abstract_pattern_from_tree(rng: random.Random, node: TreeNode) -> Pattern:
+    """A random pattern that matches *node* by construction.
+
+    Walks the tree, keeping each child subtree with probability ~0.6,
+    occasionally wildcarding a label, turning a kept child into a
+    descendant item, or recording the order of two kept children with
+    ``->*``.  Attribute slots get fresh variables.  The result is a
+    satisfiable pattern whose feature signature varies per draw — ideal
+    fuel for randomized consistency testing.
+    """
+    from repro.patterns.ast import Descendant, Sequence as PatternSequence
+
+    counter = [0]
+
+    def fresh() -> Var:
+        counter[0] += 1
+        return Var(f"v{counter[0]}")
+
+    def walk(current: TreeNode, depth: int) -> Pattern:
+        label = "_" if rng.random() < 0.1 else current.label
+        vars_ = None
+        if current.attrs and rng.random() < 0.8:
+            vars_ = tuple(fresh() for __ in current.attrs)
+        kept = [
+            child for child in current.children
+            if depth < 4 and rng.random() < 0.6
+        ]
+        items = []
+        index = 0
+        while index < len(kept):
+            child_pattern = walk(kept[index], depth + 1)
+            roll = rng.random()
+            if roll < 0.15:
+                items.append(Descendant(child_pattern))
+                index += 1
+            elif roll < 0.3 and index + 1 < len(kept):
+                # record the sibling order of two kept children
+                second = walk(kept[index + 1], depth + 1)
+                connector = "next" if _adjacent(current, kept[index], kept[index + 1]) \
+                    else "following"
+                items.append(
+                    PatternSequence((child_pattern, second), (connector,))
+                )
+                index += 2
+            else:
+                items.append(PatternSequence((child_pattern,)))
+                index += 1
+        return Pattern(label, vars_, tuple(items))
+
+    return walk(node, 0)
+
+
+def _adjacent(parent: TreeNode, left: TreeNode, right: TreeNode) -> bool:
+    for first, second in zip(parent.children, parent.children[1:]):
+        if first is left and second is right:
+            return True
+    return False

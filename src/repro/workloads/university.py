@@ -1,0 +1,130 @@
+"""The paper's running example: professors, courses and students.
+
+The Introduction's two DTDs (``D1``: professors with teaching and
+supervision duties; ``D2``: courses and students at a university) and its
+third mapping — horizontal order preservation plus an inequality — are
+provided ready-made, together with a deterministic document generator used
+by the examples and benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.mappings.mapping import SchemaMapping
+from repro.xmlmodel.dtd import DTD, parse_dtd
+from repro.xmlmodel.tree import TreeNode
+
+SOURCE_DTD_TEXT = """
+r -> prof*
+prof(name) -> teach, supervise
+teach -> year
+year(y) -> course, course
+supervise -> student*
+course(cn)
+student(sid)
+"""
+
+TARGET_DTD_TEXT = """
+r -> course*, student*
+course(cn, y) -> taughtby
+student(sid) -> supervisor
+taughtby(name)
+supervisor(name)
+"""
+
+#: The paper's third mapping (Section 3): order preservation + inequality.
+ORDER_PRESERVING_STD = (
+    "r[prof(x)[teach[year(y)[course(cn1) -> course(cn2)]], "
+    "supervise[student(s)]]], cn1 != cn2 -> "
+    "r[course(cn1, y)[taughtby(x)] ->* course(cn2, y)[taughtby(x)], "
+    "student(s)[supervisor(x)]]"
+)
+
+#: The paper's first mapping (Introduction), without order or inequality.
+BASIC_STD = (
+    "r[prof(x)[teach[year(y)[course(cn1), course(cn2)]], "
+    "supervise[student(s)]]] -> "
+    "r[course(cn1, y)[taughtby(x)], course(cn2, y)[taughtby(x)], "
+    "student(s)[supervisor(x)]]"
+)
+
+
+def university_source_dtd() -> DTD:
+    return parse_dtd(SOURCE_DTD_TEXT)
+
+
+def university_target_dtd() -> DTD:
+    return parse_dtd(TARGET_DTD_TEXT)
+
+
+def university_mapping(order_preserving: bool = True) -> SchemaMapping:
+    """The Introduction's mapping, with or without the horizontal/≠ features."""
+    std = ORDER_PRESERVING_STD if order_preserving else BASIC_STD
+    return SchemaMapping.parse(SOURCE_DTD_TEXT, TARGET_DTD_TEXT, [std])
+
+
+def university_source_document(
+    n_professors: int = 3,
+    students_per_professor: int = 2,
+    seed: int = 2009,
+) -> TreeNode:
+    """A deterministic conforming source document of configurable size."""
+    rng = random.Random(seed)
+    professors = []
+    for p in range(n_professors):
+        year = 2000 + rng.randint(0, 9)
+        courses = rng.sample(range(100, 999), 2)
+        students = [
+            TreeNode("student", (f"s{p}.{i}",))
+            for i in range(students_per_professor)
+        ]
+        professors.append(
+            TreeNode(
+                "prof",
+                (f"prof{p}",),
+                (
+                    TreeNode(
+                        "teach",
+                        (),
+                        (
+                            TreeNode(
+                                "year",
+                                (year,),
+                                (
+                                    TreeNode("course", (f"c{courses[0]}",)),
+                                    TreeNode("course", (f"c{courses[1]}",)),
+                                ),
+                            ),
+                        ),
+                    ),
+                    TreeNode("supervise", (), tuple(students)),
+                ),
+            )
+        )
+    return TreeNode("r", (), tuple(professors))
+
+
+def university_target_document(source: TreeNode) -> TreeNode:
+    """A hand-built order-preserving solution for a generated source."""
+    courses: list[TreeNode] = []
+    students: list[TreeNode] = []
+    for prof in source.children:
+        name = prof.attrs[0]
+        (teach, supervise) = prof.children
+        (year,) = teach.children
+        for course in year.children:
+            courses.append(
+                TreeNode(
+                    "course",
+                    (course.attrs[0], year.attrs[0]),
+                    (TreeNode("taughtby", (name,)),),
+                )
+            )
+        for student in supervise.children:
+            students.append(
+                TreeNode(
+                    "student", (student.attrs[0],), (TreeNode("supervisor", (name,)),)
+                )
+            )
+    return TreeNode("r", (), tuple(courses + students))

@@ -1,0 +1,413 @@
+"""DTDs: regular-expression productions plus attribute assignments.
+
+Following Section 2 of the paper, a DTD over an alphabet of element types
+with a distinguished root symbol consists of
+
+* a mapping from element types to regular expressions over the other
+  element types (the productions), and
+* a mapping assigning each element type an ordered tuple of attributes.
+
+This module provides conformance checking, the *nested-relational* and
+*strictly nested-relational* classifications used throughout the paper's
+tractability results, satisfiability (does any tree conform?), and
+construction of minimal conforming trees.
+"""
+
+from __future__ import annotations
+
+import heapq
+import re
+from typing import Callable, Iterable
+
+from repro.errors import ConformanceError, NotInClassError, ParseError, XsmError
+from repro.regex.ast import (
+    Concat,
+    Empty,
+    Epsilon,
+    EPSILON,
+    Optional,
+    Plus,
+    Regex,
+    Star,
+    Symbol,
+    Union,
+)
+from repro.regex.nfa import NFA
+from repro.regex.parser import parse_regex
+from repro.xmlmodel.tree import TreeNode
+
+#: Multiplicity markers for nested-relational productions.
+MULTIPLICITIES = ("1", "?", "*", "+")
+
+
+class DTD:
+    """A DTD: root symbol, productions and attribute lists.
+
+    Parameters
+    ----------
+    root:
+        The distinguished root element type.
+    productions:
+        ``{label: Regex or production string}``.  Labels mentioned in some
+        production but lacking one of their own implicitly get the empty
+        production (no children), matching the paper's convention
+        ("element types *course* and *student* have no subelements").
+    attributes:
+        ``{label: tuple of attribute names}``; order matters, since
+        patterns bind attribute variables positionally.
+    """
+
+    def __init__(
+        self,
+        root: str,
+        productions: dict[str, Regex | str],
+        attributes: dict[str, Iterable[str]] | None = None,
+    ):
+        self.root = root
+        parsed: dict[str, Regex] = {}
+        for label, production in productions.items():
+            if isinstance(production, str):
+                production = parse_regex(production)
+            parsed[label] = production
+        labels = set(parsed)
+        labels.add(root)
+        for production in parsed.values():
+            labels.update(production.symbols())
+        for label in labels:
+            parsed.setdefault(label, EPSILON)
+        if root not in parsed:
+            raise XsmError(f"root {root!r} has no production")
+        for label, production in parsed.items():
+            if root in production.symbols():
+                raise XsmError(
+                    f"the root symbol {root!r} may not occur in productions "
+                    f"(it appears in the production of {label!r})"
+                )
+        self.productions: dict[str, Regex] = parsed
+        self.attributes: dict[str, tuple[str, ...]] = {
+            label: tuple(attributes.get(label, ())) if attributes else ()
+            for label in parsed
+        }
+        if attributes:
+            unknown = set(attributes) - set(parsed)
+            if unknown:
+                raise XsmError(f"attributes declared for unknown labels: {sorted(unknown)}")
+        self._nfas: dict[str, NFA] = {}
+        self._starred: frozenset[str] | None = None
+
+    # -- basic views --------------------------------------------------------
+
+    @property
+    def labels(self) -> frozenset[str]:
+        """All element types of the DTD."""
+        return frozenset(self.productions)
+
+    def arity(self, label: str) -> int:
+        """Number of attributes of *label* (0 for unknown labels)."""
+        return len(self.attributes.get(label, ()))
+
+    def production_nfa(self, label: str) -> NFA:
+        """The (cached) Glushkov NFA of the production of *label*."""
+        nfa = self._nfas.get(label)
+        if nfa is None:
+            nfa = NFA.from_regex(self.productions[label])
+            self._nfas[label] = nfa
+        return nfa
+
+    def __repr__(self) -> str:
+        rows = []
+        for label in sorted(self.productions, key=lambda l: (l != self.root, l)):
+            attrs = self.attributes[label]
+            head = label if not attrs else f"{label}({', '.join(attrs)})"
+            rows.append(f"{head} -> {self.productions[label]}")
+        return "DTD<" + "; ".join(rows) + ">"
+
+    # -- conformance -----------------------------------------------------------
+
+    def check_conformance(self, node: TreeNode) -> None:
+        """Raise :class:`ConformanceError` if the tree does not conform."""
+        if node.label != self.root:
+            raise ConformanceError(
+                f"root is labelled {node.label!r}, expected {self.root!r}"
+            )
+        for inner in node.nodes():
+            if inner.label not in self.productions:
+                raise ConformanceError(f"unknown element type {inner.label!r}")
+            expected_arity = self.arity(inner.label)
+            if len(inner.attrs) != expected_arity:
+                raise ConformanceError(
+                    f"{inner.label!r} carries {len(inner.attrs)} attribute values, "
+                    f"DTD declares {expected_arity}"
+                )
+            word = tuple(child.label for child in inner.children)
+            if not self.production_nfa(inner.label).accepts(word):
+                raise ConformanceError(
+                    f"children of {inner.label!r} read {word!r}, which does not "
+                    f"match its production {self.productions[inner.label]}"
+                )
+
+    def conforms(self, node: TreeNode) -> bool:
+        """True iff the tree conforms to this DTD (``T |= D``)."""
+        try:
+            self.check_conformance(node)
+        except ConformanceError:
+            return False
+        return True
+
+    # -- classifications -------------------------------------------------------
+
+    def reachable_labels(self) -> frozenset[str]:
+        """Element types reachable from the root through productions."""
+        seen = {self.root}
+        stack = [self.root]
+        while stack:
+            label = stack.pop()
+            for symbol in self.productions[label].symbols():
+                if symbol not in seen:
+                    seen.add(symbol)
+                    stack.append(symbol)
+        return frozenset(seen)
+
+    def is_recursive(self) -> bool:
+        """True iff the label dependency graph has a cycle."""
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour = {label: WHITE for label in self.productions}
+
+        def visit(label: str) -> bool:
+            colour[label] = GREY
+            for successor in self.productions[label].symbols():
+                if colour[successor] == GREY:
+                    return True
+                if colour[successor] == WHITE and visit(successor):
+                    return True
+            colour[label] = BLACK
+            return False
+
+        return any(visit(label) for label in self.productions if colour[label] == WHITE)
+
+    def nested_relational_children(self, label: str) -> list[tuple[str, str]]:
+        """Decompose a nested-relational production into (child, multiplicity).
+
+        Multiplicities are ``"1"``, ``"?"``, ``"*"`` or ``"+"``.  Raises
+        :class:`NotInClassError` if the production is not of the
+        nested-relational shape (distinct labels, one multiplicity each).
+        """
+        production = self.productions[label]
+        if isinstance(production, Epsilon):
+            return []
+        parts = production.parts if isinstance(production, Concat) else (production,)
+        children: list[tuple[str, str]] = []
+        seen: set[str] = set()
+        for part in parts:
+            if isinstance(part, Symbol):
+                child, multiplicity = part.symbol, "1"
+            elif isinstance(part, Optional) and isinstance(part.inner, Symbol):
+                child, multiplicity = part.inner.symbol, "?"
+            elif isinstance(part, Star) and isinstance(part.inner, Symbol):
+                child, multiplicity = part.inner.symbol, "*"
+            elif isinstance(part, Plus) and isinstance(part.inner, Symbol):
+                child, multiplicity = part.inner.symbol, "+"
+            else:
+                raise NotInClassError(
+                    f"production of {label!r} is not nested-relational: {production}"
+                )
+            if child in seen:
+                raise NotInClassError(
+                    f"production of {label!r} repeats child {child!r}"
+                )
+            seen.add(child)
+            children.append((child, multiplicity))
+        return children
+
+    def is_nested_relational(self) -> bool:
+        """Nested-relational: productions ``l -> l1^m1 ... lk^mk`` and no recursion."""
+        if self.is_recursive():
+            return False
+        for label in self.productions:
+            try:
+                self.nested_relational_children(label)
+            except NotInClassError:
+                return False
+        return True
+
+    def starred_labels(self) -> frozenset[str]:
+        """Element types occurring under the scope of ``*`` or ``+`` somewhere."""
+        if self._starred is None:
+            starred: set[str] = set()
+
+            def walk(expr: Regex, under_star: bool) -> None:
+                if isinstance(expr, Symbol):
+                    if under_star:
+                        starred.add(expr.symbol)
+                elif isinstance(expr, (Concat, Union)):
+                    for part in expr.parts:
+                        walk(part, under_star)
+                elif isinstance(expr, (Star, Plus)):
+                    walk(expr.inner, True)
+                elif isinstance(expr, Optional):
+                    walk(expr.inner, under_star)
+
+            for production in self.productions.values():
+                walk(production, False)
+            self._starred = frozenset(starred)
+        return self._starred
+
+    def is_strictly_nested_relational(self) -> bool:
+        """Nested-relational and only starred element types carry attributes."""
+        if not self.is_nested_relational():
+            return False
+        starred = self.starred_labels()
+        return all(
+            not attrs or label in starred
+            for label, attrs in self.attributes.items()
+        )
+
+    # -- satisfiability and minimal trees ----------------------------------------
+
+    def label_costs(self) -> dict[str, float]:
+        """Minimal subtree size per label (``inf`` if no finite tree exists).
+
+        Computed as the least fixpoint of ``cost(l) = 1 + min over words w
+        in L(P(l)) of sum(cost(a) for a in w)`` — a Dijkstra-style
+        saturation that also works for recursive DTDs.
+        """
+        costs: dict[str, float] = {label: float("inf") for label in self.productions}
+        changed = True
+        while changed:
+            changed = False
+            for label in self.productions:
+                word = self._cheapest_word(label, costs)
+                if word is None:
+                    continue
+                new_cost = 1 + sum(costs[symbol] for symbol in word)
+                if new_cost < costs[label]:
+                    costs[label] = new_cost
+                    changed = True
+        return costs
+
+    def _cheapest_word(
+        self, label: str, costs: dict[str, float]
+    ) -> tuple[str, ...] | None:
+        """Cheapest word of the production of *label* under symbol *costs*.
+
+        Dijkstra over the production NFA with edge weight ``costs[symbol]``;
+        symbols of infinite cost are unusable.  Returns None when no
+        accepting path uses only finite-cost symbols.
+        """
+        nfa = self.production_nfa(label)
+        best: dict = {}
+        counter = 0
+        heap: list[tuple[float, int, object, tuple[str, ...]]] = []
+        for state in nfa.initial:
+            heapq.heappush(heap, (0.0, counter, state, ()))
+            counter += 1
+        while heap:
+            cost, __, state, word = heapq.heappop(heap)
+            if state in best and best[state] <= cost:
+                continue
+            best[state] = cost
+            if state in nfa.accepting:
+                return word
+            for symbol, targets in nfa.transitions.get(state, {}).items():
+                weight = costs.get(symbol, float("inf"))
+                if weight == float("inf"):
+                    continue
+                for target in targets:
+                    if target not in best or best[target] > cost + weight:
+                        heapq.heappush(
+                            heap, (cost + weight, counter, target, word + (symbol,))
+                        )
+                        counter += 1
+        return None
+
+    def is_satisfiable(self) -> bool:
+        """True iff at least one tree conforms to this DTD."""
+        return self.label_costs()[self.root] != float("inf")
+
+    def minimal_tree(
+        self, value_factory: Callable[[str, str], object] | None = None
+    ) -> TreeNode:
+        """A conforming tree of minimal size.
+
+        *value_factory(label, attribute_name)* supplies attribute values
+        (default: the constant 0, i.e. all data values equal — the choice
+        that triggers the fewest stds; see ``consistency.cons_nested``).
+        Raises :class:`XsmError` when the DTD is unsatisfiable.
+        """
+        costs = self.label_costs()
+        if costs[self.root] == float("inf"):
+            raise XsmError("DTD is unsatisfiable: no conforming tree exists")
+        if value_factory is None:
+            value_factory = lambda label, attribute: 0
+
+        def build(label: str) -> TreeNode:
+            word = self._cheapest_word(label, costs)
+            assert word is not None
+            attrs = tuple(
+                value_factory(label, attribute) for attribute in self.attributes[label]
+            )
+            return TreeNode(label, attrs, tuple(build(symbol) for symbol in word))
+
+        return build(self.root)
+
+
+_PRODUCTION_RE = re.compile(
+    r"^\s*(?P<label>[A-Za-z_][A-Za-z0-9_\-.]*)"
+    r"(?:\s*\(\s*(?P<attrs>[^)]*)\))?"
+    r"\s*(?:->|→)\s*(?P<rhs>.*)$"
+)
+_LEAF_RE = re.compile(
+    r"^\s*(?P<label>[A-Za-z_][A-Za-z0-9_\-.]*)"
+    r"(?:\s*\(\s*(?P<attrs>[^)]*)\))?\s*$"
+)
+
+
+def parse_dtd(text: str, root: str | None = None) -> DTD:
+    """Parse a DTD from its textual notation.
+
+    One declaration per line (or separated by ``;``)::
+
+        r -> prof*
+        prof(name) -> teach, supervise
+        teach -> year
+        year(y) -> course, course
+        supervise -> student*
+        course(cn)
+        student(sid)
+
+    * attribute names go in parentheses after the element type,
+    * a line without ``->`` declares a childless element type,
+    * the first declared element type is the root unless *root* is given,
+    * blank lines and ``#`` comments are ignored.
+    """
+    productions: dict[str, Regex] = {}
+    attributes: dict[str, tuple[str, ...]] = {}
+    first_label: str | None = None
+    declarations = []
+    for raw_line in text.replace(";", "\n").splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if line:
+            declarations.append(line)
+    for declaration in declarations:
+        match = _PRODUCTION_RE.match(declaration)
+        if match:
+            rhs = match.group("rhs").strip()
+            production = parse_regex(rhs) if rhs else EPSILON
+        else:
+            match = _LEAF_RE.match(declaration)
+            if not match:
+                raise ParseError(f"cannot parse DTD declaration: {declaration!r}")
+            production = EPSILON
+        label = match.group("label")
+        if label in productions:
+            raise ParseError(f"duplicate production for {label!r}")
+        productions[label] = production
+        attrs_text = match.group("attrs")
+        if attrs_text is not None:
+            names = tuple(a.strip() for a in attrs_text.split(",") if a.strip())
+            attributes[label] = names
+        if first_label is None:
+            first_label = label
+    if first_label is None:
+        raise ParseError("empty DTD text")
+    return DTD(root or first_label, productions, attributes)

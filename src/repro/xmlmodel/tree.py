@@ -1,0 +1,166 @@
+"""Unranked ordered trees with attribute data values.
+
+A tree is represented by its root :class:`TreeNode`.  Nodes are immutable
+(children are stored in a tuple) so they can be hashed structurally and used
+as dictionary keys by the matching and automata machinery.  Build trees
+bottom-up with the :func:`tree` convenience constructor::
+
+    t = tree("r", children=[
+            tree("a", attrs=(1,)),
+            tree("a", attrs=(2,)),
+        ])
+
+The model follows Section 2 of the paper: each node has a label from the
+element-type alphabet and an ordered tuple of attribute values; the sibling
+order of children is significant (the ``->`` / ``->*`` axes navigate it).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+
+class TreeNode:
+    """One node of an unranked ordered tree; also stands for its subtree.
+
+    Attributes
+    ----------
+    label:
+        The element type (a string).
+    attrs:
+        Ordered tuple of attribute data values, matching the attribute
+        order declared by the DTD for this element type.
+    children:
+        Tuple of child :class:`TreeNode` objects, in sibling order.
+    """
+
+    __slots__ = ("label", "attrs", "children", "_hash")
+
+    def __init__(
+        self,
+        label: str,
+        attrs: Iterable[object] = (),
+        children: Iterable["TreeNode"] = (),
+    ):
+        self.label = label
+        self.attrs = tuple(attrs)
+        self.children = tuple(children)
+        for child in self.children:
+            if not isinstance(child, TreeNode):
+                raise TypeError(f"child must be a TreeNode, got {child!r}")
+        self._hash: int | None = None
+
+    # -- structural identity ------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, TreeNode):
+            return NotImplemented
+        if (
+            self.label != other.label
+            or self.attrs != other.attrs
+            or len(self.children) != len(other.children)
+        ):
+            return False
+        return all(a == b for a, b in zip(self.children, other.children))
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(
+                (self.label, self.attrs, tuple(hash(c) for c in self.children))
+            )
+        return self._hash
+
+    def __repr__(self) -> str:
+        from repro.xmlmodel.parser import serialize_tree
+
+        return f"TreeNode({serialize_tree(self)!r})"
+
+    # -- measurements ---------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of nodes in the subtree rooted here."""
+        return 1 + sum(child.size for child in self.children)
+
+    @property
+    def height(self) -> int:
+        """Length of the longest root-to-leaf path (a leaf has height 1)."""
+        if not self.children:
+            return 1
+        return 1 + max(child.height for child in self.children)
+
+    # -- navigation -----------------------------------------------------------
+
+    def nodes(self) -> Iterator["TreeNode"]:
+        """Yield every node of the subtree in document (pre-) order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def descendants(self) -> Iterator["TreeNode"]:
+        """Yield every *proper* descendant of this node in document order."""
+        for child in self.children:
+            yield from child.nodes()
+
+    def leaves(self) -> Iterator["TreeNode"]:
+        """Yield the leaves of the subtree in document order."""
+        for node in self.nodes():
+            if not node.children:
+                yield node
+
+    # -- data values ------------------------------------------------------------
+
+    def adom(self) -> frozenset:
+        """The active domain: every data value on any attribute in the subtree."""
+        values: set = set()
+        for node in self.nodes():
+            values.update(node.attrs)
+        return frozenset(values)
+
+    def labels(self) -> frozenset[str]:
+        """The set of element types occurring in the subtree."""
+        return frozenset(node.label for node in self.nodes())
+
+    # -- functional updates -------------------------------------------------------
+
+    def with_children(self, children: Iterable["TreeNode"]) -> "TreeNode":
+        """Return a copy of this node with *children* replacing the old ones."""
+        return TreeNode(self.label, self.attrs, children)
+
+    def with_attrs(self, attrs: Iterable[object]) -> "TreeNode":
+        """Return a copy of this node with *attrs* replacing the old tuple."""
+        return TreeNode(self.label, attrs, self.children)
+
+    def map_values(self, fn: Callable[[object], object]) -> "TreeNode":
+        """Return a structurally identical tree with every data value mapped by *fn*."""
+        return TreeNode(
+            self.label,
+            tuple(fn(v) for v in self.attrs),
+            tuple(child.map_values(fn) for child in self.children),
+        )
+
+
+def tree(
+    label: str,
+    attrs: Iterable[object] = (),
+    children: Iterable[TreeNode] = (),
+) -> TreeNode:
+    """Convenience constructor for :class:`TreeNode` (keyword-friendly)."""
+    return TreeNode(label, attrs, children)
+
+
+def parent_map(root: TreeNode) -> dict[int, TreeNode]:
+    """Map ``id(node) -> parent node`` for every non-root node under *root*.
+
+    Nodes are keyed by identity because equal subtrees may occur at several
+    positions; identity distinguishes the occurrences within one tree object.
+    """
+    parents: dict[int, TreeNode] = {}
+    for node in root.nodes():
+        for child in node.children:
+            parents[id(child)] = node
+    return parents

@@ -1,0 +1,196 @@
+"""Real XML (angle-bracket) import and export.
+
+The library's native syntax (``r[a(1), b]``) is compact for theory work,
+but documents in the wild are XML.  This module converts both ways without
+external dependencies:
+
+* :func:`to_xml` renders a tree as an XML string; attribute *names* come
+  from the DTD (the tree itself stores only the ordered value tuple, as in
+  the paper's model), falling back to ``a0, a1, ...``;
+* :func:`from_xml` parses a (sufficiently plain) XML document: elements,
+  attributes, self-closing tags, comments, processing instructions and an
+  optional XML declaration.  Text content is rejected — the paper's model
+  has no text nodes — unless it is pure whitespace.
+
+Values round-trip as strings; pass ``coerce=int_coercion`` to recover
+integers (the default coercion turns digit strings into ints, matching
+the native parser's convention).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable
+
+from repro.errors import ParseError
+from repro.xmlmodel.dtd import DTD
+from repro.xmlmodel.tree import TreeNode
+
+
+def _escape(value: str) -> str:
+    return (
+        value.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def _unescape(value: str) -> str:
+    return (
+        value.replace("&quot;", '"')
+        .replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&apos;", "'")
+        .replace("&amp;", "&")
+    )
+
+
+def _attribute_names(dtd: DTD | None, label: str, arity: int) -> tuple[str, ...]:
+    if dtd is not None:
+        declared = dtd.attributes.get(label, ())
+        if len(declared) == arity:
+            return declared
+    return tuple(f"a{i}" for i in range(arity))
+
+
+def to_xml(node: TreeNode, dtd: DTD | None = None, indent: int = 2) -> str:
+    """Render *node* as an XML document string."""
+
+    def render(current: TreeNode, depth: int) -> list[str]:
+        pad = " " * (indent * depth)
+        names = _attribute_names(dtd, current.label, len(current.attrs))
+        attrs = "".join(
+            f' {name}="{_escape(str(value))}"'
+            for name, value in zip(names, current.attrs)
+        )
+        if not current.children:
+            return [f"{pad}<{current.label}{attrs}/>"]
+        lines = [f"{pad}<{current.label}{attrs}>"]
+        for child in current.children:
+            lines.extend(render(child, depth + 1))
+        lines.append(f"{pad}</{current.label}>")
+        return lines
+
+    return "\n".join(render(node, 0)) + "\n"
+
+
+def int_coercion(value: str):
+    """The default value coercion: digit strings become ints."""
+    if re.fullmatch(r"-?\d+", value):
+        return int(value)
+    return value
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<decl><\?.*?\?>)
+  | (?P<comment><!--.*?-->)
+  | (?P<doctype><!DOCTYPE[^>]*>)
+  | (?P<close></\s*(?P<close_name>[^\s>]+)\s*>)
+  | (?P<open><\s*(?P<open_name>[^\s/>]+)(?P<attrs>(?:[^>"']|"[^"]*"|'[^']*')*?)(?P<selfclose>/)?\s*>)
+  | (?P<text>[^<]+)
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+_ATTR_RE = re.compile(r"""([^\s=]+)\s*=\s*("([^"]*)"|'([^']*)')""")
+
+
+def from_xml(
+    text: str,
+    dtd: DTD | None = None,
+    coerce: Callable[[str], object] | None = int_coercion,
+) -> TreeNode:
+    """Parse a plain XML document into a tree.
+
+    With a *dtd*, attributes are ordered by the DTD's declaration (and
+    unknown/missing attributes are an error); without one, attribute
+    document order is kept.
+    """
+    if coerce is None:
+        coerce = lambda value: value
+    stack: list[tuple[str, list, list[TreeNode]]] = []
+    root: TreeNode | None = None
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError("malformed XML", text, position)
+        position = match.end()
+        kind = match.lastgroup if match.lastgroup else ""
+        if match.group("decl") or match.group("comment") or match.group("doctype"):
+            continue
+        if match.group("text") is not None:
+            if match.group("text").strip():
+                raise ParseError(
+                    "text content is not part of the tree model", text, match.start()
+                )
+            continue
+        if match.group("open") is not None:
+            label = match.group("open_name")
+            raw_attrs = [
+                (name, _unescape(whole[1:-1]))  # strip the quoting characters
+                for name, whole, __, ___ in _ATTR_RE.findall(
+                    match.group("attrs") or ""
+                )
+            ]
+            attrs = _order_attributes(dtd, label, raw_attrs, text, match.start())
+            values = tuple(coerce(value) for __, value in attrs)
+            if match.group("selfclose"):
+                node = TreeNode(label, values)
+                if stack:
+                    stack[-1][2].append(node)
+                elif root is None:
+                    root = node
+                else:
+                    raise ParseError("multiple root elements", text, match.start())
+            else:
+                stack.append((label, list(values), []))
+            continue
+        if match.group("close") is not None:
+            if not stack:
+                raise ParseError("unmatched closing tag", text, match.start())
+            label, values, children = stack.pop()
+            if label != match.group("close_name"):
+                raise ParseError(
+                    f"mismatched closing tag </{match.group('close_name')}> "
+                    f"for <{label}>",
+                    text,
+                    match.start(),
+                )
+            node = TreeNode(label, tuple(values), children)
+            if stack:
+                stack[-1][2].append(node)
+            elif root is None:
+                root = node
+            else:
+                raise ParseError("multiple root elements", text, match.start())
+    if stack:
+        raise ParseError(f"unclosed element <{stack[-1][0]}>", text, len(text))
+    if root is None:
+        raise ParseError("empty document", text, 0)
+    return root
+
+
+def _order_attributes(
+    dtd: DTD | None,
+    label: str,
+    raw_attrs: list[tuple[str, str]],
+    text: str,
+    position: int,
+) -> list[tuple[str, str]]:
+    if dtd is None:
+        return raw_attrs
+    declared = dtd.attributes.get(label)
+    if declared is None:
+        raise ParseError(f"unknown element type {label!r}", text, position)
+    by_name = dict(raw_attrs)
+    if set(by_name) != set(declared):
+        raise ParseError(
+            f"element {label!r} must carry attributes {list(declared)}, "
+            f"got {sorted(by_name)}",
+            text,
+            position,
+        )
+    return [(name, by_name[name]) for name in declared]

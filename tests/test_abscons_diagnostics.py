@@ -1,0 +1,58 @@
+"""Tests for the explanatory ABSCONS analysis (abscons_ptime_analysis)."""
+
+import pytest
+
+from repro.consistency import abscons_ptime_analysis, is_absolutely_consistent_ptime
+from repro.errors import SignatureError
+from repro.mappings.mapping import SchemaMapping
+
+
+def mk(source, target, stds):
+    return SchemaMapping.parse(source, target, stds)
+
+
+class TestDiagnostics:
+    def test_no_problems_when_consistent(self):
+        m = mk("r -> a*\na(x)", "t -> b*\nb(u)", ["r[a(x)] -> t[b(x)]"])
+        assert abscons_ptime_analysis(m) == []
+
+    def test_repeatable_into_rigid_explained(self):
+        m = mk("r -> a*\na(x)", "t -> b\nb(u)", ["r[a(x)] -> t[b(x)]"])
+        (problem,) = abscons_ptime_analysis(m)
+        assert "repeatable source position" in problem
+        assert "r/a@0" in problem
+        assert "variable x" in problem
+
+    def test_conflicting_writers_explained(self):
+        m = mk(
+            "r -> a, b\na(x)\nb(y)",
+            "t -> c\nc(u)",
+            ["r[a(x)] -> t[c(x)]", "r[b(y)] -> t[c(y)]"],
+        )
+        (problem,) = abscons_ptime_analysis(m)
+        assert "independent sources" in problem
+        assert "r/a@0" in problem and "r/b@0" in problem
+        assert "std #1" in problem and "std #2" in problem
+
+    def test_unsatisfiable_target_explained(self):
+        m = mk("r -> a+\na(x)", "t -> b?\nb(u)", ["r[a(x)] -> t[zzz(x)]"])
+        (problem,) = abscons_ptime_analysis(m)
+        assert "does not embed" in problem
+
+    def test_multiple_problems_all_reported(self):
+        m = mk(
+            "r -> a*, b\na(x)\nb(y)",
+            "t -> c, d?\nc(u)\nd(v)",
+            ["r[a(x)] -> t[c(x)]", "r[b(y)] -> t[zzz(y)]"],
+        )
+        problems = abscons_ptime_analysis(m)
+        assert len(problems) == 2
+
+    def test_boolean_view_consistent_with_analysis(self):
+        m = mk("r -> a*\na(x)", "t -> b\nb(u)", ["r[a(x)] -> t[b(x)]"])
+        assert is_absolutely_consistent_ptime(m) == (not abscons_ptime_analysis(m))
+
+    def test_out_of_class_still_raises(self):
+        m = mk("r -> a*\na(x)", "t -> b*\nb(u)", ["r//a(x) -> t[b(x)]"])
+        with pytest.raises(SignatureError):
+            abscons_ptime_analysis(m)

@@ -1,0 +1,82 @@
+"""Algebraic laws of the tree-automata layer, checked on random trees.
+
+Determinism makes boolean structure trivial *by construction*; these tests
+confirm the construction: a product accepts iff all components do, a
+negated predicate accepts the complement, and `run` is consistent with
+`reachable_states` witnesses.
+"""
+
+import random
+
+import pytest
+
+from repro.automata.dtd_automaton import DTDAutomaton
+from repro.automata.duta import (
+    ProductAutomaton,
+    accepts,
+    reachable_states,
+    run,
+)
+from repro.automata.pattern_automaton import PatternClosureAutomaton
+from repro.patterns.matching import matches_at_root
+from repro.workloads.random_instances import (
+    abstract_pattern_from_tree,
+    random_arbitrary_dtd,
+    random_tree_from_dtd,
+)
+
+
+def setup_case(seed: int):
+    rng = random.Random(seed)
+    dtd_a = random_arbitrary_dtd(rng, n_labels=4, max_arity=0, root="r",
+                                 label_prefix="s")
+    dtd_b = random_arbitrary_dtd(rng, n_labels=4, max_arity=0, root="r",
+                                 label_prefix="s")
+    trees = [random_tree_from_dtd(dtd_a, rng, max_nodes=8) for __ in range(3)]
+    trees += [random_tree_from_dtd(dtd_b, rng, max_nodes=8) for __ in range(3)]
+    return rng, dtd_a, dtd_b, trees
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_product_is_conjunction(seed):
+    __, dtd_a, dtd_b, trees = setup_case(seed)
+    labels = dtd_a.labels | dtd_b.labels
+    automaton_a = DTDAutomaton(dtd_a, extra_labels=labels)
+    automaton_b = DTDAutomaton(dtd_b, extra_labels=labels)
+    product = ProductAutomaton([automaton_a, automaton_b])
+    for tree in trees:
+        expected = accepts(automaton_a, tree) and accepts(automaton_b, tree)
+        assert accepts(product, tree) == expected
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_negated_predicate_is_complement(seed):
+    __, dtd_a, dtd_b, trees = setup_case(seed)
+    labels = dtd_a.labels | dtd_b.labels
+    automaton_a = DTDAutomaton(dtd_a, extra_labels=labels)
+    automaton_b = DTDAutomaton(dtd_b, extra_labels=labels)
+    difference = ProductAutomaton(
+        [automaton_a, automaton_b],
+        predicate=lambda state: automaton_a.is_accepting(state[0])
+        and not automaton_b.is_accepting(state[1]),
+    )
+    for tree in trees:
+        expected = accepts(automaton_a, tree) and not accepts(automaton_b, tree)
+        assert accepts(difference, tree) == expected
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_reachability_witnesses_replay(seed):
+    """Every witness tree produced by reachability must replay to its state."""
+    rng, dtd_a, __, ___ = setup_case(seed)
+    tree = random_tree_from_dtd(dtd_a, rng, max_nodes=6)
+    pattern = abstract_pattern_from_tree(rng, tree).strip_values()
+    closure = PatternClosureAutomaton([pattern], extra_labels=dtd_a.labels)
+    realized = reachable_states(closure)
+    assert realized, "some state must be realizable"
+    for state, witness in realized.items():
+        assert run(closure, witness) == state
+        # and the closure component's verdict matches the direct matcher
+        assert closure.satisfies(state, pattern) == matches_at_root(
+            pattern, witness
+        )

@@ -1,0 +1,146 @@
+"""Tests for the command-line interface and the .xsm mapping format."""
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ParseError
+from repro.mappings.io import parse_mapping, render_mapping
+from repro.mappings.skolem import SkolemMapping
+
+
+MAPPING_TEXT = """
+# products into the warehouse
+source:
+    f -> item*
+    item(sku, vendor)
+target:
+    w -> product*
+    product(sku, supplier)
+std: f[item(s, v)] -> w[product(s, v)]
+"""
+
+BROKEN_MAPPING_TEXT = """
+source:
+    f -> item+
+    item(sku)
+target:
+    w -> deep
+    deep -> product*
+    product(sku)
+std: f[item(s)] -> w[product(s)]
+"""
+
+
+@pytest.fixture
+def mapping_file(tmp_path):
+    path = tmp_path / "mapping.xsm"
+    path.write_text(MAPPING_TEXT)
+    return str(path)
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "source.xml"
+    path.write_text('<f><item sku="s1" vendor="acme"/></f>')
+    return str(path)
+
+
+class TestMappingFormat:
+    def test_parse(self):
+        mapping = parse_mapping(MAPPING_TEXT)
+        assert isinstance(mapping, SkolemMapping)
+        assert mapping.source_dtd.root == "f"
+        assert len(mapping.stds) == 1
+
+    def test_roundtrip(self):
+        mapping = parse_mapping(MAPPING_TEXT)
+        again = parse_mapping(render_mapping(mapping))
+        assert [str(s) for s in again.stds] == [str(s) for s in mapping.stds]
+        assert repr(again.source_dtd) == repr(mapping.source_dtd)
+
+    @pytest.mark.parametrize(
+        "text",
+        ["std: r -> t", "source:\n  r -> a", "junk line", "target:\n t -> b"],
+    )
+    def test_rejects_incomplete(self, text):
+        with pytest.raises(ParseError):
+            parse_mapping(text)
+
+
+class TestCli:
+    def test_validate_ok(self, tmp_path, capsys):
+        dtd = tmp_path / "schema.dtd"
+        dtd.write_text("f -> item*\nitem(sku, vendor)")
+        doc = tmp_path / "doc.xml"
+        doc.write_text('<f><item sku="s1" vendor="v"/></f>')
+        assert main(["validate", "--dtd", str(dtd), str(doc)]) == 0
+        assert "VALID" in capsys.readouterr().out
+
+    def test_validate_fails(self, tmp_path, capsys):
+        dtd = tmp_path / "schema.dtd"
+        dtd.write_text("f -> item\nitem(sku)")
+        doc = tmp_path / "doc.xml"
+        doc.write_text("<f/>")
+        assert main(["validate", "--dtd", str(dtd), str(doc)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_match(self, tmp_path, capsys, source_file):
+        assert main(["match", "--pattern", "f[item(s, v)]", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "s='s1'" in out and "v='acme'" in out
+
+    def test_match_none(self, tmp_path, capsys, source_file):
+        assert main(["match", "--pattern", "f[zzz]", source_file]) == 1
+
+    def test_check_consistent(self, mapping_file, capsys):
+        assert main(["check", mapping_file, "--witness"]) == 0
+        out = capsys.readouterr().out
+        assert "consistent: True" in out
+        assert "absolutely consistent: True" in out
+
+    def test_check_broken_mapping(self, tmp_path, capsys):
+        path = tmp_path / "broken.xsm"
+        path.write_text(BROKEN_MAPPING_TEXT)
+        assert main(["check", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "consistent: False" in out
+
+    def test_member_yes_and_no(self, tmp_path, capsys, mapping_file, source_file):
+        good = tmp_path / "good.xml"
+        good.write_text('<w><product sku="s1" supplier="acme"/></w>')
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<w/>")
+        assert main(["member", mapping_file, source_file, str(good)]) == 0
+        assert "YES" in capsys.readouterr().out
+        assert main(["member", mapping_file, source_file, str(bad), "--explain"]) == 1
+        out = capsys.readouterr().out
+        assert "NO" in out and "violated" in out
+
+    def test_solve(self, tmp_path, capsys, mapping_file, source_file):
+        assert main(["solve", mapping_file, source_file]) == 0
+        out = capsys.readouterr().out
+        assert '<product sku="s1" supplier="acme"/>' in out
+
+    def test_solve_to_file(self, tmp_path, mapping_file, source_file):
+        output = tmp_path / "solution.xml"
+        assert main(["solve", mapping_file, source_file, "--output", str(output)]) == 0
+        assert "product" in output.read_text()
+
+    def test_compose(self, tmp_path, capsys, mapping_file):
+        second = tmp_path / "second.xsm"
+        second.write_text(
+            "source:\n    w -> product*\n    product(sku, supplier)\n"
+            "target:\n    z -> entry*\n    entry(sku)\n"
+            "std: w[product(s, v)] -> z[entry(s)]\n"
+        )
+        assert main(["compose", mapping_file, str(second)]) == 0
+        out = capsys.readouterr().out
+        assert "std:" in out and "entry" in out
+        # the printed mapping parses back
+        parse_mapping(out)
+
+    def test_error_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.xsm"
+        bad.write_text("nonsense")
+        assert main(["check", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,145 @@
+"""Cross-algorithm coherence: properties the theory forces between the
+library's independent procedures, checked on random instances.
+
+These tests are the reproduction's safety net: each one encodes a theorem-
+level relationship (a consistency witness is a solution; a canonical
+solution certifies consistency; absolute consistency implies consistency;
+syntactic composition stays in its class and respects identity-ish chains;
+the two consistency algorithms agree on their shared domain with random
+instances rather than hand-picked ones).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.composition.compose import compose
+from repro.consistency import (
+    consistency_witness_automata,
+    is_consistent_automata,
+    is_consistent_nested,
+    nested_consistency_witness,
+)
+from repro.consistency.abscons import is_absolutely_consistent_ptime
+from repro.errors import SignatureError
+from repro.mappings.membership import is_solution
+from repro.mappings.skolem import SkolemMapping, is_skolem_solution
+from repro.exchange import canonical_solution
+from repro.workloads.random_instances import (
+    random_conforming_tree,
+    random_fully_specified_mapping,
+)
+from repro.xmlmodel.parser import parse_tree
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_witness_pairs_are_solutions(seed):
+    """Any witness returned by a consistency procedure must satisfy [[M]]."""
+    mapping = random_fully_specified_mapping(random.Random(seed))
+    pair = consistency_witness_automata(mapping)
+    if pair is not None:
+        source, target = pair
+        assert is_solution(mapping, source, target)
+    nested_pair = nested_consistency_witness(mapping)
+    if nested_pair is not None:
+        source, target = nested_pair
+        assert is_solution(mapping, source, target)
+    assert (pair is None) == (nested_pair is None)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_canonical_solution_certifies_consistency(seed):
+    """If the canonical construction succeeds on some tree, M is consistent;
+    and whenever it succeeds, its output is verified as a solution."""
+    rng = random.Random(seed)
+    mapping = random_fully_specified_mapping(rng)
+    tree = random_conforming_tree(mapping.source_dtd, rng, max_repeat=2)
+    solution = canonical_solution(mapping, tree)
+    if solution is not None:
+        assert mapping.target_dtd.conforms(solution)
+        assert is_solution(mapping, tree, solution)
+        assert is_consistent_nested(mapping) or not is_consistent_nested(mapping)
+        # a concrete solvable instance exists, so CONS must say yes
+        assert is_consistent_automata(mapping)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_absolute_consistency_implies_consistency(seed):
+    """ABSCONS ⟹ CONS whenever the source DTD has any tree at all."""
+    mapping = random_fully_specified_mapping(random.Random(seed))
+    try:
+        absolutely = is_absolutely_consistent_ptime(mapping)
+    except SignatureError:
+        return
+    if absolutely and mapping.source_dtd.is_satisfiable():
+        assert is_consistent_nested(mapping)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_abscons_means_every_sampled_tree_has_canonical_solution(seed):
+    """Absolutely consistent mappings give every sampled tree a solution."""
+    rng = random.Random(seed)
+    mapping = random_fully_specified_mapping(rng)
+    try:
+        absolutely = is_absolutely_consistent_ptime(mapping)
+    except SignatureError:
+        return
+    if not absolutely:
+        return
+    for __ in range(3):
+        tree = random_conforming_tree(mapping.source_dtd, rng, max_repeat=2)
+        solution = canonical_solution(mapping, tree)
+        assert solution is not None, f"no solution for {tree!r}"
+        assert is_solution(mapping, tree, solution)
+
+
+class TestCompositionCoherence:
+    def copy_mapping(self, left: str, right: str) -> SkolemMapping:
+        return SkolemMapping.parse(
+            f"{left} -> {left}rel*\n{left}rel(v)",
+            f"{right} -> {right}rel*\n{right}rel(v)",
+            [f"{left}[{left}rel(x)] -> {right}[{right}rel(x)]"],
+        )
+
+    def test_composition_is_associative_semantically(self):
+        a_b = self.copy_mapping("a", "b")
+        b_c = self.copy_mapping("b", "c")
+        c_d = self.copy_mapping("c", "d")
+        left = compose(compose(a_b, b_c), c_d)
+        right = compose(a_b, compose(b_c, c_d))
+        source = parse_tree("a[arel(1), arel(2)]")
+        for final_text in ("d[drel(1), drel(2)]", "d[drel(1)]", "d"):
+            final = parse_tree(final_text)
+            assert is_skolem_solution(left, source, final) == is_skolem_solution(
+                right, source, final
+            ), final_text
+
+    def test_identity_like_composition(self):
+        a_b = self.copy_mapping("a", "b")
+        b_b2 = self.copy_mapping("b", "c")
+        composed = compose(a_b, b_b2)
+        # the composed copy-of-copy behaves like a direct copy
+        direct = SkolemMapping.parse(
+            "a -> arel*\narel(v)", "c -> crel*\ncrel(v)",
+            ["a[arel(x)] -> c[crel(x)]"],
+        )
+        source = parse_tree("a[arel(1), arel(2)]")
+        for final_text in ("c[crel(1), crel(2)]", "c[crel(2)]", "c"):
+            final = parse_tree(final_text)
+            assert is_skolem_solution(composed, source, final) == is_skolem_solution(
+                direct, source, final
+            ), final_text
+
+    def test_composition_with_empty_mapping(self):
+        a_b = SkolemMapping.parse("a -> arel*\narel(v)", "b -> brel*\nbrel(v)", [])
+        b_c = self.copy_mapping("b", "c")
+        composed = compose(a_b, b_c)
+        composed.check_composable_class()
+        # no requirement flows through the empty first mapping
+        source = parse_tree("a[arel(1)]")
+        assert is_skolem_solution(composed, source, parse_tree("c"))

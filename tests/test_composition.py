@@ -1,0 +1,194 @@
+"""Tests for composition semantics and consistency of composition (Section 7)."""
+
+import pytest
+
+from repro.composition.conscomp import (
+    is_composition_consistent,
+    is_composition_consistent_bounded,
+)
+from repro.composition.semantics import (
+    composition_contains,
+    composition_value_domain,
+)
+from repro.errors import SignatureError, XsmError
+from repro.mappings.mapping import SchemaMapping
+from repro.xmlmodel.parser import parse_tree
+
+
+D1 = "r -> a*\na(x)"
+D2 = "m -> b*\nb(u)"
+D3 = "t -> c*\nc(v)"
+
+
+def copy_chain() -> tuple[SchemaMapping, SchemaMapping]:
+    m12 = SchemaMapping.parse(D1, D2, ["r[a(x)] -> m[b(x)]"])
+    m23 = SchemaMapping.parse(D2, D3, ["m[b(u)] -> t[c(u)]"])
+    return m12, m23
+
+
+class TestCompositionMembership:
+    def test_values_flow_through(self):
+        m12, m23 = copy_chain()
+        assert composition_contains(
+            m12, m23, parse_tree("r[a(1), a(2)]"), parse_tree("t[c(2), c(1)]")
+        )
+
+    def test_missing_value_rejected(self):
+        m12, m23 = copy_chain()
+        assert not composition_contains(
+            m12, m23, parse_tree("r[a(1), a(2)]"), parse_tree("t[c(1)]")
+        )
+
+    def test_extra_target_values_fine(self):
+        m12, m23 = copy_chain()
+        assert composition_contains(
+            m12, m23, parse_tree("r[a(1)]"), parse_tree("t[c(1), c(9)]")
+        )
+
+    def test_empty_source(self):
+        m12, m23 = copy_chain()
+        assert composition_contains(m12, m23, parse_tree("r"), parse_tree("t"))
+
+    def test_nonconforming_endpoints(self):
+        m12, m23 = copy_chain()
+        assert not composition_contains(m12, m23, parse_tree("x"), parse_tree("t"))
+        assert not composition_contains(m12, m23, parse_tree("r"), parse_tree("x"))
+
+    def test_structure_changing_middle(self):
+        # M12 drops values into one bucket; M23 needs a b to exist
+        m12 = SchemaMapping.parse(D1, D2, ["r[a(x)] -> m[b(y)]"])
+        m23 = SchemaMapping.parse(D2, D3, ["m[b(u)] -> t[c(u)]"])
+        # middle values are existential: the fresh abstraction value covers them
+        assert composition_contains(
+            m12, m23, parse_tree("r[a(1)]"), parse_tree("t[c(5)]")
+        )
+        # and the middle can even be empty of b's when no a exists
+        assert composition_contains(m12, m23, parse_tree("r"), parse_tree("t"))
+
+    def test_value_domain_contents(self):
+        m12, m23 = copy_chain()
+        domain = composition_value_domain(
+            m12, m23, parse_tree("r[a(1)]"), parse_tree("t[c(7)]")
+        )
+        assert 1 in domain and 7 in domain
+        assert any(str(v).startswith("#mid") for v in domain)
+
+    def test_gap_requires_intermediate(self):
+        # M23 requires at least one b but M12 never creates one: the
+        # middle may still have one (solutions are open-world)
+        m12 = SchemaMapping.parse(D1, D2, [])
+        m23 = SchemaMapping.parse(D2, "t -> c+\nc(v)", ["m[b(u)] -> t[c(u)]"])
+        assert composition_contains(
+            m12, m23, parse_tree("r"), parse_tree("t[c(3)]")
+        )
+
+
+class TestConsComp:
+    def test_consistent_chain(self):
+        m12, m23 = copy_chain()
+        assert is_composition_consistent([m12, m23])
+
+    def test_inconsistent_second_leg(self):
+        m12 = SchemaMapping.parse("r -> a+\na(x)", D2, ["r[a(x)] -> m[b(x)]"])
+        # every middle with a b demands an impossible target...
+        m23 = SchemaMapping.parse(D2, "t -> c?\nc(v)", ["m[b(u)] -> t[zzz(u)]"])
+        # ...but the empty middle is reachable? no: M12 forces a b
+        assert not is_composition_consistent([m12, m23])
+
+    def test_empty_middle_escape(self):
+        m12 = SchemaMapping.parse(D1, D2, ["r[a(x)] -> m[b(x)]"])
+        m23 = SchemaMapping.parse(D2, "t -> c?\nc(v)", ["m[b(u)] -> t[zzz(u)]"])
+        # source r (no a's) -> middle m (no b's) -> any target
+        assert is_composition_consistent([m12, m23])
+
+    def test_individually_consistent_jointly_not(self):
+        # M12 forces a b in the middle; M23 punishes every b
+        m12 = SchemaMapping.parse("r -> a", D2, ["r[a] -> m[b(x)]"])
+        m23 = SchemaMapping.parse(D2, "t -> c?", ["m[b(u)] -> t[zzz]"])
+        from repro.consistency import is_consistent_automata
+
+        assert is_consistent_automata(m12)
+        assert is_consistent_automata(m23)
+        assert not is_composition_consistent([m12, m23])
+
+    def test_three_mapping_chain(self):
+        m12, m23 = copy_chain()
+        m34 = SchemaMapping.parse(D3, "w -> d*\nd(q)", ["t[c(v)] -> w[d(v)]"])
+        assert is_composition_consistent([m12, m23, m34])
+
+    def test_three_mapping_chain_broken_in_middle(self):
+        m12 = SchemaMapping.parse("r -> a", D2, ["r[a] -> m[b(x)]"])
+        m23 = SchemaMapping.parse(D2, D3, ["m[b(u)] -> t[c(u)]"])
+        m34 = SchemaMapping.parse(D3, "w -> d?", ["t[c(v)] -> w[zzz]"])
+        assert not is_composition_consistent([m12, m23, m34])
+
+    def test_single_mapping_degenerates_to_consistency(self):
+        m = SchemaMapping.parse("r -> a+\na(x)", "t -> w\nw -> b*\nb(u)",
+                                ["r[a(x)] -> t[b(x)]"])
+        assert not is_composition_consistent([m])
+        m2 = SchemaMapping.parse(D1, D2, ["r[a(x)] -> m[b(x)]"])
+        assert is_composition_consistent([m2])
+
+    def test_chain_mismatch_rejected(self):
+        m12, __ = copy_chain()
+        other = SchemaMapping.parse("q -> z*", D3, [])
+        with pytest.raises(XsmError):
+            is_composition_consistent([m12, other])
+
+    def test_comparisons_rejected(self):
+        m12 = SchemaMapping.parse(D1, D2, ["r[a(x)], x != 1 -> m[b(x)]"])
+        __, m23 = copy_chain()
+        with pytest.raises(SignatureError):
+            is_composition_consistent([m12, m23])
+
+    def test_bounded_variant_with_comparisons(self):
+        m12 = SchemaMapping.parse(
+            "r -> a, b\na(x)\nb(y)", D2, ["r[a(x), b(y)], x != y -> m[b(x)]"]
+        )
+        m23 = SchemaMapping.parse(D2, D3, ["m[b(u)] -> t[c(u)]"])
+        assert is_composition_consistent_bounded([m12, m23], max_tree_size=4)
+
+    def test_bounded_agrees_with_exact_on_simple_cases(self):
+        m12, m23 = copy_chain()
+        assert is_composition_consistent_bounded([m12, m23], max_tree_size=3)
+        m12b = SchemaMapping.parse("r -> a", D2, ["r[a] -> m[b(x)]"])
+        m23b = SchemaMapping.parse(D2, "t -> c?", ["m[b(u)] -> t[zzz]"])
+        assert not is_composition_consistent_bounded([m12b, m23b], max_tree_size=3)
+
+
+class TestExactCompositionMembership:
+    def test_exact_agrees_with_bounded_on_copy_chain(self):
+        from repro.composition.semantics import composition_contains_exact
+
+        m12, m23 = copy_chain_skolem()
+        cases = [
+            ("r[a(1), a(2)]", "t[c(2), c(1)]", True),
+            ("r[a(1), a(2)]", "t[c(1)]", False),
+            ("r", "t", True),
+            ("r[a(1)]", "t[c(1), c(9)]", True),
+        ]
+        for source_text, final_text, expected in cases:
+            source, final = parse_tree(source_text), parse_tree(final_text)
+            assert composition_contains_exact(m12, m23, source, final) == expected
+            assert composition_contains(
+                m12, m23, source, final, max_mid_size=4
+            ) == expected
+
+    def test_exact_rejects_outside_class(self):
+        from repro.composition.semantics import composition_contains_exact
+        from repro.errors import NotInClassError
+
+        m12 = SchemaMapping.parse(D1, D2, ["r//a(x) -> m[b(x)]"])
+        m23 = SchemaMapping.parse(D2, D3, ["m[b(u)] -> t[c(u)]"])
+        with pytest.raises(NotInClassError):
+            composition_contains_exact(
+                m12, m23, parse_tree("r"), parse_tree("t")
+            )
+
+
+def copy_chain_skolem():
+    from repro.mappings.skolem import SkolemMapping
+
+    m12 = SkolemMapping.parse(D1.replace("r ->", "r ->"), D2, ["r[a(x)] -> m[b(x)]"])
+    m23 = SkolemMapping.parse(D2, D3, ["m[b(u)] -> t[c(u)]"])
+    return m12, m23

@@ -1,0 +1,98 @@
+"""Tests for the Proposition 8.1 gallery: each feature produces a mapping
+pair whose composition is the stated disjunctive relation (verified by
+exhaustive enumeration), which the std language cannot define."""
+
+import pytest
+
+from repro.composition.compose import compose
+from repro.composition.gallery import (
+    descendant_pair,
+    inequality_pair,
+    next_sibling_pair,
+    unstarred_attribute_pair,
+    wildcard_pair,
+)
+from repro.composition.semantics import composition_contains
+from repro.errors import NotInClassError
+from repro.patterns.matching import matches_at_root
+from repro.patterns.parser import parse_pattern
+from repro.verification.enumeration import enumerate_trees
+from repro.xmlmodel.parser import parse_tree
+
+
+C1 = parse_pattern("r/c1")
+C2 = parse_pattern("r/c2")
+
+
+def composition_over_targets(m12, m23, extra_fresh=2, max_mid_size=4):
+    """Which D3-trees pair with the trivial source r under the composition."""
+    source = parse_tree("r")
+    result = {}
+    for final in enumerate_trees(m23.target_dtd, 4, domain=()):
+        result[final] = composition_contains(
+            m12, m23, source, final,
+            max_mid_size=max_mid_size, extra_fresh=extra_fresh,
+        )
+    return result
+
+
+@pytest.mark.parametrize(
+    "pair_factory",
+    [wildcard_pair, descendant_pair, next_sibling_pair],
+    ids=["wildcard", "descendant", "next-sibling"],
+)
+def test_structural_pairs_yield_c1_or_c2(pair_factory):
+    m12, m23 = pair_factory()
+    for final, contained in composition_over_targets(m12, m23).items():
+        expected = matches_at_root(C1, final) or matches_at_root(C2, final)
+        assert contained == expected, f"on {final!r}"
+
+
+def test_structural_pair_is_genuinely_disjunctive():
+    """Both disjuncts are realized and neither alone suffices."""
+    m12, m23 = wildcard_pair()
+    source = parse_tree("r")
+    only_c1 = parse_tree("r[c1]")
+    only_c2 = parse_tree("r[c2]")
+    only_c3 = parse_tree("r[c3]")
+    assert composition_contains(m12, m23, source, only_c1)
+    assert composition_contains(m12, m23, source, only_c2)
+    assert not composition_contains(m12, m23, source, only_c3)
+    assert not composition_contains(m12, m23, source, parse_tree("r"))
+
+
+def test_inequality_pair_yields_c1_or_c2():
+    m12, m23 = inequality_pair()
+    source = parse_tree("r")
+    for final in enumerate_trees(m23.target_dtd, 4, domain=()):
+        expected = matches_at_root(C1, final) or matches_at_root(C2, final)
+        got = composition_contains(
+            m12, m23, source, final, max_mid_size=3, extra_fresh=2
+        )
+        assert got == expected, f"on {final!r}"
+
+
+def test_unstarred_attribute_pair_counts_values():
+    """The paper's second illustration: solutions exist iff the source
+    carries at most two distinct data values."""
+    m12, m23 = unstarred_attribute_pair()
+    final = parse_tree("r3")
+    for source in enumerate_trees(m12.source_dtd, 4, domain=(0, 1, 2)):
+        expected = len(source.adom()) <= 2
+        got = composition_contains(
+            m12, m23, source, final, max_mid_size=3, extra_fresh=1
+        )
+        assert got == expected, f"on {source!r}"
+
+
+@pytest.mark.parametrize(
+    "pair_factory",
+    [wildcard_pair, descendant_pair, next_sibling_pair, inequality_pair,
+     unstarred_attribute_pair],
+    ids=["wildcard", "descendant", "next-sibling", "inequality", "unstarred"],
+)
+def test_gallery_pairs_are_outside_the_closed_class(pair_factory):
+    """compose() must refuse them: they use exactly the breaking features."""
+    m12, m23 = pair_factory()
+    with pytest.raises(NotInClassError):
+        compose(m12, m23)

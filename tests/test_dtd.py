@@ -1,0 +1,228 @@
+"""Tests for DTDs: parsing, conformance, classification, minimal trees."""
+
+import pytest
+
+from repro.errors import ConformanceError, NotInClassError, ParseError, XsmError
+from repro.xmlmodel import DTD, parse_dtd, parse_tree
+from repro.regex.ast import EPSILON
+
+
+D1_TEXT = """
+r -> prof*
+prof(name) -> teach, supervise
+teach -> year
+year(y) -> course, course
+supervise -> student*
+course(cn)
+student(sid)
+"""
+
+D2_TEXT = """
+r -> course*, student*
+course(cn, y) -> taughtby
+student(sid) -> supervisor
+taughtby(name)
+supervisor(name)
+"""
+
+
+@pytest.fixture
+def d1() -> DTD:
+    return parse_dtd(D1_TEXT)
+
+
+@pytest.fixture
+def d2() -> DTD:
+    return parse_dtd(D2_TEXT)
+
+
+class TestParseDtd:
+    def test_root_is_first_label(self, d1):
+        assert d1.root == "r"
+
+    def test_labels(self, d1):
+        assert d1.labels == frozenset(
+            {"r", "prof", "teach", "year", "supervise", "course", "student"}
+        )
+
+    def test_attributes(self, d1):
+        assert d1.attributes["prof"] == ("name",)
+        assert d1.attributes["teach"] == ()
+        assert d1.arity("year") == 1
+
+    def test_leaf_declaration_gets_epsilon(self, d1):
+        assert d1.productions["course"] == EPSILON
+
+    def test_undeclared_label_gets_epsilon(self):
+        dtd = parse_dtd("r -> a, b")
+        assert dtd.productions["a"] == EPSILON
+        assert dtd.productions["b"] == EPSILON
+
+    def test_comments_and_semicolons(self):
+        dtd = parse_dtd("r -> a*  # root\n; a(x)")
+        assert dtd.arity("a") == 1
+
+    def test_explicit_root(self):
+        dtd = parse_dtd("a -> b\nq -> a*", root="q")
+        assert dtd.root == "q"
+
+    def test_duplicate_production_rejected(self):
+        with pytest.raises(ParseError):
+            parse_dtd("r -> a\nr -> b")
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(ParseError):
+            parse_dtd("   \n  # nothing\n")
+
+    def test_root_in_production_rejected(self):
+        with pytest.raises(XsmError):
+            DTD("r", {"r": "a, r"})
+
+    def test_attributes_for_unknown_label_rejected(self):
+        with pytest.raises(XsmError):
+            DTD("r", {"r": "a"}, {"zzz": ("x",)})
+
+
+class TestConformance:
+    def test_paper_d1_document(self, d1):
+        t = parse_tree(
+            'r[prof(Ada)[teach[year(2009)[course(db1), course(db2)]],'
+            ' supervise[student(s1), student(s2)]]]'
+        )
+        assert d1.conforms(t)
+
+    def test_empty_prof_list(self, d1):
+        assert d1.conforms(parse_tree("r"))
+
+    def test_wrong_root(self, d1):
+        assert not d1.conforms(parse_tree("prof(Ada)"))
+
+    def test_wrong_child_word(self, d1):
+        t = parse_tree("r[prof(Ada)[teach[year(2009)[course(db1)]], supervise]]")
+        assert not d1.conforms(t)
+
+    def test_wrong_arity_raises_with_message(self, d1):
+        t = parse_tree("r[prof[teach[year(1)[course(a), course(b)]], supervise]]")
+        with pytest.raises(ConformanceError, match="attribute"):
+            d1.check_conformance(t)
+
+    def test_unknown_label(self, d1):
+        with pytest.raises(ConformanceError):
+            d1.check_conformance(parse_tree("r[ghost]"))
+
+    def test_d2_document(self, d2):
+        t = parse_tree(
+            "r[course(db1, 2009)[taughtby(Ada)], student(s1)[supervisor(Ada)]]"
+        )
+        assert d2.conforms(t)
+
+
+class TestClassification:
+    def test_d1_not_nested_relational(self, d1):
+        # the paper's D1 repeats "course" in year -> course, course
+        assert not d1.is_nested_relational()
+
+    def test_d2_is_nested_relational(self, d2):
+        assert d2.is_nested_relational()
+
+    def test_nested_relational_example(self):
+        dtd = parse_dtd("r -> a*, b?\na(x) -> c+\nb(y)\nc")
+        assert dtd.is_nested_relational()
+
+    def test_disjunction_not_nested_relational(self):
+        assert not parse_dtd("r -> a | b").is_nested_relational()
+
+    def test_repeated_child_not_nested_relational(self):
+        assert not parse_dtd("r -> course, course").is_nested_relational()
+
+    def test_recursive_not_nested_relational(self):
+        dtd = parse_dtd("r -> a\na -> b?\nb -> a?")
+        assert dtd.is_recursive()
+        assert not dtd.is_nested_relational()
+
+    def test_non_recursive(self, d1):
+        assert not d1.is_recursive()
+
+    def test_nested_relational_children(self, d1):
+        assert d1.nested_relational_children("r") == [("prof", "*")]
+        assert d1.nested_relational_children("prof") == [("teach", "1"), ("supervise", "1")]
+        assert d1.nested_relational_children("course") == []
+        with pytest.raises(NotInClassError):
+            d1.nested_relational_children("year")  # course repeated
+
+    def test_nested_relational_children_rejects(self):
+        dtd = parse_dtd("r -> (a, b)*")
+        with pytest.raises(NotInClassError):
+            dtd.nested_relational_children("r")
+
+    def test_starred_labels(self, d1):
+        assert d1.starred_labels() == frozenset({"prof", "student"})
+
+    def test_starred_under_plus_and_nested(self):
+        dtd = parse_dtd("r -> a+, (b, c*)?")
+        assert dtd.starred_labels() == frozenset({"a", "c"})
+
+    def test_strictly_nested_relational(self):
+        # attributes only on starred labels
+        strict = parse_dtd("r -> a*\na(x) -> b*\nb(y)")
+        assert strict.is_strictly_nested_relational()
+        # attribute on the (unstarred) root's non-starred child
+        loose = parse_dtd("r -> a\na(x)")
+        assert loose.is_nested_relational()
+        assert not loose.is_strictly_nested_relational()
+
+
+class TestSatisfiabilityAndMinimalTrees:
+    def test_satisfiable(self, d1):
+        assert d1.is_satisfiable()
+
+    def test_unsatisfiable_recursive(self):
+        # every a requires another a below: no finite tree
+        dtd = parse_dtd("r -> a\na -> a")
+        assert not dtd.is_satisfiable()
+        with pytest.raises(XsmError):
+            dtd.minimal_tree()
+
+    def test_recursive_but_satisfiable(self):
+        dtd = parse_dtd("r -> a\na -> a?")
+        assert dtd.is_satisfiable()
+        t = dtd.minimal_tree()
+        assert t.size == 2
+
+    def test_minimal_tree_conforms(self, d1, d2):
+        for dtd in (d1, d2):
+            t = dtd.minimal_tree()
+            assert dtd.conforms(t)
+
+    def test_minimal_tree_is_minimal_for_d1(self, d1):
+        # r alone: prof* allows zero professors
+        assert d1.minimal_tree().size == 1
+
+    def test_minimal_tree_with_required_children(self):
+        dtd = parse_dtd("r -> a+, b\na -> c")
+        t = dtd.minimal_tree()
+        assert t.size == 4  # r, a, c, b
+        assert dtd.conforms(t)
+
+    def test_minimal_tree_prefers_cheap_branch(self):
+        # branch a costs 2 nodes, branch b costs 1
+        dtd = parse_dtd("r -> a | b\na -> c")
+        assert dtd.minimal_tree().size == 2
+
+    def test_value_factory(self):
+        dtd = parse_dtd("r -> a\na(x, y)")
+        t = dtd.minimal_tree(lambda label, attr: f"{label}.{attr}")
+        assert t.children[0].attrs == ("a.x", "a.y")
+
+    def test_default_values_all_equal(self, d2):
+        dtd = parse_dtd("r -> course\ncourse(cn, y)")
+        t = dtd.minimal_tree()
+        assert set(t.adom()) <= {0}
+
+    def test_label_costs(self, d1):
+        costs = d1.label_costs()
+        assert costs["course"] == 1
+        assert costs["year"] == 3
+        assert costs["teach"] == 4
+        assert costs["prof"] == 6  # prof + teach subtree (4) + supervise (1)
+        assert costs["r"] == 1

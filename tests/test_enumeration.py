@@ -1,0 +1,68 @@
+"""Tests for exhaustive tree enumeration (repro.verification.enumeration)."""
+
+from repro.verification.enumeration import (
+    count_trees,
+    enumerate_label_trees,
+    enumerate_trees,
+)
+from repro.xmlmodel.dtd import parse_dtd
+from repro.xmlmodel.parser import parse_tree
+
+
+class TestLabelTrees:
+    def test_all_conform(self):
+        dtd = parse_dtd("r -> a*, b?\na -> b?")
+        for t in enumerate_label_trees(dtd, 5):
+            assert dtd.conforms(t)
+
+    def test_counts_star(self):
+        dtd = parse_dtd("r -> a*")
+        # r, r[a], r[a,a], r[a,a,a] for max_size 4
+        assert sum(1 for __ in enumerate_label_trees(dtd, 4)) == 4
+
+    def test_counts_choice(self):
+        dtd = parse_dtd("r -> a | b")
+        trees = list(enumerate_label_trees(dtd, 2))
+        assert {parse_tree("r[a]"), parse_tree("r[b]")} == set(trees)
+
+    def test_no_duplicates(self):
+        dtd = parse_dtd("r -> a?, b?\na -> b?")
+        trees = list(enumerate_label_trees(dtd, 4))
+        assert len(trees) == len(set(trees))
+
+    def test_unsatisfiable(self):
+        dtd = parse_dtd("r -> a\na -> a")
+        assert list(enumerate_label_trees(dtd, 6)) == []
+
+    def test_exhaustive_for_bounded_dtd(self):
+        dtd = parse_dtd("r -> a?\na -> b?")
+        trees = set(enumerate_label_trees(dtd, 5))
+        assert trees == {parse_tree("r"), parse_tree("r[a]"), parse_tree("r[a[b]]")}
+
+
+class TestValueDecoration:
+    def test_domain_product(self):
+        dtd = parse_dtd("r -> a\na(x, y)")
+        trees = list(enumerate_trees(dtd, 2, domain=(0, 1)))
+        assert len(trees) == 4
+        attr_pairs = {t.children[0].attrs for t in trees}
+        assert attr_pairs == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_document_order_decoration(self):
+        dtd = parse_dtd("r(q) -> a\na(x)")
+        trees = set(enumerate_trees(dtd, 2, domain=("u", "v")))
+        assert parse_tree("r(u)[a(v)]") in trees
+        assert len(trees) == 4
+
+    def test_no_attributes_single_tree(self):
+        dtd = parse_dtd("r -> a")
+        assert count_trees(dtd, 2, domain=(0, 1, 2)) == 1
+
+    def test_all_conform_and_are_distinct(self):
+        dtd = parse_dtd("r -> a*\na(x)")
+        trees = list(enumerate_trees(dtd, 3, domain=(0, 1)))
+        assert len(trees) == len(set(trees))
+        for t in trees:
+            assert dtd.conforms(t)
+        # sizes 1, 2 (two values), 3 (four value pairs)
+        assert len(trees) == 1 + 2 + 4

@@ -1,0 +1,162 @@
+"""Tests for source-pattern expansion (repro.consistency.expansion):
+wildcard/descendant sources become unions of fully-specified patterns,
+making ABSCONS exact on the NEXPTIME-hard extension of Theorem 6.3."""
+
+import random
+
+import pytest
+
+from repro.consistency.abscons import is_absolutely_consistent
+from repro.consistency.expansion import (
+    expand_mapping_sources,
+    expand_source_pattern,
+    is_absolutely_consistent_expanded,
+)
+from repro.errors import BoundExceededError, SignatureError
+from repro.mappings.mapping import SchemaMapping
+from repro.patterns.matching import evaluate, matches_at_root
+from repro.patterns.features import is_fully_specified
+from repro.patterns.parser import parse_pattern
+from repro.verification.enumeration import enumerate_trees
+from repro.verification.oracle import oracle_is_absolutely_consistent
+from repro.workloads.families import abscons_wildcard_family
+from repro.xmlmodel.dtd import parse_dtd
+
+
+DTD = parse_dtd("r -> a?, b?\na(x) -> c?\nb(y) -> c?\nc(z)")
+
+
+class TestExpandPattern:
+    def test_fully_specified_is_fixed_point(self):
+        pattern = parse_pattern("r[a(x)[c(z)]]")
+        assert expand_source_pattern(DTD, pattern) == [pattern]
+
+    def test_wildcard_expands_to_arity_matching_labels(self):
+        expansions = expand_source_pattern(DTD, parse_pattern("r[_(v)]"))
+        labels = {p.items[0].elements[0].label for p in expansions}
+        assert labels == {"a", "b"}  # c is not a child of r
+
+    def test_wildcard_without_vars_matches_any_arity(self):
+        expansions = expand_source_pattern(DTD, parse_pattern("r[_]"))
+        labels = {p.items[0].elements[0].label for p in expansions}
+        assert labels == {"a", "b"}
+
+    def test_descendant_expands_paths(self):
+        expansions = expand_source_pattern(DTD, parse_pattern("r//c(z)"))
+        assert len(expansions) == 2  # through a and through b
+        assert all(is_fully_specified(p) for p in expansions)
+
+    def test_impossible_label_no_expansions(self):
+        assert expand_source_pattern(DTD, parse_pattern("r[zzz]")) == []
+
+    def test_wrong_root_no_expansions(self):
+        assert expand_source_pattern(DTD, parse_pattern("a(x)")) == []
+
+    def test_horizontal_rejected(self):
+        with pytest.raises(SignatureError):
+            expand_source_pattern(DTD, parse_pattern("r[a(x) -> b(y)]"))
+
+    def test_recursive_dtd_rejected(self):
+        recursive = parse_dtd("r -> a\na -> a?")
+        with pytest.raises(SignatureError):
+            expand_source_pattern(recursive, parse_pattern("r//a"))
+
+    def test_limit_guard(self):
+        wide = parse_dtd(
+            "r -> " + ", ".join(f"k{i}?" for i in range(8))
+            + "\n" + "\n".join(f"k{i}(v)" for i in range(8))
+        )
+        pattern = parse_pattern("r[" + ", ".join("_(v)" for __ in range(8)) + "]")
+        with pytest.raises(BoundExceededError):
+            expand_source_pattern(wide, pattern, limit=100)
+
+    @pytest.mark.parametrize("text", ["r//c(z)", "r[_(v)]", "r[_[c(z)]]", "r[_, //c(z)]"])
+    def test_union_semantics(self, text):
+        """The instantiations' matches partition the original's matches."""
+        pattern = parse_pattern(text)
+        expansions = expand_source_pattern(DTD, pattern)
+        for tree in enumerate_trees(DTD, 5, (0, 1)):
+            original = evaluate(pattern, tree)
+            union = set()
+            for instantiation in expansions:
+                union |= evaluate(instantiation, tree)
+            assert union == original, f"{text} on {tree!r}"
+
+
+class TestExpandedAbscons:
+    def test_equivalent_mapping(self):
+        m = SchemaMapping.parse(
+            "r -> a?, b?\na(x) -> c?\nb(y) -> c?\nc(z)",
+            "t -> d*\nd(u)",
+            ["r//c(z) -> t[d(z)]"],
+        )
+        expanded = expand_mapping_sources(m)
+        assert all(is_fully_specified(std.source) for std in expanded.stds)
+        assert len(expanded.stds) == 2
+
+    def test_wildcard_family_decided_exactly(self):
+        consistent = abscons_wildcard_family(3, consistent=True)
+        assert is_absolutely_consistent_expanded(consistent)
+        inconsistent = abscons_wildcard_family(3, consistent=False)
+        assert not is_absolutely_consistent_expanded(inconsistent)
+
+    def test_descendant_source(self):
+        # every c-value lands in a starred target: safe
+        m = SchemaMapping.parse(
+            "r -> a?, b?\na(x) -> c?\nb(y) -> c?\nc(z)",
+            "t -> d*\nd(u)",
+            ["r//c(z) -> t[d(z)]"],
+        )
+        assert is_absolutely_consistent_expanded(m)
+        # rigid target: the two c-positions conflict
+        m2 = SchemaMapping.parse(
+            "r -> a?, b?\na(x) -> c?\nb(y) -> c?\nc(z)",
+            "t -> d\nd(u)",
+            ["r//c(z) -> t[d(z)]"],
+        )
+        assert not is_absolutely_consistent_expanded(m2)
+
+    def test_rejects_wildcard_target(self):
+        m = SchemaMapping.parse(
+            "r -> a*\na(x)", "t -> d*\nd(u)", ["r[a(x)] -> t[_(x)]"]
+        )
+        with pytest.raises(SignatureError):
+            is_absolutely_consistent_expanded(m)
+
+    def test_dispatcher_uses_expansion(self):
+        # previously this route raised BoundExceededError when consistent
+        m = SchemaMapping.parse(
+            "r -> a?, b?\na(x) -> c?\nb(y) -> c?\nc(z)",
+            "t -> d*\nd(u)",
+            ["r//c(z) -> t[d(z)]"],
+        )
+        assert is_absolutely_consistent(m) is True
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_agrees_with_oracle(self, seed):
+        rng = random.Random(seed)
+        sources = [
+            "r -> a?, b?\na(x) -> c?\nb(y) -> c?\nc(z)",
+            "r -> a*, b?\na(x)\nb(y) -> c?\nc(z)",
+        ]
+        targets = ["t -> d?, e*\nd(u)\ne(v)", "t -> d\nd(u)"]
+        stds_pool = [
+            "r//c(z) -> t[d(z)]",
+            "r[_(v)] -> t[d(v)]",
+            "r//c(z) -> t[e(z)]",
+            "r[a(x)] -> t[d(x)]",
+        ]
+        m = SchemaMapping.parse(
+            rng.choice(sources),
+            rng.choice(targets),
+            rng.sample(stds_pool, rng.randint(1, 2)),
+        )
+        try:
+            answer = is_absolutely_consistent_expanded(m)
+        except SignatureError:
+            return
+        oracle = oracle_is_absolutely_consistent(
+            m, max_source_size=5, max_target_size=5,
+            source_domain=(0, 1), extra_target_values=2,
+        )
+        assert answer == oracle, f"{[str(s) for s in m.stds]}"

@@ -1,0 +1,66 @@
+"""Tests for pattern feature analysis (repro.patterns.features)."""
+
+import pytest
+
+from repro.patterns.features import (
+    Axes,
+    CHILD,
+    DESCENDANT,
+    FOLLOWING_SIBLING,
+    NEXT_SIBLING,
+    WILDCARD_FEATURE,
+    axes_of,
+    is_fully_specified,
+    uses_only_child_axis,
+)
+from repro.patterns.parser import parse_pattern
+
+
+@pytest.mark.parametrize(
+    "text,descendant,next_,following,wildcard",
+    [
+        ("r[a]", False, False, False, False),
+        ("r//a", True, False, False, False),
+        ("r[a -> b]", False, True, False, False),
+        ("r[a ->* b]", False, False, True, False),
+        ("_[a]", False, False, False, True),
+        ("r[a[_ -> b], //c]", True, True, False, True),
+        ("r[a -> b ->* c]", False, True, True, False),
+        ("r[//a[b ->* c]]", True, False, True, False),
+    ],
+)
+def test_axes_of(text, descendant, next_, following, wildcard):
+    axes = axes_of(parse_pattern(text))
+    assert axes == Axes(descendant, next_, following, wildcard)
+
+
+def test_as_signature_child_always_present():
+    assert CHILD in Axes().as_signature()
+    signature = Axes(descendant=True, wildcard=True).as_signature()
+    assert signature == frozenset({CHILD, DESCENDANT, WILDCARD_FEATURE})
+
+
+def test_axes_or():
+    merged = Axes(descendant=True) | Axes(next_sibling=True)
+    assert merged == Axes(descendant=True, next_sibling=True)
+
+
+@pytest.mark.parametrize(
+    "text,expected",
+    [
+        ("r[a[b], c(x)]", True),
+        ("r//a", False),
+        ("_[a]", False),
+        ("r[a -> b]", False),
+        ("r[a ->* b]", False),
+        ("r", True),
+    ],
+)
+def test_is_fully_specified(text, expected):
+    assert is_fully_specified(parse_pattern(text)) is expected
+
+
+def test_uses_only_child_axis_allows_wildcard():
+    assert uses_only_child_axis(parse_pattern("_[a[_]]"))
+    assert not uses_only_child_axis(parse_pattern("r//a"))
+    assert not uses_only_child_axis(parse_pattern("r[a -> b]"))

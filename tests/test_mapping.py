@@ -1,0 +1,117 @@
+"""Tests for SchemaMapping: signatures, class checks, stripping."""
+
+import pytest
+
+from repro.errors import SignatureError
+from repro.mappings.mapping import SchemaMapping, Signature
+from repro.patterns.features import (
+    CHILD,
+    DESCENDANT,
+    EQUALITY,
+    FOLLOWING_SIBLING,
+    HORIZONTAL,
+    INEQUALITY,
+    NEXT_SIBLING,
+    VERTICAL,
+    WILDCARD_FEATURE,
+)
+
+
+def mk(stds, source="r -> a*\na(x)", target="t -> b*\nb(y)"):
+    return SchemaMapping.parse(source, target, stds)
+
+
+class TestSignature:
+    def test_child_only(self):
+        m = mk(["r[a(x)] -> t[b(x)]"])
+        assert m.signature().features == frozenset({CHILD})
+
+    def test_descendant(self):
+        m = mk(["r//a(x) -> t[b(x)]"])
+        assert DESCENDANT in m.signature().features
+
+    def test_horizontal(self):
+        m = mk(["r[a(x) -> a(y)] -> t[b(x) ->* b(y)]"])
+        features = m.signature().features
+        assert NEXT_SIBLING in features
+        assert FOLLOWING_SIBLING in features
+
+    def test_equality_from_condition(self):
+        m = mk(["r[a(x), a(y)], x = y -> t[b(x)]"])
+        assert EQUALITY in m.signature().features
+
+    def test_equality_from_source_reuse(self):
+        m = mk(["r[a(x), a(x)] -> t[b(x)]"])
+        assert EQUALITY in m.signature().features
+
+    def test_target_reuse_is_free(self):
+        # following [4], target-side variable reuse does not count as "="
+        m = mk(["r[a(x)] -> t[b(x), b(x)]"])
+        assert EQUALITY not in m.signature().features
+
+    def test_inequality(self):
+        m = mk(["r[a(x), a(y)], x != y -> t[b(x)]"])
+        assert INEQUALITY in m.signature().features
+
+    def test_wildcard(self):
+        m = mk(["r[_] -> t"])
+        assert WILDCARD_FEATURE in m.signature().features
+
+    def test_str_rendering(self):
+        assert str(mk(["r[a(x)] -> t[b(x)]"]).signature()) == "SM(↓)"
+        assert str(mk(["r//a(x) -> t[b(x)]"]).signature()) == "SM(⇓)"
+        assert (
+            str(mk(["r[a(x) -> a(y)], x != y -> t//b(x)"]).signature())
+            == "SM(⇓, →, ≠)"
+        )
+
+    def test_check_signature(self):
+        m = mk(["r//a(x) -> t[b(x)]"])
+        m.check_signature(VERTICAL)
+        with pytest.raises(SignatureError):
+            m.check_signature({CHILD})
+
+    def test_check_signature_allows_horizontal(self):
+        m = mk(["r[a(x) ->* a(y)] -> t[b(x)]"])
+        m.check_signature(VERTICAL | HORIZONTAL)
+        with pytest.raises(SignatureError):
+            m.check_signature(VERTICAL)
+
+    def test_signature_issubset_child_always_allowed(self):
+        assert Signature(frozenset({CHILD})).issubset(set())
+
+
+class TestClassChecks:
+    def test_nested_relational(self):
+        m = mk(["r[a(x)] -> t[b(x)]"])
+        assert m.is_nested_relational()
+        m2 = mk(["r[a(x)] -> t[b(x)]"], source="r -> a | aa\na(x)\naa")
+        assert not m2.is_nested_relational()
+
+    def test_fully_specified(self):
+        assert mk(["r[a(x)] -> t[b(x)]"]).is_fully_specified()
+        assert not mk(["r//a(x) -> t[b(x)]"]).is_fully_specified()
+        assert not mk(["r[_] -> t"]).is_fully_specified()
+        assert not mk(["r[a(x) -> a(y)] -> t"]).is_fully_specified()
+
+    def test_uses_data_comparisons(self):
+        assert not mk(["r[a(x)] -> t[b(x)]"]).uses_data_comparisons()
+        assert mk(["r[a(x)], x != 1 -> t[b(x)]"]).uses_data_comparisons()
+
+    def test_uses_skolem(self):
+        assert mk(["r[a(x)] -> t[b(f(x))]"]).uses_skolem_functions()
+        assert not mk(["r[a(x)] -> t[b(x)]"]).uses_skolem_functions()
+
+    def test_strip_values(self):
+        m = mk(["r[a(x), a(y)], x != y -> t[b(x)]"])
+        stripped = m.strip_values()
+        assert stripped.signature().features == frozenset({CHILD})
+        assert len(stripped.stds) == 1
+
+    def test_parse_accepts_dtd_objects(self):
+        m = mk(["r[a(x)] -> t[b(x)]"])
+        again = SchemaMapping(m.source_dtd, m.target_dtd, list(m.stds))
+        assert again.stds == m.stds
+
+    def test_repr(self):
+        assert "SM(" in repr(mk(["r[a(x)] -> t[b(x)]"]))

@@ -1,0 +1,274 @@
+"""Tests for the pattern-matching semantics (repro.patterns.matching).
+
+Includes a naive reference implementation of the inductive semantics of
+Section 3, used to cross-validate the memoizing evaluator on random
+tree/pattern pairs.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import XsmError
+from repro.patterns.ast import WILDCARD, Descendant, Pattern, Sequence, node, seq
+from repro.patterns.matching import (
+    evaluate,
+    find_matches,
+    find_matches_anywhere,
+    holds,
+    matches_at_root,
+)
+from repro.patterns.parser import parse_pattern
+from repro.values import Const, SkolemTerm, Var
+from repro.xmlmodel.parser import parse_tree
+from repro.xmlmodel.tree import TreeNode, tree
+
+
+class TestNodeFormula:
+    def test_label_must_match(self):
+        assert not matches_at_root(parse_pattern("a"), parse_tree("b"))
+        assert matches_at_root(parse_pattern("a"), parse_tree("a"))
+
+    def test_wildcard_matches_any_label(self):
+        assert matches_at_root(parse_pattern("_"), parse_tree("whatever(1)"))
+
+    def test_unconstrained_attrs(self):
+        assert matches_at_root(parse_pattern("a"), parse_tree("a(1, 2)"))
+
+    def test_arity_must_match_when_constrained(self):
+        assert not matches_at_root(parse_pattern("a(x)"), parse_tree("a(1, 2)"))
+        assert not matches_at_root(parse_pattern("a()"), parse_tree("a(1)"))
+
+    def test_constant_must_equal(self):
+        assert matches_at_root(parse_pattern("a(5)"), parse_tree("a(5)"))
+        assert not matches_at_root(parse_pattern("a(5)"), parse_tree("a(6)"))
+
+    def test_variable_binds_value(self):
+        assert find_matches(parse_pattern("a(x)"), parse_tree("a(7)")) == [{Var("x"): 7}]
+
+    def test_repeated_variable_within_tuple(self):
+        assert matches_at_root(parse_pattern("a(x, x)"), parse_tree("a(1, 1)"))
+        assert not matches_at_root(parse_pattern("a(x, x)"), parse_tree("a(1, 2)"))
+
+    def test_skolem_term_rejected(self):
+        with pytest.raises(XsmError):
+            matches_at_root(node("a", [SkolemTerm("f", ())]), parse_tree("a(1)"))
+
+
+class TestChildAndDescendant:
+    def test_child(self):
+        assert matches_at_root(parse_pattern("r[a]"), parse_tree("r[b, a]"))
+        assert not matches_at_root(parse_pattern("r[c]"), parse_tree("r[b, a]"))
+
+    def test_child_is_not_descendant(self):
+        assert not matches_at_root(parse_pattern("r[a]"), parse_tree("r[b[a]]"))
+
+    def test_descendant_any_depth(self):
+        t = parse_tree("r[b[c[a(9)]]]")
+        assert find_matches(parse_pattern("r//a(x)"), t) == [{Var("x"): 9}]
+
+    def test_descendant_is_strict(self):
+        # //r must match strictly below the root, not the root itself
+        assert not matches_at_root(parse_pattern("r[//r]"), parse_tree("r[a]"))
+        assert matches_at_root(parse_pattern("r[//r]"), parse_tree("r[r]"))
+
+    def test_descendant_includes_children(self):
+        assert matches_at_root(parse_pattern("r//a"), parse_tree("r[a]"))
+
+    def test_items_are_independent(self):
+        # two items may match the same child
+        assert matches_at_root(parse_pattern("r[a(1), a(x)]"), parse_tree("r[a(1)]"))
+
+    def test_join_across_items(self):
+        t = parse_tree("r[a(1), b(1), b(2)]")
+        assert evaluate(parse_pattern("r[a(x), b(x)]"), t) == {(1,)}
+
+    def test_join_conflict_empty(self):
+        t = parse_tree("r[a(1), b(2)]")
+        assert evaluate(parse_pattern("r[a(x), b(x)]"), t) == set()
+
+
+class TestHorizontalAxes:
+    @pytest.fixture
+    def flat(self) -> TreeNode:
+        return parse_tree("r[a(1), a(2), a(3)]")
+
+    def test_next_sibling(self, flat):
+        answers = evaluate(parse_pattern("r[a(x) -> a(y)]"), flat)
+        assert answers == {(1, 2), (2, 3)}
+
+    def test_following_sibling(self, flat):
+        answers = evaluate(parse_pattern("r[a(x) ->* a(y)]"), flat)
+        assert answers == {(1, 2), (1, 3), (2, 3)}
+
+    def test_unordered_items_give_all_pairs(self, flat):
+        answers = evaluate(parse_pattern("r[a(x), a(y)]"), flat)
+        assert len(answers) == 9
+
+    def test_next_sibling_respects_labels(self):
+        t = parse_tree("r[a(1), b(2), a(3)]")
+        assert evaluate(parse_pattern("r[a(x) -> a(y)]"), t) == set()
+        assert evaluate(parse_pattern("r[a(x) ->* a(y)]"), t) == {(1, 3)}
+
+    def test_three_element_sequence(self):
+        t = parse_tree("r[a(1), a(2), b(3), a(4)]")
+        answers = evaluate(parse_pattern("r[a(x) -> a(y) ->* a(z)]"), t)
+        assert answers == {(1, 2, 4)}
+
+    def test_sequence_with_subtrees(self):
+        t = parse_tree("r[c(1)[t(A)], c(2)[t(B)]]")
+        answers = evaluate(parse_pattern("r[c(x)[t(u)] -> c(y)[t(v)]]"), t)
+        assert answers == {(1, "A", 2, "B")}
+
+    def test_paper_order_preservation_pattern(self):
+        # professor x teaches cn1 then cn2 (next-sibling in the source)
+        source = parse_tree(
+            "r[prof(Ada)[teach[year(2009)[course(db1), course(db2)]], "
+            "supervise[student(s1)]]]"
+        )
+        pi3 = parse_pattern(
+            "r[prof(x)[teach[year(y)[course(cn1) -> course(cn2)]], "
+            "supervise[student(s)]]]"
+        )
+        assert evaluate(pi3, source) == {("Ada", 2009, "db1", "db2", "s1")}
+
+
+class TestApi:
+    def test_holds_with_partial_assignment(self):
+        t = parse_tree("r[a(1), b(2)]")
+        p = parse_pattern("r[a(x), b(y)]")
+        assert holds(p, t, {Var("x"): 1})
+        assert not holds(p, t, {Var("x"): 2})
+        assert holds(p, t, {Var("x"): 1, Var("y"): 2})
+
+    def test_find_matches_anywhere(self):
+        t = parse_tree("r[b[a(5)]]")
+        assert find_matches(parse_pattern("a(x)"), t) == []
+        assert find_matches_anywhere(parse_pattern("a(x)"), t) == [{Var("x"): 5}]
+
+    def test_evaluate_tuple_order_follows_variables(self):
+        p = parse_pattern("r[b(y), a(x)]")
+        t = parse_tree("r[b(20), a(10)]")
+        assert p.variables() == (Var("y"), Var("x"))
+        assert evaluate(p, t) == {(20, 10)}
+
+    def test_match_on_shared_subtree_objects(self):
+        # the same child object appearing twice must not confuse memoization
+        shared = tree("a", attrs=(1,))
+        t = tree("r", children=[shared, shared])
+        assert evaluate(parse_pattern("r[a(x) -> a(y)]"), t) == {(1, 1)}
+
+
+# ---------------------------------------------------------------------------
+# Reference semantics: direct, non-memoized implementation of Section 3.
+# ---------------------------------------------------------------------------
+
+
+def ref_match_node(t: TreeNode, p: Pattern, val: dict) -> list[dict]:
+    if p.label != WILDCARD and p.label != t.label:
+        return []
+    out = [dict(val)]
+    if p.vars is not None:
+        if len(p.vars) != len(t.attrs):
+            return []
+        v = dict(val)
+        for term, value in zip(p.vars, t.attrs):
+            if isinstance(term, Const):
+                if term.value != value:
+                    return []
+            else:
+                if term in v and v[term] != value:
+                    return []
+                v[term] = value
+        out = [v]
+    for item in p.items:
+        grown = []
+        for v in out:
+            if isinstance(item, Descendant):
+                for d in t.descendants():
+                    grown.extend(ref_match_node(d, item.pattern, v))
+            else:
+                grown.extend(ref_match_sequence(t.children, item, v))
+        out = [dict(s) for s in {tuple(sorted(g.items(), key=repr)) for g in grown}]
+        if not out:
+            return []
+    return out
+
+
+def ref_match_sequence(children, item: Sequence, val: dict) -> list[dict]:
+    results = []
+    positions = range(len(children))
+    for combo in itertools.product(positions, repeat=len(item.elements)):
+        ok = True
+        for connector, (p1, p2) in zip(item.connectors, zip(combo, combo[1:])):
+            if connector == "next" and p2 != p1 + 1:
+                ok = False
+            if connector == "following" and p2 <= p1:
+                ok = False
+        if not ok:
+            continue
+        vals = [dict(val)]
+        for position, element in zip(combo, item.elements):
+            vals = [
+                v2
+                for v in vals
+                for v2 in ref_match_node(children[position], element, v)
+            ]
+            if not vals:
+                break
+        results.extend(vals)
+    return results
+
+
+labels_st = st.sampled_from(["a", "b"])
+values_st = st.integers(min_value=0, max_value=2)
+
+
+def small_trees():
+    return st.recursive(
+        st.builds(tree, labels_st, st.tuples(values_st)),
+        lambda ch: st.builds(tree, labels_st, st.tuples(values_st), st.lists(ch, max_size=3)),
+        max_leaves=6,
+    )
+
+
+def small_patterns():
+    leaf = st.builds(
+        lambda l, v: Pattern(l, v),
+        st.sampled_from(["a", "b", WILDCARD]),
+        st.one_of(
+            st.none(),
+            st.tuples(st.sampled_from([Var("x"), Var("y"), Const(0), Const(1)])),
+        ),
+    )
+    return st.recursive(
+        leaf,
+        lambda inner: st.builds(
+            lambda l, items: Pattern(l, None, tuple(items)),
+            st.sampled_from(["a", "b", WILDCARD]),
+            st.lists(
+                st.one_of(
+                    st.builds(Descendant, inner),
+                    st.builds(lambda e: Sequence((e,)), inner),
+                    st.builds(
+                        lambda e1, e2, c: Sequence((e1, e2), (c,)),
+                        inner,
+                        inner,
+                        st.sampled_from(["next", "following"]),
+                    ),
+                ),
+                min_size=1,
+                max_size=2,
+            ),
+        ),
+        max_leaves=4,
+    )
+
+
+@settings(max_examples=150, deadline=None)
+@given(small_trees(), small_patterns())
+def test_matcher_agrees_with_reference_semantics(t, p):
+    got = {frozenset(m.items()) for m in find_matches(p, t)}
+    expected = {frozenset(m.items()) for m in ref_match_node(t, p, {})}
+    assert got == expected

@@ -1,0 +1,174 @@
+"""Tests for membership (T, T') in [[M]] (repro.mappings.membership),
+including the paper's running university example."""
+
+import pytest
+
+from repro.mappings.mapping import SchemaMapping
+from repro.mappings.membership import (
+    is_solution,
+    std_is_satisfied,
+    triggered_requirements,
+    violations,
+)
+from repro.mappings.std import parse_std
+from repro.errors import XsmError
+from repro.xmlmodel.parser import parse_tree
+
+
+D1 = """
+r -> prof*
+prof(name) -> teach, supervise
+teach -> year
+year(y) -> course, course
+supervise -> student*
+course(cn)
+student(sid)
+"""
+
+D2 = """
+r -> course*, student*
+course(cn, y) -> taughtby
+student(sid) -> supervisor
+taughtby(name)
+supervisor(name)
+"""
+
+#: The paper's third mapping: order preservation + inequality.
+STD3 = (
+    "r[prof(x)[teach[year(y)[course(cn1) -> course(cn2)]], "
+    "supervise[student(s)]]], cn1 != cn2 -> "
+    "r[course(cn1, y)[taughtby(x)] ->* course(cn2, y)[taughtby(x)], "
+    "student(s)[supervisor(x)]]"
+)
+
+SOURCE = parse_tree(
+    "r[prof(Ada)[teach[year(2009)[course(db1), course(db2)]], "
+    "supervise[student(s1)]]]"
+)
+
+
+@pytest.fixture
+def paper_mapping() -> SchemaMapping:
+    return SchemaMapping.parse(D1, D2, [STD3])
+
+
+class TestPaperExample:
+    def test_order_preserving_target_is_solution(self, paper_mapping):
+        target = parse_tree(
+            "r[course(db1, 2009)[taughtby(Ada)], course(db2, 2009)[taughtby(Ada)], "
+            "student(s1)[supervisor(Ada)]]"
+        )
+        assert is_solution(paper_mapping, SOURCE, target)
+
+    def test_order_reversed_target_is_not_solution(self, paper_mapping):
+        target = parse_tree(
+            "r[course(db2, 2009)[taughtby(Ada)], course(db1, 2009)[taughtby(Ada)], "
+            "student(s1)[supervisor(Ada)]]"
+        )
+        assert not is_solution(paper_mapping, SOURCE, target)
+
+    def test_gap_between_courses_is_fine(self, paper_mapping):
+        # ->* tolerates other courses in between
+        target = parse_tree(
+            "r[course(db1, 2009)[taughtby(Ada)], course(x9, 2024)[taughtby(Bob)], "
+            "course(db2, 2009)[taughtby(Ada)], student(s1)[supervisor(Ada)]]"
+        )
+        assert is_solution(paper_mapping, SOURCE, target)
+
+    def test_same_course_twice_does_not_trigger(self, paper_mapping):
+        # cn1 != cn2 fails, so the std fires no requirement at all
+        source = parse_tree(
+            "r[prof(Ada)[teach[year(2009)[course(db1), course(db1)]], "
+            "supervise[student(s1)]]]"
+        )
+        empty_target = parse_tree("r")
+        assert is_solution(paper_mapping, source, empty_target)
+
+    def test_missing_supervisor_violates(self, paper_mapping):
+        target = parse_tree(
+            "r[course(db1, 2009)[taughtby(Ada)], course(db2, 2009)[taughtby(Ada)], "
+            "student(s1)[supervisor(Bob)]]"
+        )
+        assert not is_solution(paper_mapping, SOURCE, target)
+        failures = violations(paper_mapping, SOURCE, target)
+        assert len(failures) == 1
+
+    def test_nonconforming_source_rejected(self, paper_mapping):
+        assert not is_solution(paper_mapping, parse_tree("r[prof(Ada)]"),
+                               parse_tree("r"))
+
+    def test_nonconforming_target_rejected(self, paper_mapping):
+        assert not is_solution(paper_mapping, SOURCE, parse_tree("r[course(a, 1)]"))
+
+
+class TestSemanticsDetails:
+    def test_existential_target_variables(self):
+        m = SchemaMapping.parse(
+            "r -> a*\na(x)", "t -> b*\nb(u, v)", ["r[a(x)] -> t[b(x, z)]"]
+        )
+        assert is_solution(m, parse_tree("r[a(1)]"), parse_tree("t[b(1, 99)]"))
+        assert not is_solution(m, parse_tree("r[a(1)]"), parse_tree("t[b(2, 1)]"))
+
+    def test_target_conditions(self):
+        m = SchemaMapping.parse(
+            "r -> a*\na(x)",
+            "t -> b*\nb(u, v)",
+            ["r[a(x)] -> t[b(x, z)], z != x"],
+        )
+        assert not is_solution(m, parse_tree("r[a(1)]"), parse_tree("t[b(1, 1)]"))
+        assert is_solution(m, parse_tree("r[a(1)]"), parse_tree("t[b(1, 2)]"))
+
+    def test_source_equality_condition(self):
+        m = SchemaMapping.parse(
+            "r -> a*\na(x)",
+            "t -> b*\nb(u)",
+            ["r[a(x) -> a(y)], x = y -> t[b(x)]"],
+        )
+        # adjacent equal values trigger; adjacent distinct do not
+        assert not is_solution(m, parse_tree("r[a(1), a(1)]"), parse_tree("t"))
+        assert is_solution(m, parse_tree("r[a(1), a(2)]"), parse_tree("t"))
+        assert is_solution(m, parse_tree("r[a(1), a(1)]"), parse_tree("t[b(1)]"))
+
+    def test_every_match_must_be_honoured(self):
+        m = SchemaMapping.parse(
+            "r -> a*\na(x)", "t -> b*\nb(u)", ["r[a(x)] -> t[b(x)]"]
+        )
+        assert not is_solution(
+            m, parse_tree("r[a(1), a(2)]"), parse_tree("t[b(1)]")
+        )
+        assert is_solution(
+            m, parse_tree("r[a(1), a(2)]"), parse_tree("t[b(2), b(1)]")
+        )
+
+    def test_empty_std_set_only_requires_conformance(self):
+        m = SchemaMapping.parse("r -> a*\na(x)", "t -> b*\nb(u)", [])
+        assert is_solution(m, parse_tree("r"), parse_tree("t"))
+        assert not is_solution(m, parse_tree("x"), parse_tree("t"))
+
+    def test_skolem_std_rejected_by_plain_membership(self):
+        std = parse_std("r[a(x)] -> t[b(f(x))]")
+        with pytest.raises(XsmError):
+            std_is_satisfied(std, parse_tree("r[a(1)]"), parse_tree("t[b(1)]"))
+
+    def test_triggered_requirements_dedup(self):
+        m = SchemaMapping.parse(
+            "r -> a*\na(x)", "t -> b*\nb(u)", ["r[a(x), a(y)] -> t[b(x)]"]
+        )
+        requirements = triggered_requirements(m, parse_tree("r[a(1), a(2)]"))
+        # (x,y) ranges over 4 pairs but only x is exported: 2 distinct
+        assert len(requirements) == 2
+
+    def test_wildcard_source(self):
+        m = SchemaMapping.parse(
+            "r -> a | b\na(x)\nb(x)", "t -> c*\nc(u)", ["r[_(x)] -> t[c(x)]"]
+        )
+        assert is_solution(m, parse_tree("r[b(3)]"), parse_tree("t[c(3)]"))
+        assert not is_solution(m, parse_tree("r[b(3)]"), parse_tree("t[c(4)]"))
+
+    def test_descendant_source(self):
+        m = SchemaMapping.parse(
+            "r -> m\nm -> a?\na(x)", "t -> c*\nc(u)", ["r//a(x) -> t[c(x)]"]
+        )
+        assert is_solution(m, parse_tree("r[m[a(5)]]"), parse_tree("t[c(5)]"))
+        assert not is_solution(m, parse_tree("r[m[a(5)]]"), parse_tree("t"))
+        assert is_solution(m, parse_tree("r[m]"), parse_tree("t"))

@@ -1,0 +1,129 @@
+"""Tests for the pattern AST and its helpers (repro.patterns.ast)."""
+
+import pytest
+
+from repro.patterns.ast import WILDCARD, Descendant, Pattern, Sequence, node, seq
+from repro.values import Const, SkolemTerm, Var
+
+
+class TestConstruction:
+    def test_node_coerces_strings_to_vars(self):
+        p = node("a", ["x", 5, Const("lit")])
+        assert p.vars == (Var("x"), Const(5), Const("lit"))
+
+    def test_node_vars_none_means_unconstrained(self):
+        assert node("a").vars is None
+        assert node("a", []).vars == ()
+
+    def test_node_wraps_bare_patterns_in_sequences(self):
+        p = node("r", items=[node("a")])
+        assert p.items == (Sequence((node("a"),)),)
+
+    def test_node_rejects_junk_items(self):
+        with pytest.raises(TypeError):
+            node("r", items=["a"])
+
+    def test_seq(self):
+        s = seq(node("a"), "->", node("b"), "->*", node("c"))
+        assert s.connectors == ("next", "following")
+        assert [e.label for e in s.elements] == ["a", "b", "c"]
+
+    def test_seq_rejects_bad_shape(self):
+        with pytest.raises(TypeError):
+            seq(node("a"), "->")
+        with pytest.raises(TypeError):
+            seq(node("a"), "=>", node("b"))
+        with pytest.raises(TypeError):
+            seq("a")
+
+    def test_sequence_validates_connectors(self):
+        with pytest.raises(ValueError):
+            Sequence((node("a"), node("b")), ())
+        with pytest.raises(ValueError):
+            Sequence((node("a"), node("b")), ("sideways",))
+
+    def test_pattern_rejects_bad_item(self):
+        with pytest.raises(TypeError):
+            Pattern("a", None, (node("b"),))  # bare pattern, not Sequence
+
+
+@pytest.fixture
+def pi3() -> Pattern:
+    """The paper's pattern (3)."""
+    return node(
+        "r",
+        items=[
+            node(
+                "prof",
+                ["x"],
+                [
+                    node(
+                        "teach",
+                        items=[
+                            node(
+                                "year",
+                                ["y"],
+                                [seq(node("course", ["cn1"]), "->", node("course", ["cn2"]))],
+                            )
+                        ],
+                    ),
+                    node("supervise", items=[node("student", ["s"])]),
+                ],
+            )
+        ],
+    )
+
+
+class TestViews:
+    def test_subpatterns_document_order(self, pi3):
+        labels = [p.label for p in pi3.subpatterns()]
+        assert labels == ["r", "prof", "teach", "year", "course", "course",
+                          "supervise", "student"]
+
+    def test_size(self, pi3):
+        assert pi3.size == 8
+
+    def test_variables_in_first_occurrence_order(self, pi3):
+        assert pi3.variables() == (Var("x"), Var("y"), Var("cn1"), Var("cn2"), Var("s"))
+
+    def test_has_repeated_variables(self, pi3):
+        assert not pi3.has_repeated_variables()
+        assert node("r", items=[node("a", ["x"]), node("b", ["x"])]).has_repeated_variables()
+
+    def test_labels_used_excludes_wildcard(self):
+        p = node(WILDCARD, items=[node("a")])
+        assert p.labels_used() == frozenset({"a"})
+
+    def test_variables_inside_skolem_terms(self):
+        p = node("t", [SkolemTerm("f", (Var("x"), Var("y")))])
+        assert p.variables() == (Var("x"), Var("y"))
+
+
+class TestTransformations:
+    def test_strip_values(self, pi3):
+        stripped = pi3.strip_values()
+        assert all(p.vars is None for p in stripped.subpatterns())
+        assert [p.label for p in stripped.subpatterns()] == [
+            p.label for p in pi3.subpatterns()
+        ]
+
+    def test_substitute(self, pi3):
+        ground = pi3.substitute({Var("x"): "Ada", Var("cn1"): "db1"})
+        terms = list(ground.terms())
+        assert Const("Ada") in terms
+        assert Const("db1") in terms
+        assert Var("y") in terms  # unassigned variables survive
+
+    def test_substitute_inside_skolem(self):
+        p = node("t", [SkolemTerm("f", (Var("x"),))])
+        q = p.substitute({Var("x"): 3})
+        assert q.vars == (SkolemTerm("f", (Const(3),)),)
+
+    def test_rename_variables(self, pi3):
+        renamed = pi3.rename_variables({Var("x"): Var("x2")})
+        assert Var("x2") in renamed.variables()
+        assert Var("x") not in renamed.variables()
+
+    def test_hashable_and_equal(self, pi3):
+        assert hash(pi3) == hash(pi3.map_patterns(lambda p: p))
+        assert pi3 == pi3.map_patterns(lambda p: p)

@@ -1,0 +1,171 @@
+"""Tests for Skolem-function mappings (repro.mappings.skolem, Section 8)."""
+
+import pytest
+
+from repro.errors import NotInClassError
+from repro.mappings.membership import is_solution
+from repro.mappings.skolem import (
+    SkolemMapping,
+    find_skolem_witness,
+    is_skolem_solution,
+    skolem_requirements,
+)
+from repro.xmlmodel.parser import parse_tree
+
+
+def employee_mapping(std: str) -> SkolemMapping:
+    """The paper's example: S(empl_name, project) -> T(empl_id, empl_name, office)."""
+    return SkolemMapping.parse(
+        "r -> s*\ns(name, project)",
+        "t -> row*\nrow(id, name, office)",
+        [std],
+    )
+
+
+class TestSkolemSemantics:
+    def test_same_argument_same_value(self):
+        m = employee_mapping("r[s(x, y)] -> t[row(f(x), x, z)]")
+        source = parse_tree("r[s(Ada, p1), s(Ada, p2)]")
+        # one id 7 for Ada serves both project rows
+        assert is_skolem_solution(m, source, parse_tree("t[row(7, Ada, o1)]"))
+
+    def test_function_keyed_by_project(self):
+        m = employee_mapping("r[s(x, y)] -> t[row(f(y), x, z)]")
+        source = parse_tree("r[s(Ada, p1), s(Bob, p1)]")
+        # same project => same id must appear with both names
+        assert is_skolem_solution(
+            m, source, parse_tree("t[row(7, Ada, o), row(7, Bob, o)]")
+        )
+        assert not is_skolem_solution(
+            m, source, parse_tree("t[row(7, Ada, o), row(8, Bob, o)]")
+        )
+
+    def test_different_arguments_may_differ(self):
+        m = employee_mapping("r[s(x, y)] -> t[row(f(x), x, z)]")
+        source = parse_tree("r[s(Ada, p1), s(Bob, p1)]")
+        assert is_skolem_solution(
+            m, source, parse_tree("t[row(7, Ada, o), row(8, Bob, o)]")
+        )
+
+    def test_same_function_across_stds(self):
+        m = SkolemMapping.parse(
+            "r -> a*, b*\na(x)\nb(x)",
+            "t -> c*, d*\nc(u, v)\nd(u, v)",
+            ["r[a(x)] -> t[c(x, f(x))]", "r[b(x)] -> t[d(x, f(x))]"],
+        )
+        source = parse_tree("r[a(1), b(1)]")
+        # f(1) must be the same value in both target relations
+        assert is_skolem_solution(m, source, parse_tree("t[c(1, 9), d(1, 9)]"))
+        assert not is_skolem_solution(m, source, parse_tree("t[c(1, 9), d(1, 8)]"))
+
+    def test_nested_skolem_terms(self):
+        # rows are keyed by x, so each trigger is pinned to its own row
+        m = SkolemMapping.parse(
+            "r -> a*\na(x)",
+            "t -> c*\nc(k, u, v)",
+            ["r[a(x)] -> t[c(x, g(x), f(g(x)))]"],
+        )
+        source = parse_tree("r[a(1), a(2)]")
+        # g(1)=10, g(2)=20, f(10)=100, f(20)=200: fine
+        assert is_skolem_solution(
+            m, source, parse_tree("t[c(1, 10, 100), c(2, 20, 200)]")
+        )
+        # g(1)=g(2)=10 forces f(g(1)) = f(g(2)): equal last columns fine...
+        assert is_skolem_solution(
+            m, source, parse_tree("t[c(1, 10, 100), c(2, 10, 100)]")
+        )
+        # ...but 100 != 200 under equal g-values breaks functionality of f
+        assert not is_skolem_solution(
+            m, source, parse_tree("t[c(1, 10, 100), c(2, 10, 200)]")
+        )
+
+    def test_witness_is_returned(self):
+        m = employee_mapping("r[s(x, y)] -> t[row(f(x), x, z)]")
+        source = parse_tree("r[s(Ada, p1)]")
+        witness = find_skolem_witness(m, source, parse_tree("t[row(7, Ada, o)]"))
+        assert witness is not None
+        assert 7 in witness.values()
+
+    def test_skolem_condition_only(self):
+        # Skolem term appears only in alpha': residual unification decides it
+        m = SkolemMapping.parse(
+            "r -> a*\na(x)",
+            "t -> c*\nc(u)",
+            ["r[a(x)] -> t[c(z)], z = f(x)"],
+        )
+        source = parse_tree("r[a(1), a(2)]")
+        assert is_skolem_solution(m, source, parse_tree("t[c(5), c(6)]"))
+
+    def test_skolem_condition_inconsistent(self):
+        # z = f(x) for both a(1)-triggers forces the two c-values equal
+        m = SkolemMapping.parse(
+            "r -> a*, b*\na(x)\nb(x)",
+            "t -> c?, d?\nc(u)\nd(u)",
+            ["r[a(x)] -> t[c(z)], z = f(x)", "r[b(x)] -> t[d(z)], z = f(x)"],
+        )
+        source = parse_tree("r[a(1), b(1)]")
+        assert is_skolem_solution(m, source, parse_tree("t[c(5), d(5)]"))
+        assert not is_skolem_solution(m, source, parse_tree("t[c(5), d(6)]"))
+
+    def test_agrees_with_plain_semantics_without_skolem(self):
+        m = SkolemMapping.parse(
+            "r -> a*\na(x)", "t -> b*\nb(u, v)", ["r[a(x)] -> t[b(x, z)]"]
+        )
+        cases = [
+            ("r[a(1)]", "t[b(1, 9)]"),
+            ("r[a(1)]", "t[b(2, 1)]"),
+            ("r[a(1), a(2)]", "t[b(1, 5), b(2, 5)]"),
+            ("r[a(1), a(2)]", "t[b(1, 5)]"),
+            ("r", "t"),
+        ]
+        for source_text, target_text in cases:
+            source, target = parse_tree(source_text), parse_tree(target_text)
+            assert is_skolem_solution(m, source, target) == is_solution(m, source, target)
+
+    def test_conformance_checked(self):
+        m = employee_mapping("r[s(x, y)] -> t[row(f(x), x, z)]")
+        assert not is_skolem_solution(m, parse_tree("zzz"), parse_tree("t"))
+
+    def test_requirements_structure(self):
+        m = employee_mapping("r[s(x, y)] -> t[row(f(x), x, z)]")
+        requirements, registry = skolem_requirements(
+            m, parse_tree("r[s(Ada, p1), s(Bob, p2)]")
+        )
+        assert len(requirements) == 2
+        assert len(registry) == 2  # f(Ada) and f(Bob)
+
+
+class TestComposableClassCheck:
+    def test_accepts_strict_class(self):
+        m = SkolemMapping.parse(
+            "r -> a*\na(x)", "t -> b*\nb(u)", ["r[a(x)] -> t[b(f(x))]"]
+        )
+        m.check_composable_class()
+
+    def test_rejects_unstarred_attributes(self):
+        m = SkolemMapping.parse(
+            "r -> a\na(x)", "t -> b*\nb(u)", ["r[a(x)] -> t[b(x)]"]
+        )
+        with pytest.raises(NotInClassError, match="source"):
+            m.check_composable_class()
+
+    def test_rejects_descendant(self):
+        m = SkolemMapping.parse(
+            "r -> a*\na(x)", "t -> b*\nb(u)", ["r//a(x) -> t[b(x)]"]
+        )
+        with pytest.raises(NotInClassError, match="fully specified"):
+            m.check_composable_class()
+
+    def test_rejects_inequality(self):
+        m = SkolemMapping.parse(
+            "r -> a*\na(x)", "t -> b*\nb(u)", ["r[a(x)], x != 1 -> t[b(x)]"]
+        )
+        with pytest.raises(NotInClassError, match="nequalit"):
+            m.check_composable_class()
+
+    def test_rejects_disjunctive_dtd(self):
+        m = SkolemMapping.parse(
+            "r -> a* | c\na(x)\nc", "t -> b*\nb(u)", ["r[a(x)] -> t[b(x)]"]
+        )
+        with pytest.raises(NotInClassError):
+            m.check_composable_class()

@@ -1,0 +1,119 @@
+"""Tests for stds: parsing, variable bookkeeping, comparisons."""
+
+import pytest
+
+from repro.errors import ParseError, XsmError
+from repro.mappings.std import STD, Comparison, parse_std
+from repro.patterns.parser import parse_pattern
+from repro.values import Const, SkolemTerm, Var
+
+
+class TestComparison:
+    def test_equality(self):
+        c = Comparison(Var("x"), "=", Var("y"))
+        assert c.evaluate({Var("x"): 1, Var("y"): 1})
+        assert not c.evaluate({Var("x"): 1, Var("y"): 2})
+
+    def test_inequality(self):
+        c = Comparison(Var("x"), "!=", Const(5))
+        assert c.evaluate({Var("x"): 4})
+        assert not c.evaluate({Var("x"): 5})
+
+    def test_bad_operator(self):
+        with pytest.raises(ValueError):
+            Comparison(Var("x"), "<", Var("y"))
+
+    def test_unbound_variable(self):
+        with pytest.raises(XsmError):
+            Comparison(Var("x"), "=", Var("y")).evaluate({Var("x"): 1})
+
+    def test_substitute(self):
+        c = Comparison(Var("x"), "=", Var("y")).substitute({Var("x"): 3})
+        assert c == Comparison(Const(3), "=", Var("y"))
+
+    def test_variables_inside_skolem(self):
+        c = Comparison(SkolemTerm("f", (Var("x"),)), "=", Var("y"))
+        assert set(c.variables()) == {Var("x"), Var("y")}
+
+    def test_str(self):
+        assert str(Comparison(Var("x"), "!=", Const(3))) == "x != 3"
+
+
+class TestParseStd:
+    def test_minimal(self):
+        std = parse_std("r -> r")
+        assert std.source == parse_pattern("r")
+        assert std.target == parse_pattern("r")
+        assert std.source_conditions == ()
+
+    def test_with_conditions(self):
+        std = parse_std("r[a(x), b(y)], x != y -> t[c(x)], x = z")
+        assert std.source_conditions == (Comparison(Var("x"), "!=", Var("y")),)
+        assert std.target_conditions == (Comparison(Var("x"), "=", Var("z")),)
+
+    def test_arrow_inside_brackets_is_next_sibling(self):
+        std = parse_std("r[a(x) -> b(y)] -> t[c(x)]")
+        (item,) = std.source.items
+        assert item.connectors == ("next",)
+        assert std.target == parse_pattern("t[c(x)]")
+
+    def test_paper_third_mapping(self):
+        std = parse_std(
+            "r[prof(x)[teach[year(y)[course(cn1) -> course(cn2)]], "
+            "supervise[student(s)]]], cn1 != cn2 -> "
+            "r[course(cn1, y)[taughtby(x)] ->* course(cn2, y)[taughtby(x)], "
+            "student(s)[supervisor(x)]]"
+        )
+        assert std.source_conditions == (Comparison(Var("cn1"), "!=", Var("cn2")),)
+        assert std.shared_variables() == (Var("cn1"), Var("y"), Var("x"), Var("cn2"), Var("s"))
+        assert std.existential_variables() == ()
+
+    def test_path_sugar_on_both_sides(self):
+        std = parse_std("r/a(x) -> t//b(x)")
+        assert std.source == parse_pattern("r/a(x)")
+        assert std.target == parse_pattern("t//b(x)")
+
+    def test_multiple_conditions(self):
+        std = parse_std("r[a(x), b(y), c(z)], x = y, y != z -> t")
+        assert len(std.source_conditions) == 2
+
+    @pytest.mark.parametrize(
+        "text",
+        ["r", "r ->", "-> r", "r -> t -> u", "r, x -> t", "r, x < y -> t",
+         "r -> t, x =", "r -> t junk"],
+    )
+    def test_rejects(self, text):
+        with pytest.raises(ParseError):
+            parse_std(text)
+
+
+class TestVariableBookkeeping:
+    def test_shared_and_existential(self):
+        std = parse_std("r[a(x), b(y)] -> t[c(x), d(z)]")
+        assert std.source_variables() == (Var("x"), Var("y"))
+        assert std.shared_variables() == (Var("x"),)
+        assert std.existential_variables() == (Var("z"),)
+
+    def test_condition_variables_count_as_source(self):
+        std = parse_std("r[a(x)], x != w -> t[c(w)]")
+        assert Var("w") in std.source_variables()
+        assert std.shared_variables() == (Var("w"),)
+
+    def test_skolem_functions(self):
+        std = parse_std("r[a(x)] -> t[c(f(x), g(f(x)))]")
+        assert std.skolem_functions() == frozenset({"f", "g"})
+
+    def test_skolem_in_conditions(self):
+        std = parse_std("r[a(x)] -> t[c(z)], z = f(x)")
+        assert std.skolem_functions() == frozenset({"f"})
+
+    def test_strip_values(self):
+        std = parse_std("r[a(x)], x != 3 -> t[c(x)]")
+        stripped = std.strip_values()
+        assert stripped.source_conditions == ()
+        assert stripped.target_conditions == ()
+        assert all(p.vars is None for p in stripped.source.subpatterns())
+
+    def test_str_roundtrip(self):
+        text = "r[a(x), b(y)], x != y -> t[c(x)], x = z"
+        assert str(parse_std(text)) == text

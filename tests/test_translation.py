@@ -1,0 +1,159 @@
+"""Tests for the relational embedding (repro.mappings.translation):
+XML mapping semantics must coincide with plain relational std semantics."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import XsmError
+from repro.mappings.membership import is_solution
+from repro.mappings.translation import (
+    Atom,
+    RelationalSchema,
+    cq_to_pattern,
+    instance_to_tree,
+    relational_mapping,
+    relational_std,
+    schema_to_dtd,
+    tree_to_instance,
+)
+from repro.patterns.matching import evaluate
+from repro.patterns.parser import serialize_pattern
+from repro.values import Const, Var
+
+
+S = RelationalSchema.of({"S1": ("A", "B"), "S2": ("C", "D")})
+T = RelationalSchema.of({"T1": ("E", "F")})
+
+
+class TestSchemaEncoding:
+    def test_dtd_shape(self):
+        dtd = schema_to_dtd(S)
+        assert str(dtd.productions["r"]) == "s1, s2"
+        assert str(dtd.productions["s1"]) == "s1_t*"
+        assert dtd.attributes["s1_t"] == ("A", "B")
+        assert dtd.is_nested_relational()
+
+    def test_strictly_nested_relational(self):
+        # tuple elements are starred, wrappers carry no attributes
+        assert schema_to_dtd(S).is_strictly_nested_relational()
+
+    def test_empty_schema(self):
+        dtd = schema_to_dtd(RelationalSchema.of({}))
+        assert dtd.conforms(instance_to_tree(RelationalSchema.of({}), {}))
+
+
+class TestInstanceRoundtrip:
+    def test_roundtrip(self):
+        instance = {"S1": {(1, 2), (3, 4)}, "S2": {(5, 6)}}
+        t = instance_to_tree(S, instance)
+        assert schema_to_dtd(S).conforms(t)
+        assert tree_to_instance(S, t) == instance
+
+    def test_empty_relations(self):
+        instance = {"S1": set(), "S2": set()}
+        t = instance_to_tree(S, instance)
+        assert tree_to_instance(S, t) == instance
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(XsmError):
+            instance_to_tree(S, {"S1": {(1,)}})
+
+
+class TestQueryEncoding:
+    def test_paper_join_example(self):
+        # S1(x,y), S2(y,z) -> r[s1[t1(x, y)], s2[t2(y, z)]]
+        pattern = cq_to_pattern(S, [Atom.of("S1", "x", "y"), Atom.of("S2", "y", "z")])
+        assert serialize_pattern(pattern) == "r[s1[s1_t(x, y)], s2[s2_t(y, z)]]"
+
+    def test_join_evaluation(self):
+        pattern = cq_to_pattern(S, [Atom.of("S1", "x", "y"), Atom.of("S2", "y", "z")])
+        instance = {"S1": {(1, 2), (3, 7)}, "S2": {(2, 5), (2, 6)}}
+        answers = evaluate(pattern, instance_to_tree(S, instance))
+        assert answers == {(1, 2, 5), (1, 2, 6)}
+
+    def test_constants_in_atoms(self):
+        pattern = cq_to_pattern(S, [Atom.of("S1", Const(1), "y")])
+        instance = {"S1": {(1, 2), (3, 4)}, "S2": set()}
+        assert evaluate(pattern, instance_to_tree(S, instance)) == {(2,)}
+
+
+# -- reference relational semantics -------------------------------------------
+
+
+def eval_cq(atoms, instance, binding=None):
+    """All extensions of *binding* satisfying the conjunction on *instance*."""
+    binding = dict(binding or {})
+    if not atoms:
+        return [binding]
+    first, rest = atoms[0], atoms[1:]
+    results = []
+    for row in instance.get(first.relation, ()):
+        new = dict(binding)
+        ok = True
+        for term, value in zip(first.terms, row):
+            if isinstance(term, Const):
+                if term.value != value:
+                    ok = False
+                    break
+            else:
+                if term in new and new[term] != value:
+                    ok = False
+                    break
+                new[term] = value
+        if ok:
+            results.extend(eval_cq(rest, instance, new))
+    return results
+
+
+def relational_satisfies(source_atoms, target_atoms, source_instance, target_instance):
+    """Reference semantics of the relational std phi_s -> psi_t."""
+    target_vars = {
+        t for atom in target_atoms for t in atom.terms if isinstance(t, Var)
+    }
+    for match in eval_cq(source_atoms, source_instance):
+        exported = {v: value for v, value in match.items() if v in target_vars}
+        if not eval_cq(target_atoms, target_instance, exported):
+            return False
+    return True
+
+
+values_st = st.integers(min_value=0, max_value=2)
+rows_st = st.frozensets(st.tuples(values_st, values_st), max_size=3)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows_st, rows_st, rows_st)
+def test_xml_semantics_matches_relational_semantics(s1_rows, s2_rows, t1_rows):
+    source_instance = {"S1": set(s1_rows), "S2": set(s2_rows)}
+    target_instance = {"T1": set(t1_rows)}
+    source_atoms = [Atom.of("S1", "x", "y"), Atom.of("S2", "y", "z")]
+    target_atoms = [Atom.of("T1", "x", "z")]
+    mapping = relational_mapping(S, T, [(source_atoms, target_atoms)])
+    xml_answer = is_solution(
+        mapping,
+        instance_to_tree(S, source_instance),
+        instance_to_tree(T, target_instance),
+    )
+    relational_answer = relational_satisfies(
+        source_atoms, target_atoms, source_instance, target_instance
+    )
+    assert xml_answer == relational_answer
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows_st, rows_st)
+def test_projection_std(s1_rows, t1_rows):
+    source_instance = {"S1": set(s1_rows), "S2": set()}
+    target_instance = {"T1": set(t1_rows)}
+    source_atoms = [Atom.of("S1", "x", "y")]
+    target_atoms = [Atom.of("T1", "x", "w")]  # w existential
+    mapping = relational_mapping(S, T, [(source_atoms, target_atoms)])
+    assert is_solution(
+        mapping,
+        instance_to_tree(S, source_instance),
+        instance_to_tree(T, target_instance),
+    ) == relational_satisfies(
+        source_atoms, target_atoms, source_instance, target_instance
+    )

@@ -1,0 +1,85 @@
+"""Tests for the PCP solver and the undecidability gadgets."""
+
+import pytest
+
+from repro.mappings.membership import is_solution
+from repro.undecidability.gadgets import (
+    equality_chain_gadget,
+    rigid_collector_gadget,
+    value_functionality_gadget,
+)
+from repro.undecidability.pcp import (
+    PCPInstance,
+    SOLVABLE_EXAMPLE,
+    UNSOLVABLE_EXAMPLE,
+)
+from repro.xmlmodel.parser import parse_tree
+
+
+class TestPCP:
+    def test_solvable_example(self):
+        solution = SOLVABLE_EXAMPLE.solve(8)
+        assert solution is not None
+        assert SOLVABLE_EXAMPLE.check(solution)
+
+    def test_unsolvable_example(self):
+        # top words always strictly longer than bottom words
+        assert UNSOLVABLE_EXAMPLE.solve(10) is None
+
+    def test_check_rejects_empty(self):
+        assert not SOLVABLE_EXAMPLE.check(())
+
+    def test_check_rejects_wrong(self):
+        assert not SOLVABLE_EXAMPLE.check((0,))
+
+    def test_single_tile_solution(self):
+        instance = PCPInstance.of(("ab", "ab"))
+        assert instance.solve(3) == (0,)
+
+    def test_two_tile_solution(self):
+        instance = PCPInstance.of(("a", "ab"), ("b", ""))
+        solution = instance.solve(4)
+        assert solution is not None and instance.check(solution)
+
+    def test_bound_matters(self):
+        # the known solution has 4 tiles; a bound of 2 misses it
+        assert SOLVABLE_EXAMPLE.solve(2) is None
+
+
+class TestGadgets:
+    def test_value_functionality(self):
+        gadget = value_functionality_gadget()
+        functional = parse_tree("r[entry(k1, 1), entry(k2, 1), entry(k1, 1)]")
+        broken = parse_tree("r[entry(k1, 1), entry(k1, 2)]")
+        ok_target = parse_tree("t")
+        assert is_solution(gadget, functional, ok_target)
+        assert not is_solution(gadget, broken, ok_target)
+
+    def test_equality_chain_accepts_faithful_chain(self):
+        gadget = equality_chain_gadget()
+        chain = parse_tree("r[cell(1, 2)[cell(2, 3)[cell(3, 3)]]]")
+        assert is_solution(gadget, chain, parse_tree("t"))
+
+    def test_equality_chain_rejects_broken_link(self):
+        gadget = equality_chain_gadget()
+        broken = parse_tree("r[cell(1, 2)[cell(9, 3)[cell(3, 3)]]]")
+        assert not is_solution(gadget, broken, parse_tree("t"))
+
+    def test_equality_chain_rejects_repeated_id(self):
+        gadget = equality_chain_gadget()
+        repeated = parse_tree("r[cell(1, 1)[cell(1, 1)]]")
+        assert not is_solution(gadget, repeated, parse_tree("t"))
+
+    def test_rigid_collector(self):
+        gadget = rigid_collector_gadget()
+        agreeing = parse_tree("r[item(5), item(5)]")
+        disagreeing = parse_tree("r[item(5), item(6)]")
+        summary5 = parse_tree("t[summary(5)]")
+        assert is_solution(gadget, agreeing, summary5)
+        assert not is_solution(gadget, disagreeing, summary5)
+        assert not is_solution(gadget, disagreeing, parse_tree("t[summary(6)]"))
+
+    def test_rigid_collector_not_absolutely_consistent(self):
+        from repro.consistency.abscons import is_absolutely_consistent_ptime
+
+        assert not is_absolutely_consistent_ptime(rigid_collector_gadget())

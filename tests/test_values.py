@@ -1,0 +1,114 @@
+"""Tests for the term language (repro.values) and the error hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    BoundExceededError,
+    ConformanceError,
+    NotInClassError,
+    ParseError,
+    SignatureError,
+    XsmError,
+)
+from repro.values import (
+    Const,
+    FreshVariableFactory,
+    Null,
+    SkolemTerm,
+    Var,
+    is_ground,
+    substitute,
+    term_functions,
+    term_variables,
+)
+
+
+class TestTerms:
+    def test_var_identity(self):
+        assert Var("x") == Var("x")
+        assert Var("x") != Var("y")
+        assert hash(Var("x")) == hash(Var("x"))
+
+    def test_const_wraps_value(self):
+        assert Const(5).value == 5
+        assert Const(5) != Const("5")
+
+    def test_skolem_structure(self):
+        term = SkolemTerm("f", (Var("x"), SkolemTerm("g", (Const(1),))))
+        assert str(term) == "f(x, g(1))"
+
+    def test_null_equality_by_label(self):
+        assert Null(("f", (1,))) == Null(("f", (1,)))
+        assert Null("a") != Null("b")
+
+    def test_term_variables(self):
+        term = SkolemTerm("f", (Var("x"), SkolemTerm("g", (Var("y"), Var("x")))))
+        assert list(term_variables(term)) == [Var("x"), Var("y"), Var("x")]
+        assert list(term_variables(Const(3))) == []
+
+    def test_term_functions(self):
+        term = SkolemTerm("f", (SkolemTerm("g", ()),))
+        assert sorted(term_functions(term)) == ["f", "g"]
+
+    def test_substitute_var(self):
+        assert substitute(Var("x"), {Var("x"): 7}) == 7
+
+    def test_substitute_const(self):
+        assert substitute(Const("k"), {}) == "k"
+
+    def test_substitute_skolem_yields_null(self):
+        result = substitute(SkolemTerm("f", (Var("x"),)), {Var("x"): 1})
+        assert isinstance(result, Null)
+        # same arguments, same null; different arguments, different null
+        again = substitute(SkolemTerm("f", (Var("x"),)), {Var("x"): 1})
+        other = substitute(SkolemTerm("f", (Var("x"),)), {Var("x"): 2})
+        assert result == again
+        assert result != other
+
+    def test_substitute_unbound_raises(self):
+        with pytest.raises(KeyError):
+            substitute(Var("x"), {})
+
+    def test_is_ground(self):
+        assert is_ground(Const(1))
+        assert is_ground(SkolemTerm("f", (Const(1),)))
+        assert not is_ground(SkolemTerm("f", (Var("x"),)))
+
+
+class TestFreshVariableFactory:
+    def test_fresh_avoids_reserved(self):
+        factory = FreshVariableFactory(reserved={"v_1"})
+        assert factory.fresh().name != "v_1"
+
+    def test_fresh_unique(self):
+        factory = FreshVariableFactory()
+        names = {factory.fresh().name for __ in range(10)}
+        assert len(names) == 10
+
+    def test_hint_prefix(self):
+        factory = FreshVariableFactory()
+        assert factory.fresh("z").name.startswith("z_")
+
+    def test_reserve(self):
+        factory = FreshVariableFactory()
+        first = factory.fresh().name
+        factory.reserve("v_2")
+        assert factory.fresh().name not in ("v_2", first)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "error_type",
+        [ParseError, ConformanceError, SignatureError, NotInClassError,
+         BoundExceededError],
+    )
+    def test_all_derive_from_xsm_error(self, error_type):
+        assert issubclass(error_type, XsmError)
+
+    def test_parse_error_snippet(self):
+        error = ParseError("bad token", text="hello world", position=6)
+        assert "offset 6" in str(error)
+        assert error.position == 6
+
+    def test_bound_exceeded_carries_bound(self):
+        assert BoundExceededError("nope", bound=5).bound == 5

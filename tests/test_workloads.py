@@ -1,0 +1,160 @@
+"""Tests for workload generators and benchmark instance families."""
+
+import random
+
+import pytest
+
+from repro.consistency import is_consistent_automata, is_consistent_nested
+from repro.consistency.abscons import (
+    is_absolutely_consistent_ptime,
+    is_absolutely_consistent_sm0,
+)
+from repro.consistency.bounded import is_consistent_bounded
+from repro.composition.semantics import composition_contains
+from repro.mappings.membership import is_solution
+from repro.workloads.families import (
+    abscons_ptime_family,
+    abscons_sm0_family,
+    abscons_wildcard_family,
+    cons_arbitrary_family,
+    cons_nested_family,
+    cons_next_sibling_family,
+    composition_choice_family,
+    distinct_values_family,
+    equality_case_split_family,
+    flat_document,
+    membership_mapping,
+    skolem_copy_chain,
+    target_document,
+)
+from repro.workloads.random_instances import (
+    random_conforming_tree,
+    random_fully_specified_mapping,
+    random_nested_relational_dtd,
+)
+from repro.workloads.university import (
+    university_mapping,
+    university_source_document,
+    university_target_document,
+)
+
+
+class TestRandomInstances:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_dtd_is_nested_relational(self, seed):
+        dtd = random_nested_relational_dtd(random.Random(seed))
+        assert dtd.is_nested_relational()
+        assert dtd.is_satisfiable()
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_tree_conforms(self, seed):
+        rng = random.Random(seed)
+        dtd = random_nested_relational_dtd(rng)
+        tree = random_conforming_tree(dtd, rng)
+        assert dtd.conforms(tree)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_mapping_well_formed(self, seed):
+        mapping = random_fully_specified_mapping(random.Random(seed))
+        assert mapping.is_fully_specified()
+        assert mapping.is_nested_relational()
+        # the strongest algorithms accept it
+        is_consistent_nested(mapping)
+
+    def test_reproducible(self):
+        a = random_nested_relational_dtd(random.Random(42))
+        b = random_nested_relational_dtd(random.Random(42))
+        assert repr(a) == repr(b)
+
+
+class TestUniversityScenario:
+    def test_document_conforms(self):
+        mapping = university_mapping()
+        source = university_source_document(n_professors=4)
+        assert mapping.source_dtd.conforms(source)
+
+    def test_handbuilt_solution(self):
+        mapping = university_mapping()
+        source = university_source_document(n_professors=3)
+        target = university_target_document(source)
+        assert mapping.target_dtd.conforms(target)
+        assert is_solution(mapping, source, target)
+
+    def test_basic_mapping_variant(self):
+        mapping = university_mapping(order_preserving=False)
+        source = university_source_document(n_professors=2)
+        target = university_target_document(source)
+        assert is_solution(mapping, source, target)
+
+
+class TestFamilies:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_cons_arbitrary(self, n):
+        assert is_consistent_automata(cons_arbitrary_family(n, consistent=True))
+        assert not is_consistent_automata(cons_arbitrary_family(n, consistent=False))
+
+    @pytest.mark.parametrize("n", [1, 3, 6])
+    def test_cons_nested(self, n):
+        assert is_consistent_nested(cons_nested_family(n, consistent=True))
+        assert not is_consistent_nested(cons_nested_family(n, consistent=False))
+
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_cons_next_sibling(self, n):
+        assert is_consistent_automata(cons_next_sibling_family(n, consistent=True))
+        assert not is_consistent_automata(
+            cons_next_sibling_family(n, consistent=False)
+        )
+
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_distinct_values(self, n):
+        consistent = distinct_values_family(n, consistent=True)
+        assert is_consistent_bounded(consistent, n + 1, 2)
+        inconsistent = distinct_values_family(n, consistent=False)
+        assert not is_consistent_bounded(inconsistent, n + 1, 2)
+
+    @pytest.mark.parametrize("n", [1, 2])
+    def test_equality_case_split(self, n):
+        assert is_consistent_bounded(
+            equality_case_split_family(n, consistent=True), n + 1, n + 1
+        )
+
+    @pytest.mark.parametrize("n", [1, 3])
+    def test_abscons_sm0(self, n):
+        assert is_absolutely_consistent_sm0(abscons_sm0_family(n, consistent=True))
+        assert not is_absolutely_consistent_sm0(
+            abscons_sm0_family(n, consistent=False)
+        )
+
+    @pytest.mark.parametrize("n", [1, 3])
+    def test_abscons_ptime(self, n):
+        assert is_absolutely_consistent_ptime(abscons_ptime_family(n, consistent=True))
+        assert not is_absolutely_consistent_ptime(
+            abscons_ptime_family(n, consistent=False)
+        )
+
+    def test_abscons_wildcard_outside_ptime_class(self):
+        from repro.errors import SignatureError
+
+        with pytest.raises(SignatureError):
+            is_absolutely_consistent_ptime(abscons_wildcard_family(2))
+
+    def test_membership_family(self):
+        mapping = membership_mapping(2)
+        source = flat_document(4, n_values=2)
+        target = target_document(4, n_values=2)
+        assert is_solution(mapping, source, target)
+        assert not is_solution(mapping, source, target_document(0))
+
+    @pytest.mark.parametrize("n", [1, 2])
+    def test_composition_choice(self, n):
+        m12, m23, t1, t3 = composition_choice_family(n)
+        assert composition_contains(m12, m23, t1, t3, max_mid_size=2 * n + 1)
+
+    def test_skolem_copy_chain_composes(self):
+        from repro.composition.compose import compose
+
+        m01 = skolem_copy_chain(2, 0)
+        m12 = skolem_copy_chain(2, 1)
+        m02 = compose(m01, m12)
+        m02.check_composable_class()
+        assert len(m02.stds) >= 2
