@@ -1,0 +1,23 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test smoke bench baseline ci
+
+# tier-1: the full unit/property suite
+test:
+	$(PYTHON) -m pytest -x -q
+
+# <30s guard: engine timings vs the checked-in BENCH_matching.json;
+# fails on a >2x regression at the smoke sizes
+smoke:
+	$(PYTHON) benchmarks/bench_matching_engine.py --smoke
+
+# full before/after series (slow; prints the speedup table)
+bench:
+	$(PYTHON) benchmarks/bench_matching_engine.py
+
+# refresh the baseline after an intentional performance change
+baseline:
+	$(PYTHON) benchmarks/bench_matching_engine.py --update-baseline
+
+ci: test smoke

@@ -1,0 +1,231 @@
+"""Matching engine — before/after series against the naive evaluator.
+
+"Before" is :class:`repro.verification.oracle.NaiveMatcher`, the original
+top-down matcher (nested-loop joins, no index, rebuilt per call).  "After"
+is the indexed hash-join engine of :mod:`repro.patterns.matching`, in two
+flavours:
+
+* **cold** — the engine (index + memo tables) is rebuilt for every call,
+  the fair apples-to-apples comparison;
+* **warm** — the engine is reused across calls, the call pattern of the
+  consistency / composition / membership drivers, which evaluate many
+  patterns (or the same patterns many times) over one fixed tree.
+
+The checked-in ``BENCH_matching.json`` records the engine series; the CI
+smoke mode (``--smoke``, well under 30s) re-measures the smoke sizes and
+fails on a >2x regression against that baseline.  Refresh the baseline
+with ``--update-baseline`` after intentional performance changes.
+
+Run directly (``python benchmarks/bench_matching_engine.py``) for the
+full table, or through pytest for the speedup assertion.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+if True:  # make both `pytest benchmarks` and direct execution work
+    _here = Path(__file__).resolve().parent
+    for entry in (_here, _here.parent / "src"):
+        if str(entry) not in sys.path:
+            sys.path.insert(0, str(entry))
+
+from harness import print_table, sweep
+
+from repro.patterns.matching import engine_for, find_matches, matches_at_root
+from repro.patterns.parser import parse_pattern
+from repro.verification.oracle import naive_find_matches, naive_matches_at_root
+from repro.workloads.families import flat_document
+from repro.xmlmodel.tree import TreeNode
+
+BASELINE_PATH = Path(__file__).with_name("BENCH_matching.json")
+
+# the naive matcher recurses once per tree level; the deep series would
+# blow the default limit (the indexed engine walks the tree iteratively)
+sys.setrecursionlimit(max(sys.getrecursionlimit(), 50_000))
+
+FULL_SIZES = [100, 200, 400, 800, 1600]
+SMOKE_SIZES = [100, 200, 400]
+SPEEDUP_TARGET = 5.0
+REGRESSION_TOLERANCE = 2.0
+#: sub-millisecond points drown in timer noise; give them absolute slack
+ABSOLUTE_SLACK_SECONDS = 0.005
+
+F21_PATTERN = parse_pattern("r[a(x) ->* a(y), //a(z)]")
+BOOLEAN_PATTERN = parse_pattern("r[a(5) ->* a(6)]")
+#: Boolean nested descendants over a deep path: the attribute index gives
+#: ``//a(0)`` an O(log n) access path and the semi-join mode never builds
+#: a valuation set; the naive matcher walks the whole quadratic closure
+DEEP_PATTERN = parse_pattern("r//a//a//a(0)")
+
+
+def deep_document(depth: int) -> TreeNode:
+    node = TreeNode("a", (0,))
+    for level in range(1, depth):
+        node = TreeNode("a", (level,), (node,))
+    return TreeNode("r", (), (node,))
+
+
+def _cold(document: TreeNode, action):
+    """Wrap *action* so every call rebuilds the engine from scratch."""
+
+    def run():
+        document._engine = None
+        return action()
+
+    return run
+
+
+SERIES = {
+    # name -> (document factory, pattern, evaluate, reference evaluate)
+    "f21": (
+        flat_document,
+        F21_PATTERN,
+        lambda p, t: len(find_matches(p, t)),
+        lambda p, t: len(naive_find_matches(p, t)),
+    ),
+    "boolean": (
+        flat_document,
+        BOOLEAN_PATTERN,
+        matches_at_root,
+        naive_matches_at_root,
+    ),
+    "deep": (
+        deep_document,
+        DEEP_PATTERN,
+        matches_at_root,
+        naive_matches_at_root,
+    ),
+}
+
+
+def measure_series(name: str, sizes, naive: bool = True) -> dict:
+    make_document, pattern, run_engine, run_naive = SERIES[name]
+    documents = {n: make_document(n) for n in sizes}
+    out: dict = {"sizes": list(sizes)}
+
+    if naive:
+        rows = sweep(sizes, lambda n: lambda: run_naive(pattern, documents[n]))
+        print_table(f"{name}/naive", "original matcher (before)", rows, "|T|")
+        out["naive"] = {str(n): seconds for n, seconds, __ in rows}
+
+    rows = sweep(
+        sizes,
+        lambda n: _cold(documents[n], lambda: run_engine(pattern, documents[n])),
+    )
+    print_table(f"{name}/cold", "indexed engine, rebuilt per call", rows, "|T|")
+    out["engine_cold"] = {str(n): seconds for n, seconds, __ in rows}
+
+    rows = sweep(sizes, lambda n: lambda: run_engine(pattern, documents[n]))
+    print_table(f"{name}/warm", "indexed engine, cached across calls", rows, "|T|")
+    out["engine_warm"] = {str(n): seconds for n, seconds, __ in rows}
+
+    # per-run counters at the largest size, from one cold evaluation
+    largest = documents[max(sizes)]
+    largest._engine = None
+    run_engine(pattern, largest)
+    print(f"[{name}] counters: {engine_for(largest).stats}")
+
+    if naive:
+        big = str(max(sizes))
+        out["speedup_cold"] = out["naive"][big] / max(out["engine_cold"][big], 1e-9)
+        print(f"[{name}] speedup at |T|={big}: {out['speedup_cold']:.1f}x (cold)")
+    return out
+
+
+def run_full(sizes=None) -> dict:
+    sizes = sizes or FULL_SIZES
+    return {name: measure_series(name, sizes) for name in SERIES}
+
+
+def run_smoke() -> int:
+    """Re-measure the engine series at smoke sizes against the baseline."""
+    if not BASELINE_PATH.exists():
+        print(f"no baseline at {BASELINE_PATH}; run with --update-baseline first")
+        return 2
+    baseline = json.loads(BASELINE_PATH.read_text())
+    failures = []
+    for name in SERIES:
+        measured = measure_series(name, SMOKE_SIZES, naive=False)
+        for series in ("engine_cold", "engine_warm"):
+            for n in map(str, SMOKE_SIZES):
+                recorded = baseline[name][series].get(n)
+                if recorded is None:
+                    continue
+                limit = recorded * REGRESSION_TOLERANCE + ABSOLUTE_SLACK_SECONDS
+                if measured[series][n] > limit:
+                    failures.append(
+                        f"{name}/{series} |T|={n}: {measured[series][n]:.6f}s "
+                        f"vs baseline {recorded:.6f}s (>{REGRESSION_TOLERANCE}x)"
+                    )
+    if failures:
+        print("\nPERFORMANCE REGRESSION:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print("\nsmoke: engine timings within tolerance of BENCH_matching.json")
+    return 0
+
+
+# -- pytest entry points -------------------------------------------------------
+
+
+def test_engine_speedup_vs_naive(benchmark):
+    """The acceptance criterion: >=5x over the naive matcher at n=800."""
+    document = flat_document(800)
+    run = SERIES["f21"][2]
+    naive = SERIES["f21"][3]
+    rows = sweep([800], lambda n: lambda: naive(F21_PATTERN, document))
+    naive_seconds = rows[0][1]
+    rows = sweep(
+        [800], lambda n: _cold(document, lambda: run(F21_PATTERN, document))
+    )
+    cold_seconds = rows[0][1]
+    speedup = naive_seconds / max(cold_seconds, 1e-9)
+    print(f"\n[engine] n=800 speedup: {speedup:.1f}x (naive {naive_seconds:.4f}s, "
+          f"cold {cold_seconds:.4f}s)")
+    assert speedup >= SPEEDUP_TARGET
+    benchmark(lambda: run(F21_PATTERN, document))
+
+
+def test_engine_counters_exposed(benchmark):
+    """The stats counters move and reset as documented."""
+    document = flat_document(200)
+    document._engine = None
+    find_matches(F21_PATTERN, document)
+    stats = engine_for(document).stats
+    assert stats.nodes_visited > 0
+    assert stats.join_pairs > 0
+    find_matches(F21_PATTERN, document)
+    assert stats.cache_hits > 0
+    stats.reset()
+    assert all(v == 0 for v in stats.as_dict().values())
+    benchmark(lambda: matches_at_root(BOOLEAN_PATTERN, document))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="compare engine timings against the baseline")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite BENCH_matching.json from a full run")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return run_smoke()
+    results = run_full()
+    for name, data in results.items():
+        if "speedup_cold" in data:
+            assert data["speedup_cold"] >= SPEEDUP_TARGET, (
+                f"{name}: speedup {data['speedup_cold']:.1f}x below target"
+            )
+    if args.update_baseline:
+        BASELINE_PATH.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"\nbaseline written to {BASELINE_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,19 +26,30 @@ def sweep(
     make_action: Callable[[int], Callable[[], object]],
     min_repeat_seconds: float = 0.01,
 ) -> list[tuple[int, float, object]]:
-    """Run ``make_action(n)()`` per size; fast points are repeated and averaged."""
+    """Run ``make_action(n)()`` per size; fast points are repeated and averaged.
+
+    The first call pays one-time costs (lazy imports, caches warming up),
+    so once a point proves fast enough to repeat, that cold sample is
+    *discarded* and only warm runs enter the average.  Slow points keep
+    their single cold measurement — it is the only sample there is.
+    """
     rows: list[tuple[int, float, object]] = []
     for n in sizes:
         action = make_action(n)
         elapsed, result = time_once(action)
         repeats = 1
+        warm_only = False
         while elapsed < min_repeat_seconds and repeats < 1000:
             more = max(1, int(min_repeat_seconds / max(elapsed / repeats, 1e-9)))
             start = time.perf_counter()
             for __ in range(more):
                 result = action()
-            elapsed += time.perf_counter() - start
-            repeats += more
+            batch = time.perf_counter() - start
+            if warm_only:
+                elapsed += batch
+                repeats += more
+            else:
+                elapsed, repeats, warm_only = batch, more, True
         rows.append((n, elapsed / repeats, result))
     return rows
 

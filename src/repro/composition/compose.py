@@ -561,3 +561,30 @@ def _emit(
         tuple(copy_source_conditions + source_conditions + precondition_equalities),
         target_conditions,
     )
+
+
+def composition_agrees_on(
+    m12: SkolemMapping,
+    m23: SkolemMapping,
+    source_tree,
+    final_tree,
+    max_mid_size: int | None = None,
+) -> bool:
+    """Spot-check Theorem 8.2 on one pair of trees.
+
+    ``compose(m12, m23)`` must accept ``(T1, T3)`` exactly when some
+    bounded intermediate tree witnesses direct composition membership.
+    Both sides run through the pattern engine (the composed side via the
+    Skolem membership checker, the direct side via the per-middle
+    semi-join checks), so this doubles as an end-to-end engine test; the
+    randomized suites call it on enumerated tree pairs.
+    """
+    from repro.composition.semantics import composition_contains
+    from repro.mappings.skolem import is_skolem_solution
+
+    composed = compose(m12, m23)
+    via_composed = is_skolem_solution(composed, source_tree, final_tree)
+    via_search = composition_contains(
+        m12, m23, source_tree, final_tree, max_mid_size=max_mid_size, skolem=True
+    )
+    return via_composed == via_search

@@ -28,7 +28,7 @@ from repro.automata.duta import ProductAutomaton, reachable_states
 from repro.automata.pattern_automaton import PatternClosureAutomaton
 from repro.errors import SignatureError, XsmError
 from repro.mappings.mapping import SchemaMapping
-from repro.mappings.membership import is_solution
+from repro.mappings.membership import SolutionChecker
 from repro.patterns.ast import Pattern
 from repro.values import Const
 from repro.verification.enumeration import enumerate_trees
@@ -124,8 +124,10 @@ def is_composition_consistent_bounded(
         if index == len(mappings):
             return True
         mapping = mappings[index]
+        # *previous* is fixed for this whole stage: one obligation set
+        checker = SolutionChecker(mapping, previous)
         for tree in enumerate_trees(mapping.target_dtd, max_tree_size, value_domain):
-            if is_solution(mapping, previous, tree, check_conformance=False):
+            if checker.is_solution_for(tree, check_conformance=False):
                 if extend(index + 1, tree):
                     return True
         return False

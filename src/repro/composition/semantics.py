@@ -25,8 +25,8 @@ from __future__ import annotations
 
 from repro.consistency.bounded import mapping_constants
 from repro.mappings.mapping import SchemaMapping
-from repro.mappings.membership import is_solution
-from repro.mappings.skolem import is_skolem_solution
+from repro.mappings.membership import SolutionChecker, is_solution
+from repro.mappings.skolem import SkolemSolutionChecker, is_skolem_solution
 from repro.verification.enumeration import enumerate_trees
 from repro.xmlmodel.tree import TreeNode
 
@@ -81,8 +81,13 @@ def composition_contains(
         max_mid_size = default_mid_size(m12, m23, source_tree)
     domain = composition_value_domain(m12, m23, source_tree, final_tree, extra_fresh)
     check = is_skolem_solution if skolem else is_solution
+    # T1 is fixed while T2 varies: precompute the Sigma12 obligations once;
+    # the M23 checks share T3's engine (and its memo tables) across middles
+    checker12 = (SkolemSolutionChecker if skolem else SolutionChecker)(
+        m12, source_tree
+    )
     for middle in enumerate_trees(m12.target_dtd, max_mid_size, domain):
-        if check(m12, source_tree, middle, check_conformance=False) and check(
+        if checker12.is_solution_for(middle, check_conformance=False) and check(
             m23, middle, final_tree, check_conformance=False
         ):
             return True

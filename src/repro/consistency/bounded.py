@@ -27,8 +27,8 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.mappings.mapping import SchemaMapping
-from repro.mappings.membership import is_solution
-from repro.mappings.skolem import is_skolem_solution
+from repro.mappings.membership import SolutionChecker
+from repro.mappings.skolem import SkolemSolutionChecker
 from repro.values import Const
 from repro.verification.enumeration import enumerate_trees
 from repro.xmlmodel.tree import TreeNode
@@ -78,14 +78,17 @@ def find_consistency_witness_bounded(
     """
     if value_domain is None:
         value_domain = default_value_domain(mapping)
-    check = is_skolem_solution if skolem else is_solution
+    make_checker = SkolemSolutionChecker if skolem else SolutionChecker
     for source in enumerate_trees(mapping.source_dtd, max_source_size, value_domain):
         if on_candidate is not None:
             on_candidate(source)
+        # the source side is fixed across the inner loop: compute its
+        # triggered obligations once, then semi-join each candidate target
+        checker = make_checker(mapping, source)
         for target in enumerate_trees(
             mapping.target_dtd, max_target_size, value_domain
         ):
-            if check(mapping, source, target, check_conformance=False):
+            if checker.is_solution_for(target, check_conformance=False):
                 return source, target
     return None
 

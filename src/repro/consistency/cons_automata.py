@@ -28,8 +28,9 @@ from __future__ import annotations
 from repro.automata.dtd_automaton import DTDAutomaton
 from repro.automata.duta import ProductAutomaton, reachable_states
 from repro.automata.pattern_automaton import PatternClosureAutomaton
-from repro.errors import SignatureError
+from repro.errors import SignatureError, XsmError
 from repro.mappings.mapping import SchemaMapping
+from repro.mappings.membership import is_solution
 from repro.patterns.ast import Pattern
 from repro.values import Const
 from repro.xmlmodel.dtd import DTD
@@ -83,9 +84,15 @@ def _achievable_sets(
 
 
 def consistency_witness_automata(
-    mapping: SchemaMapping,
+    mapping: SchemaMapping, verify: bool = False
 ) -> tuple[TreeNode, TreeNode] | None:
-    """A pair ``(T, T') ∈ [[M]]`` (all values 0), or None if inconsistent."""
+    """A pair ``(T, T') ∈ [[M]]`` (all values 0), or None if inconsistent.
+
+    With ``verify=True`` the returned pair is re-checked against the
+    mapping semantics through the pattern engine's semi-join mode — an
+    independent (and cheap, Boolean-only) cross-check of the automata
+    construction, used by the tests.
+    """
     _check_applicable(mapping)
     pattern_labels = frozenset(
         label
@@ -107,10 +114,16 @@ def consistency_witness_automata(
     for triggered, source_witness in source_sets:
         for satisfied, target_witness in target_sets:
             if triggered <= satisfied:
-                return (
+                pair = (
                     DTDAutomaton(mapping.source_dtd).decorate(source_witness),
                     DTDAutomaton(mapping.target_dtd).decorate(target_witness),
                 )
+                if verify and not is_solution(mapping, *pair):
+                    raise XsmError(
+                        "internal error: automata witness failed the "
+                        "pattern-engine membership check"
+                    )
+                return pair
     return None
 
 

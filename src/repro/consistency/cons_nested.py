@@ -28,7 +28,7 @@ from repro.errors import SignatureError, XsmError
 from repro.mappings.mapping import SchemaMapping
 from repro.mappings.std import STD
 from repro.patterns.ast import WILDCARD, Descendant, Pattern, Sequence
-from repro.patterns.matching import matches_at_root
+from repro.patterns.matching import engine_for
 from repro.values import Const
 from repro.xmlmodel.dtd import DTD
 from repro.xmlmodel.tree import TreeNode
@@ -119,8 +119,10 @@ def target_satisfiable_nested(dtd: DTD, pattern: Pattern) -> bool:
 
 def triggered_by_minimal_tree(mapping: SchemaMapping) -> list[STD]:
     """The stds whose source pattern matches ``T_min`` (all values equal)."""
-    minimal = mapping.source_dtd.minimal_tree()
-    return [std for std in mapping.stds if matches_at_root(std.source, minimal)]
+    # one engine over T_min serves every std: the Boolean semi-join mode
+    # never materializes valuation sets, and the index is built once
+    engine = engine_for(mapping.source_dtd.minimal_tree())
+    return [std for std in mapping.stds if engine.exists_at_root(std.source)]
 
 
 def is_consistent_nested(mapping: SchemaMapping) -> bool:

@@ -132,6 +132,27 @@ def expand_source_pattern(
     return expand(pattern, [dtd.root] if pattern.label in (dtd.root, WILDCARD) else [])
 
 
+def expansion_is_exact_on(
+    dtd: DTD, pattern: Pattern, tree, limit: int = 10_000
+) -> bool:
+    """Cross-check the expansion against the pattern engine on one tree.
+
+    The union of the instantiations' match sets must equal the original
+    pattern's match set on any tree conforming to *dtd* — the semantic
+    claim the module docstring makes.  Both sides are evaluated through
+    one shared engine (the instantiations reuse the tree's index and
+    memo tables), so the check stays cheap; the randomized tests call it
+    on enumerated conforming trees.
+    """
+    from repro.patterns.matching import engine_for
+
+    engine = engine_for(tree)
+    expanded: set = set()
+    for instantiation in expand_source_pattern(dtd, pattern, limit):
+        expanded |= engine.relation_at_root(instantiation)
+    return expanded == engine.relation_at_root(pattern)
+
+
 def expand_mapping_sources(
     mapping: SchemaMapping, limit: int = 10_000
 ) -> SchemaMapping:
@@ -141,7 +162,7 @@ def expand_mapping_sources(
     source patterns, ready for the Theorem 6.3 analysis.
     """
     expanded: list[STD] = []
-    seen: set[str] = set()
+    seen: set[STD] = set()
     for std in mapping.stds:
         for instantiation in expand_source_pattern(
             mapping.source_dtd, std.source, limit
@@ -150,9 +171,8 @@ def expand_mapping_sources(
                 instantiation, std.target,
                 std.source_conditions, std.target_conditions,
             )
-            key = str(candidate)
-            if key not in seen:
-                seen.add(key)
+            if candidate not in seen:
+                seen.add(candidate)
                 expanded.append(candidate)
     return SchemaMapping(mapping.source_dtd, mapping.target_dtd, expanded)
 

@@ -9,6 +9,15 @@ Data complexity of this check is low (DLOGSPACE in the paper; here, a
 polynomial pass for a fixed mapping); combined complexity is
 ``Pi_2^p``-complete — the exponential lives in the number of variables per
 pattern, which is exactly what the Figure-2 benchmarks sweep.
+
+The check runs on the pattern engine of :mod:`repro.patterns.matching`:
+source-side obligations are deduplicated down to their *exported*
+shared-variable assignments (distinct source matches exporting the same
+values impose the same requirement), and target sides without conditions
+are decided in the engine's Boolean semi-join mode, which short-circuits
+without materializing valuation sets.  :class:`SolutionChecker` exposes
+the "one fixed source, many candidate targets" shape used by the bounded
+searches and the oracles, computing the obligations once.
 """
 
 from __future__ import annotations
@@ -18,7 +27,8 @@ from typing import Iterator
 from repro.errors import XsmError
 from repro.mappings.mapping import SchemaMapping
 from repro.mappings.std import STD
-from repro.patterns.matching import find_matches
+from repro.patterns.ast import Pattern
+from repro.patterns.matching import find_matches, matches_at_root
 from repro.values import Var
 from repro.xmlmodel.tree import TreeNode
 
@@ -30,6 +40,78 @@ def _source_matches(std: STD, source_tree: TreeNode) -> Iterator[dict[Var, objec
             yield valuation
 
 
+def _exported_assignments(
+    std: STD, source_tree: TreeNode
+) -> list[dict[Var, object]]:
+    """Deduplicated shared-variable assignments the source side fires.
+
+    Target satisfaction depends only on the exported values, so source
+    matches that agree on the shared variables collapse into one
+    obligation.
+    """
+    shared = set(std.shared_variables())
+    seen: set[frozenset] = set()
+    exports: list[dict[Var, object]] = []
+    for valuation in _source_matches(std, source_tree):
+        exported = {var: value for var, value in valuation.items() if var in shared}
+        key = frozenset(exported.items())
+        if key not in seen:
+            seen.add(key)
+            exports.append(exported)
+    return exports
+
+
+def _target_satisfied(
+    std: STD, target_pattern: Pattern, exported: dict[Var, object], target_tree: TreeNode
+) -> bool:
+    """Does some extension of *exported* match the target side on *target_tree*?"""
+    if not std.target_conditions:
+        # pure existence: Boolean semi-join mode, no valuation sets built
+        return matches_at_root(target_pattern, target_tree)
+    for extension in find_matches(target_pattern, target_tree):
+        combined = {**exported, **extension}
+        if all(c.evaluate(combined) for c in std.target_conditions):
+            return True
+    return False
+
+
+class SolutionChecker:
+    """Checks many candidate targets against one fixed ``(mapping, T)``.
+
+    Source-side obligations (std, substituted target pattern, exported
+    assignment) are computed once in the constructor; each
+    :meth:`is_solution_for` call then only evaluates target sides, and
+    the substituted patterns are shared across calls so the candidate
+    trees' engines can reuse their memo entries.
+    """
+
+    def __init__(self, mapping: SchemaMapping, source_tree: TreeNode):
+        self.mapping = mapping
+        self.source_tree = source_tree
+        self.obligations: list[tuple[STD, Pattern, dict[Var, object]]] = []
+        for std in mapping.stds:
+            if std.skolem_functions():
+                raise XsmError(
+                    "std uses Skolem functions; use "
+                    "repro.mappings.skolem.SkolemSolutionChecker"
+                )
+            for exported in _exported_assignments(std, source_tree):
+                self.obligations.append(
+                    (std, std.target.substitute(exported), exported)
+                )
+
+    def is_solution_for(
+        self, target_tree: TreeNode, check_conformance: bool = True
+    ) -> bool:
+        """``(T, target_tree) ∈ [[M]]`` for the fixed source ``T``."""
+        if check_conformance and not self.mapping.target_dtd.conforms(target_tree):
+            return False
+        return all(
+            _target_satisfied(std, pattern, exported, target_tree)
+            for std, pattern, exported in self.obligations
+        )
+
+
 def std_is_satisfied(
     std: STD, source_tree: TreeNode, target_tree: TreeNode
 ) -> bool:
@@ -38,19 +120,10 @@ def std_is_satisfied(
         raise XsmError(
             "std uses Skolem functions; use repro.mappings.skolem.is_skolem_solution"
         )
-    shared = set(std.shared_variables())
-    for valuation in _source_matches(std, source_tree):
-        exported = {var: value for var, value in valuation.items() if var in shared}
-        target_pattern = std.target.substitute(exported)
-        satisfied = False
-        for extension in find_matches(target_pattern, target_tree):
-            combined = {**exported, **extension}
-            if all(c.evaluate(combined) for c in std.target_conditions):
-                satisfied = True
-                break
-        if not satisfied:
-            return False
-    return True
+    return all(
+        _target_satisfied(std, std.target.substitute(exported), exported, target_tree)
+        for exported in _exported_assignments(std, source_tree)
+    )
 
 
 def is_solution(
@@ -80,11 +153,7 @@ def violations(
         for valuation in _source_matches(std, source_tree):
             exported = {v: value for v, value in valuation.items() if v in shared}
             target_pattern = std.target.substitute(exported)
-            for extension in find_matches(target_pattern, target_tree):
-                combined = {**exported, **extension}
-                if all(c.evaluate(combined) for c in std.target_conditions):
-                    break
-            else:
+            if not _target_satisfied(std, target_pattern, exported, target_tree):
                 failures.append((std, valuation))
     return failures
 
@@ -97,14 +166,8 @@ def triggered_requirements(
     These are the obligations any solution must fulfil; the canonical
     solution construction in :mod:`repro.exchange` consumes them.
     """
-    requirements: list[tuple[STD, dict[Var, object]]] = []
-    for std in mapping.stds:
-        shared = set(std.shared_variables())
-        seen: set[tuple] = set()
-        for valuation in _source_matches(std, source_tree):
-            exported = {v: value for v, value in valuation.items() if v in shared}
-            key = tuple(sorted(((v.name, value) for v, value in exported.items()), key=repr))
-            if key not in seen:
-                seen.add(key)
-                requirements.append((std, exported))
-    return requirements
+    return [
+        (std, exported)
+        for std in mapping.stds
+        for exported in _exported_assignments(std, source_tree)
+    ]

@@ -348,6 +348,32 @@ def find_skolem_witness(
     return None
 
 
+class SkolemSolutionChecker:
+    """Checks many candidate targets against one fixed ``(mapping, T)``.
+
+    The Skolem analogue of
+    :class:`repro.mappings.membership.SolutionChecker`: the triggered
+    requirements and the unknown registry depend only on the source tree,
+    so they are instantiated once and reused across every candidate
+    target (the bounded-search and composition loops).
+    """
+
+    def __init__(self, mapping: SchemaMapping, source_tree: TreeNode):
+        self.mapping = mapping
+        self.source_tree = source_tree
+        self.requirements, self.registry = skolem_requirements(mapping, source_tree)
+
+    def is_solution_for(
+        self, target_tree: TreeNode, check_conformance: bool = True
+    ) -> bool:
+        """``(T, target_tree) ∈ [[M]]`` under the Skolem semantics."""
+        if check_conformance and not self.mapping.target_dtd.conforms(target_tree):
+            return False
+        for __ in _solve_requirements(self.requirements, self.registry, target_tree):
+            return True
+        return False
+
+
 def is_skolem_solution(
     mapping: SchemaMapping,
     source_tree: TreeNode,

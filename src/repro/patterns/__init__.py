@@ -23,10 +23,15 @@ from repro.patterns.ast import (
     seq,
 )
 from repro.patterns.parser import parse_pattern
+from repro.patterns.index import EngineStats, TreeIndex
 from repro.patterns.matching import (
+    PatternEngine,
+    engine_for,
     evaluate,
     find_matches,
+    find_matches_anywhere,
     holds,
+    matches_anywhere,
     matches_at_root,
 )
 from repro.patterns.features import Axes, axes_of, is_fully_specified
@@ -49,9 +54,15 @@ __all__ = [
     "node",
     "seq",
     "parse_pattern",
+    "EngineStats",
+    "TreeIndex",
+    "PatternEngine",
+    "engine_for",
     "evaluate",
     "find_matches",
+    "find_matches_anywhere",
     "holds",
+    "matches_anywhere",
     "matches_at_root",
     "Axes",
     "axes_of",

@@ -1,25 +1,41 @@
-"""Pattern matching semantics (Section 3 of the paper).
+"""Pattern matching semantics (Section 3 of the paper), as a query engine.
 
 The relation ``(T, s) |= pi(a)`` is implemented by computing, for a node and
 a pattern, the *set of valuations* (assignments of data values to the
 pattern's variables) under which the pattern matches at that node.  This is
-conjunctive-query evaluation over trees: valuations of subpatterns are
-joined, and a join fails when the same variable would receive two values
-(which is exactly how repeated variables express equality).
+conjunctive-query evaluation over trees, and the evaluator is built like a
+small query engine:
 
-Patterns are witnessed at the root (``T |= pi`` iff the pattern's root node
-formula matches the root of ``T``); descendant subpatterns ``//pi`` may
-match anywhere strictly below their context node.
+* a per-tree :class:`~repro.patterns.index.TreeIndex` (label → nodes,
+  preorder intervals, attribute-value index, per-node label bitsets)
+  supplies the access paths, so ``//pi`` subpatterns enumerate candidate
+  nodes by index lookup instead of walking the tree, and a pattern whose
+  labels do not occur under a node fails in O(1);
+* subpattern valuation sets are combined by **hash joins** keyed on the
+  variables the two sides share (repeated variables express equality, so
+  a join conflict is exactly a hash-bucket miss);
+* Boolean callers (``matches_at_root``, ``holds``, the consistency and
+  membership machinery) run in a **semi-join mode** that projects every
+  intermediate valuation set down to the *join variables* — variables
+  occurring in at least two term positions.  Variables used once are
+  checked locally and dropped, so patterns without repeated variables
+  evaluate with constant-size intermediate relations and ``//`` queries
+  short-circuit on the first witness.
 
-The evaluator memoizes on ``(node identity, subpattern)`` so that repeated
-subtrees and descendant recursion stay polynomial for a fixed pattern
-(matching the paper's DLOGSPACE/PTIME data-complexity results in spirit).
+Engines are cached on the tree's root node and shared across calls, so
+repeated queries against the same tree (membership checks one std at a
+time, bounded searches one candidate at a time) reuse both the index and
+the memo tables.  The memo key is ``(node identity, subpattern,
+projection)``, keeping repeated subtrees and descendant recursion
+polynomial for a fixed pattern — matching the paper's DLOGSPACE/PTIME
+data-complexity results in spirit.
 """
 
 from __future__ import annotations
 
 from repro.errors import XsmError
-from repro.patterns.ast import WILDCARD, Descendant, Pattern, Sequence
+from repro.patterns.ast import WILDCARD, Descendant, Pattern, Sequence, _term_vars
+from repro.patterns.index import EngineStats, TreeIndex
 from repro.values import Const, SkolemTerm, Var
 from repro.xmlmodel.tree import TreeNode
 
@@ -29,67 +45,174 @@ Valuation = frozenset
 
 _EMPTY_VALUATION: Valuation = frozenset()
 
-
-def _merge(a: Valuation, b: Valuation) -> Valuation | None:
-    """Join two valuations; None on conflicting variable bindings."""
-    if len(b) > len(a):
-        a, b = b, a
-    merged = dict(a)
-    for var, value in b:
-        existing = merged.get(var, _MISSING)
-        if existing is _MISSING:
-            merged[var] = value
-        elif existing != value:
-            return None
-    return frozenset(merged.items())
-
+#: The two constant relations over zero variables: false and true.
+_EMPTY_REL: frozenset = frozenset()
+_TRUE_REL: frozenset = frozenset((_EMPTY_VALUATION,))
 
 _MISSING = object()
 
 
-def _join(lhs: set[Valuation], rhs: set[Valuation]) -> set[Valuation]:
-    out: set[Valuation] = set()
-    for a in lhs:
-        for b in rhs:
-            merged = _merge(a, b)
-            if merged is not None:
-                out.add(merged)
-    return out
+class _PatternInfo:
+    """Static, per-engine analysis of one pattern node."""
+
+    __slots__ = ("formula_vars", "item_vars", "all_vars", "const_attrs")
+
+    def __init__(self, pattern: Pattern):
+        formula: set[Var] = set()
+        if pattern.vars is not None:
+            for term in pattern.vars:
+                formula.update(_term_vars(term))
+        self.formula_vars = frozenset(formula)
+        self.item_vars: tuple[frozenset[Var], ...] = tuple(
+            frozenset(
+                var
+                for element in (
+                    (item.pattern,) if isinstance(item, Descendant) else item.elements
+                )
+                for var in element.variables()
+            )
+            for item in pattern.items
+        )
+        self.all_vars = frozenset(pattern.variables())
+        #: attribute tuple when every term is a constant (index access path)
+        if pattern.vars is not None and all(
+            isinstance(t, Const) for t in pattern.vars
+        ):
+            self.const_attrs: tuple | None = tuple(t.value for t in pattern.vars)
+        else:
+            self.const_attrs = None
 
 
-class _Matcher:
-    """One evaluation run over a fixed tree; holds the memo tables."""
+class PatternEngine:
+    """Evaluates patterns over one fixed tree; index, memo and counters.
 
-    def __init__(self):
-        # (id(node), pattern) -> valuations of the pattern matched AT node
-        self._at: dict[tuple[int, Pattern], set[Valuation]] = {}
-        # (id(node), pattern) -> valuations matched at node or any descendant
-        self._below: dict[tuple[int, Pattern], set[Valuation]] = {}
+    One engine per tree root, obtained via :func:`engine_for`.  All
+    methods take an optional *keep* projection: ``None`` computes full
+    valuation sets (over all pattern variables); a frozenset of variables
+    runs the semi-join mode, projecting intermediate sets onto ``keep``
+    (which must contain every variable shared between two term
+    positions — see :meth:`join_variables`).
+    """
 
-    def match_at(self, node: TreeNode, pattern: Pattern) -> set[Valuation]:
-        key = (id(node), pattern)
+    def __init__(self, root: TreeNode):
+        self.root = root
+        self.index = TreeIndex(root)
+        self.stats = EngineStats()
+        self._info: dict[Pattern, _PatternInfo] = {}
+        self._mask: dict[Pattern, int | None] = {}
+        self._join_vars: dict[Pattern, frozenset[Var]] = {}
+        # (id(node), pattern, keep) -> relation matched AT the node
+        self._at: dict[tuple, frozenset] = {}
+        # (id(node), pattern, keep) -> relation matched strictly below
+        self._below: dict[tuple, frozenset] = {}
+
+    # -- static pattern analysis -------------------------------------------
+
+    def info(self, pattern: Pattern) -> _PatternInfo:
+        cached = self._info.get(pattern)
+        if cached is None:
+            cached = self._info[pattern] = _PatternInfo(pattern)
+        return cached
+
+    def mask(self, pattern: Pattern) -> int | None:
+        """Label bitmask of *pattern* against this tree; None = unmatchable."""
+        if pattern not in self._mask:
+            self._mask[pattern] = self.index.labels_mask(pattern.labels_used())
+        return self._mask[pattern]
+
+    def join_variables(self, pattern: Pattern) -> frozenset[Var]:
+        """Variables occurring in >= 2 term positions (the join variables).
+
+        Projecting valuation sets onto this set preserves joins exactly:
+        any variable shared between two subpattern relations occurs twice,
+        so it is kept; a variable occurring once constrains nothing beyond
+        its own node formula and may be dropped after binding.
+        """
+        cached = self._join_vars.get(pattern)
+        if cached is None:
+            counts: dict[Var, int] = {}
+            for term in pattern.terms():
+                for var in _term_vars(term):
+                    counts[var] = counts.get(var, 0) + 1
+            cached = frozenset(v for v, c in counts.items() if c > 1)
+            self._join_vars[pattern] = cached
+        return cached
+
+    # -- public evaluation --------------------------------------------------
+
+    def relation_at_root(self, pattern: Pattern) -> frozenset:
+        """The full valuation set of *pattern* at the root."""
+        return self.match_at(self.root, pattern)
+
+    def find_matches(self, pattern: Pattern) -> list[dict[Var, object]]:
+        """All valuations of ``(T, root) |= pattern``, as dicts."""
+        return [dict(v) for v in self.match_at(self.root, pattern)]
+
+    def match_anywhere(self, pattern: Pattern) -> frozenset:
+        """Valuations of *pattern* matched at the root or any descendant."""
+        return self.match_at(self.root, pattern) | self.match_strictly_below(
+            self.root, pattern
+        )
+
+    def exists_at_root(self, pattern: Pattern) -> bool:
+        """``T |= pattern`` for some valuation (semi-join mode)."""
+        return bool(
+            self.match_at(self.root, pattern, self.join_variables(pattern))
+        )
+
+    def exists_anywhere(self, pattern: Pattern) -> bool:
+        """Does *pattern* match at the root or at any descendant?"""
+        keep = self.join_variables(pattern)
+        return bool(self.match_at(self.root, pattern, keep)) or bool(
+            self.match_strictly_below(self.root, pattern, keep)
+        )
+
+    # -- the evaluator ------------------------------------------------------
+
+    def match_at(
+        self, node: TreeNode, pattern: Pattern, keep: frozenset | None = None
+    ) -> frozenset:
+        """Relation of valuations under which *pattern* matches AT *node*."""
+        key = (id(node), pattern, keep)
         cached = self._at.get(key)
         if cached is not None:
+            self.stats.cache_hits += 1
             return cached
-        result = self._match_at(node, pattern)
+        result = self._match_at(node, pattern, keep)
         self._at[key] = result
         return result
 
-    def _match_at(self, node: TreeNode, pattern: Pattern) -> set[Valuation]:
+    def _match_at(
+        self, node: TreeNode, pattern: Pattern, keep: frozenset | None
+    ) -> frozenset:
+        mask = self.mask(pattern)
+        if mask is None or not self.index.subtree_covers(node, mask):
+            self.stats.index_prunes += 1
+            return _EMPTY_REL
+        self.stats.nodes_visited += 1
         base = self._match_node_formula(node, pattern)
         if base is None:
-            return set()
-        valuations = {base}
-        for item in pattern.items:
+            return _EMPTY_REL
+        info = self.info(pattern)
+        if keep is None:
+            acc_vars = info.formula_vars
+        else:
+            if base:
+                base = frozenset(p for p in base if p[0] in keep)
+            acc_vars = info.formula_vars & keep
+        valuations = frozenset((base,))
+        for item, full_item_vars in zip(pattern.items, info.item_vars):
             if isinstance(item, Descendant):
-                item_valuations = self.match_strictly_below(node, item.pattern)
+                rel = self.match_strictly_below(node, item.pattern, keep)
             else:
-                item_valuations = self._match_sequence(node.children, item)
-            if not item_valuations:
-                return set()
-            valuations = _join(valuations, item_valuations)
+                rel = self._match_sequence(node, item, keep)
+            if not rel:
+                return _EMPTY_REL
+            item_vars = full_item_vars if keep is None else full_item_vars & keep
+            valuations = self._hash_join(valuations, acc_vars, rel, item_vars)
             if not valuations:
-                return set()
+                return _EMPTY_REL
+            acc_vars |= item_vars
         return valuations
 
     def _match_node_formula(
@@ -123,58 +246,137 @@ class _Matcher:
         return frozenset(binding.items())
 
     def match_strictly_below(
-        self, node: TreeNode, pattern: Pattern
-    ) -> set[Valuation]:
+        self, node: TreeNode, pattern: Pattern, keep: frozenset | None = None
+    ) -> frozenset:
         """Valuations of *pattern* matched at some proper descendant of *node*."""
-        result: set[Valuation] = set()
-        for child in node.children:
-            result |= self._match_at_or_below(child, pattern)
-        return result
-
-    def _match_at_or_below(self, node: TreeNode, pattern: Pattern) -> set[Valuation]:
-        key = (id(node), pattern)
+        key = (id(node), pattern, keep)
         cached = self._below.get(key)
         if cached is not None:
+            self.stats.cache_hits += 1
             return cached
-        result = set(self.match_at(node, pattern))
-        for child in node.children:
-            result |= self._match_at_or_below(child, pattern)
+        result = self._match_below(node, pattern, keep)
         self._below[key] = result
         return result
 
+    def _match_below(
+        self, node: TreeNode, pattern: Pattern, keep: frozenset | None
+    ) -> frozenset:
+        mask = self.mask(pattern)
+        if mask is None or not self.index.below_covers(node, mask):
+            self.stats.index_prunes += 1
+            return _EMPTY_REL
+        info = self.info(pattern)
+        existence_only = keep is not None and not (info.all_vars & keep)
+        label = None if pattern.label == WILDCARD else pattern.label
+        attrs = info.const_attrs if label is not None else None
+        out: set = set()
+        for candidate in self.index.candidates(node, label, attrs):
+            self.stats.candidates_scanned += 1
+            rel = self.match_at(candidate, pattern, keep)
+            if rel:
+                if existence_only:
+                    return _TRUE_REL
+                out |= rel
+        return frozenset(out) if out else _EMPTY_REL
+
     def _match_sequence(
-        self, children: tuple[TreeNode, ...], sequence: Sequence
-    ) -> set[Valuation]:
-        """Valuations under which the sequence matches among *children*."""
-        result: set[Valuation] = set()
-        for start in range(len(children)):
-            result |= self._match_sequence_from(children, start, sequence, 0)
+        self, node: TreeNode, sequence: Sequence, keep: frozenset | None
+    ) -> frozenset:
+        """Relation under which the sequence matches among *node*'s children."""
+        children = node.children
+        n = len(children)
+        if n == 0:
+            return _EMPTY_REL
+        elements = sequence.elements
+        rows = [
+            [self.match_at(child, element, keep) for child in children]
+            for element in elements
+        ]
+        evars = [
+            self.info(e).all_vars if keep is None else self.info(e).all_vars & keep
+            for e in elements
+        ]
+        # suffix[p]: relation of elements[i:] with element i at position p;
+        # built right to left so each (connector, position) joins once.
+        suffix = rows[-1]
+        suffix_vars = evars[-1]
+        for i in range(len(elements) - 2, -1, -1):
+            here = rows[i]
+            if sequence.connectors[i] == "next":
+                nxt = suffix[1:] + [_EMPTY_REL]
+            else:  # following-sibling: any strictly later position
+                nxt = [_EMPTY_REL] * n
+                acc: frozenset = _EMPTY_REL
+                for p in range(n - 2, -1, -1):
+                    later = suffix[p + 1]
+                    if later:
+                        acc = acc | later
+                    nxt[p] = acc
+            suffix = [
+                self._hash_join(here[p], evars[i], nxt[p], suffix_vars)
+                if here[p] and nxt[p]
+                else _EMPTY_REL
+                for p in range(n)
+            ]
+            suffix_vars = evars[i] | suffix_vars
+        result: frozenset = _EMPTY_REL
+        for rel in suffix:
+            if rel:
+                result = result | rel
         return result
 
-    def _match_sequence_from(
+    def _hash_join(
         self,
-        children: tuple[TreeNode, ...],
-        position: int,
-        sequence: Sequence,
-        index: int,
-    ) -> set[Valuation]:
-        """Match ``sequence.elements[index:]`` with element *index* at *position*."""
-        here = self.match_at(children[position], sequence.elements[index])
-        if not here or index == len(sequence.elements) - 1:
-            return here
-        connector = sequence.connectors[index]
-        if connector == "next":
-            if position + 1 >= len(children):
-                return set()
-            rest = self._match_sequence_from(children, position + 1, sequence, index + 1)
-            return _join(here, rest)
-        # following-sibling: any strictly later position
-        result: set[Valuation] = set()
-        for later in range(position + 1, len(children)):
-            rest = self._match_sequence_from(children, later, sequence, index + 1)
-            if rest:
-                result |= _join(here, rest)
-        return result
+        lhs: frozenset,
+        lhs_vars: frozenset[Var],
+        rhs: frozenset,
+        rhs_vars: frozenset[Var],
+    ) -> frozenset:
+        """Join two relations on their shared variables (hash join).
+
+        Every valuation of a relation binds exactly the relation's
+        variable set, so two valuations merge iff they agree on the
+        shared variables — the hash key.
+        """
+        if not lhs or not rhs:
+            return _EMPTY_REL
+        if not lhs_vars:
+            return rhs  # lhs is the true relation over zero variables
+        if not rhs_vars:
+            return lhs
+        shared = lhs_vars & rhs_vars
+        if not shared:
+            self.stats.join_pairs += len(lhs) * len(rhs)
+            return frozenset(a | b for a in lhs for b in rhs)
+        build, probe = (lhs, rhs) if len(lhs) <= len(rhs) else (rhs, lhs)
+        key_vars = tuple(sorted(shared, key=lambda v: v.name))
+        table: dict[tuple, list] = {}
+        for valuation in build:
+            values = dict(valuation)
+            key = tuple(values[v] for v in key_vars)
+            table.setdefault(key, []).append(valuation)
+        out: list = []
+        for valuation in probe:
+            values = dict(valuation)
+            bucket = table.get(tuple(values[v] for v in key_vars))
+            if bucket:
+                self.stats.join_pairs += len(bucket)
+                out.extend(other | valuation for other in bucket)
+        return frozenset(out)
+
+
+def engine_for(root: TreeNode) -> PatternEngine:
+    """The cached :class:`PatternEngine` of *root* (built on first use).
+
+    Stored on the root node itself: trees are immutable, so the engine's
+    index and memo tables never go stale, and they are released together
+    with the tree object.
+    """
+    engine = getattr(root, "_engine", None)
+    if engine is None:
+        engine = PatternEngine(root)
+        root._engine = engine
+    return engine
 
 
 def find_matches(pattern: Pattern, root: TreeNode) -> list[dict[Var, object]]:
@@ -182,19 +384,22 @@ def find_matches(pattern: Pattern, root: TreeNode) -> list[dict[Var, object]]:
 
     Every returned dict assigns all of ``pattern.variables()``.
     """
-    matcher = _Matcher()
-    return [dict(valuation) for valuation in matcher.match_at(root, pattern)]
+    return engine_for(root).find_matches(pattern)
 
 
 def find_matches_anywhere(pattern: Pattern, root: TreeNode) -> list[dict[Var, object]]:
     """All valuations matching *pattern* at the root or any descendant."""
-    matcher = _Matcher()
-    return [dict(v) for v in matcher._match_at_or_below(root, pattern)]
+    return [dict(v) for v in engine_for(root).match_anywhere(pattern)]
+
+
+def matches_anywhere(pattern: Pattern, root: TreeNode) -> bool:
+    """Does *pattern* match at the root or any descendant? (Boolean mode.)"""
+    return engine_for(root).exists_anywhere(pattern)
 
 
 def matches_at_root(pattern: Pattern, root: TreeNode) -> bool:
     """``T |= pi`` for some valuation (Boolean satisfaction at the root)."""
-    return bool(_Matcher().match_at(root, pattern))
+    return engine_for(root).exists_at_root(pattern)
 
 
 def evaluate(pattern: Pattern, root: TreeNode) -> set[tuple]:

@@ -34,7 +34,7 @@ class TreeNode:
         Tuple of child :class:`TreeNode` objects, in sibling order.
     """
 
-    __slots__ = ("label", "attrs", "children", "_hash")
+    __slots__ = ("label", "attrs", "children", "_hash", "_engine")
 
     def __init__(
         self,
@@ -49,6 +49,10 @@ class TreeNode:
             if not isinstance(child, TreeNode):
                 raise TypeError(f"child must be a TreeNode, got {child!r}")
         self._hash: int | None = None
+        # lazily populated by repro.patterns.matching.engine_for: the
+        # pattern-evaluation engine (index + memo tables) of this subtree
+        # when it has been queried as a root; safe because trees are
+        # immutable, excluded from equality/hashing above
 
     # -- structural identity ------------------------------------------------
 

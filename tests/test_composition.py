@@ -192,3 +192,23 @@ def copy_chain_skolem():
     m12 = SkolemMapping.parse(D1.replace("r ->", "r ->"), D2, ["r[a(x)] -> m[b(x)]"])
     m23 = SkolemMapping.parse(D2, D3, ["m[b(u)] -> t[c(u)]"])
     return m12, m23
+
+
+class TestComposeAgreement:
+    def test_composed_mapping_agrees_with_direct_search(self):
+        from repro.composition.compose import composition_agrees_on
+        from repro.mappings.skolem import SkolemMapping
+
+        m12, m23 = copy_chain()
+        s12 = SkolemMapping(m12.source_dtd, m12.target_dtd, m12.stds)
+        s23 = SkolemMapping(m23.source_dtd, m23.target_dtd, m23.stds)
+        pairs = [
+            ("r[a(1), a(2)]", "t[c(2), c(1)]"),
+            ("r[a(1), a(2)]", "t[c(1)]"),
+            ("r[a(1)]", "t[c(1), c(9)]"),
+            ("r", "t"),
+        ]
+        for source, final in pairs:
+            assert composition_agrees_on(
+                s12, s23, parse_tree(source), parse_tree(final)
+            ), (source, final)

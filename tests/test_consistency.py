@@ -280,3 +280,20 @@ class TestDispatcher:
             ["r[a(x), b(y)], x != y -> t[c(x)]"],
         )
         assert is_consistent(m)
+
+
+class TestVerifiedWitness:
+    def test_witness_survives_engine_recheck(self):
+        m = mk(
+            "r -> a+, b?\na(x)\nb(y)",
+            "t -> c+\nc(u) -> d*\nd(v)",
+            ["r[a(x)] -> t[c(x)]", "r[b(y)] -> t[c(y)[d(y)]]"],
+        )
+        # verify=True re-checks the pair through the pattern engine's
+        # Boolean membership mode and raises on disagreement
+        pair = consistency_witness_automata(m, verify=True)
+        assert pair is not None
+
+    def test_verified_inconsistent_still_none(self):
+        m = mk("r -> a+\na(x)", "t -> w\nw -> b*\nb(u)", ["r[a(x)] -> t[b(x)]"])
+        assert consistency_witness_automata(m, verify=True) is None

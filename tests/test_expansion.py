@@ -160,3 +160,15 @@ class TestExpandedAbscons:
             source_domain=(0, 1), extra_target_values=2,
         )
         assert answer == oracle, f"{[str(s) for s in m.stds]}"
+
+
+class TestExpansionEngineCrossCheck:
+    @pytest.mark.parametrize(
+        "text", ["r//c(z)", "r[_(v)]", "r[_[c(z)]]", "r[_, //c(z)]"]
+    )
+    def test_exactness_helper(self, text):
+        from repro.consistency.expansion import expansion_is_exact_on
+
+        pattern = parse_pattern(text)
+        for tree in enumerate_trees(DTD, 5, (0, 1)):
+            assert expansion_is_exact_on(DTD, pattern, tree), f"{text} on {tree!r}"

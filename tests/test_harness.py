@@ -1,0 +1,80 @@
+"""The benchmark sweep helper: averaging must not mix cold and warm runs."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "benchmarks"))
+
+import harness
+from harness import growth_ratios, sweep, time_once
+
+
+class FakeClock:
+    """A perf_counter that advances only when an action charges it."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def perf_counter(self):
+        return self.now
+
+
+@pytest.fixture
+def clock(monkeypatch):
+    fake = FakeClock()
+    monkeypatch.setattr(harness.time, "perf_counter", fake.perf_counter)
+    return fake
+
+
+def make_action(clock, costs, steady):
+    """An action whose i-th call costs ``costs[i]``, then ``steady``."""
+    calls = {"n": 0}
+
+    def action():
+        cost = costs[calls["n"]] if calls["n"] < len(costs) else steady
+        calls["n"] += 1
+        clock.now += cost
+        return calls["n"]
+
+    action.calls = calls
+    return action
+
+
+def test_time_once(clock):
+    elapsed, result = time_once(make_action(clock, [0.25], 0.25))
+    assert elapsed == pytest.approx(0.25)
+    assert result == 1
+
+
+def test_sweep_discards_cold_first_sample(clock):
+    # the first call pays a one-time 9ms setup, warm calls take 1ms; the
+    # reported mean must be the warm cost, not a cold/warm mixture
+    action = make_action(clock, [0.009], 0.001)
+    ((n, mean, result),) = sweep([7], lambda n: action, min_repeat_seconds=0.01)
+    assert n == 7
+    assert mean == pytest.approx(0.001)
+    assert result == action.calls["n"]
+
+
+def test_sweep_keeps_single_sample_for_slow_points(clock):
+    # a point over the repeat threshold is measured exactly once (cold)
+    action = make_action(clock, [], 0.02)
+    ((_, mean, __),) = sweep([3], lambda n: action, min_repeat_seconds=0.01)
+    assert mean == pytest.approx(0.02)
+    assert action.calls["n"] == 1
+
+
+def test_sweep_accumulates_warm_batches(clock):
+    # steady 0.4ms per call: several warm batches are needed to cross the
+    # 10ms floor, and every one of them enters the average
+    action = make_action(clock, [0.002], 0.0004)
+    ((_, mean, __),) = sweep([1], lambda n: action, min_repeat_seconds=0.01)
+    assert mean == pytest.approx(0.0004)
+    assert action.calls["n"] > 20
+
+
+def test_growth_ratios():
+    rows = [(1, 1.0, None), (2, 2.0, None), (4, 8.0, None)]
+    assert growth_ratios(rows) == [2.0, 4.0]

@@ -6,6 +6,7 @@ tree/pattern pairs.
 """
 
 import itertools
+import random
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -13,11 +14,19 @@ from hypothesis import given, settings, strategies as st
 from repro.errors import XsmError
 from repro.patterns.ast import WILDCARD, Descendant, Pattern, Sequence, node, seq
 from repro.patterns.matching import (
+    engine_for,
     evaluate,
     find_matches,
     find_matches_anywhere,
     holds,
+    matches_anywhere,
     matches_at_root,
+)
+from repro.verification.oracle import (
+    naive_evaluate,
+    naive_find_matches,
+    naive_find_matches_anywhere,
+    naive_matches_at_root,
 )
 from repro.patterns.parser import parse_pattern
 from repro.values import Const, SkolemTerm, Var
@@ -272,3 +281,129 @@ def test_matcher_agrees_with_reference_semantics(t, p):
     got = {frozenset(m.items()) for m in find_matches(p, t)}
     expected = {frozenset(m.items()) for m in ref_match_node(t, p, {})}
     assert got == expected
+
+
+# ---------------------------------------------------------------------------
+# Engine-specific behaviour: public anywhere-API, Boolean mode, and the
+# equivalence of the indexed engine with the naive evaluator kept in
+# repro.verification.oracle.
+# ---------------------------------------------------------------------------
+
+
+class TestWildcardChains:
+    def test_wildcard_following_chain(self):
+        t = parse_tree("r[a(1), b(2), a(3), c(4)]")
+        p = parse_pattern("r[_(x) ->* _(y) ->* _(z)]")
+        results = evaluate(p, t)
+        assert (1, 2, 3) in results
+        assert (1, 3, 4) in results
+        assert all(len(set(row)) == 3 or row.count(row[0]) < 3 for row in results)
+        assert len(results) == 4  # C(4,3) strictly increasing triples
+
+    def test_wildcard_next_chain_at_depth(self):
+        t = parse_tree("r[b[a(1), a(2), a(3)]]")
+        p = parse_pattern("r[//_[_(x) -> _(y)]]")
+        assert evaluate(p, t) == {(1, 2), (2, 3)}
+
+    def test_wildcard_label_with_descendant_tail(self):
+        t = parse_tree("r[a[c(5)], b[c(6)]]")
+        p = parse_pattern("r[_ ->* _[//c(x)]]")
+        assert evaluate(p, t) == {(6,)}
+
+
+class TestRepeatedVariableJoins:
+    def test_join_across_descendant_items(self):
+        t = parse_tree("r[a(1), a(2), b[c(2)]]")
+        p = parse_pattern("r[//a(x), //c(x)]")
+        assert evaluate(p, t) == {(2,)}
+
+    def test_join_between_nested_descendants(self):
+        t = parse_tree("r[b(7)[a(7), a(8)], b(8)[a(9)]]")
+        p = parse_pattern("r[//b(x)[a(x)]]")
+        assert evaluate(p, t) == {(7,)}
+
+    def test_three_way_join(self):
+        t = parse_tree("r[a(1), b(1), c(1), a(2), b(2)]")
+        p = parse_pattern("r[//a(x), //b(x), //c(x)]")
+        assert evaluate(p, t) == {(1,)}
+
+    def test_join_conflict_across_depths_is_empty(self):
+        t = parse_tree("r[a(1)[c(2)], b(3)]")
+        p = parse_pattern("r[//c(x), //b(x)]")
+        assert evaluate(p, t) == set()
+
+
+class TestAnywhereApi:
+    def test_match_anywhere_is_public_on_the_engine(self):
+        t = parse_tree("r[b[a(5)]]")
+        engine = engine_for(t)
+        relation = engine.match_anywhere(parse_pattern("a(x)"))
+        assert relation == frozenset({frozenset({(Var("x"), 5)})})
+
+    def test_matches_anywhere_boolean(self):
+        t = parse_tree("r[b[a(5)]]")
+        assert matches_anywhere(parse_pattern("a(5)"), t)
+        assert not matches_anywhere(parse_pattern("a(6)"), t)
+        assert not matches_at_root(parse_pattern("a(5)"), t)
+
+
+class TestBooleanMode:
+    @settings(max_examples=60, deadline=None)
+    @given(small_trees(), small_patterns())
+    def test_exists_agrees_with_full_evaluation(self, t, p):
+        engine = engine_for(t)
+        assert engine.exists_at_root(p) == bool(engine.relation_at_root(p))
+        assert engine.exists_anywhere(p) == bool(engine.match_anywhere(p))
+
+
+def _random_tree(rng, depth):
+    label = rng.choice("ab")
+    attrs = (rng.randint(0, 2),)
+    width = 0 if depth == 0 else rng.randint(0, 3)
+    return tree(label, attrs, [_random_tree(rng, depth - 1) for __ in range(width)])
+
+
+def _random_pattern(rng, depth):
+    label = rng.choice(["a", "b", WILDCARD])
+    vars_ = rng.choice(
+        [None, (Var("x"),), (Var("y"),), (Var("z"),), (Const(0),), (Const(1),)]
+    )
+    items = []
+    if depth > 0:
+        for __ in range(rng.randint(0, 2)):
+            roll = rng.random()
+            if roll < 0.4:
+                items.append(Descendant(_random_pattern(rng, depth - 1)))
+            elif roll < 0.7:
+                items.append(Sequence((_random_pattern(rng, depth - 1),)))
+            else:
+                items.append(
+                    Sequence(
+                        (
+                            _random_pattern(rng, depth - 1),
+                            _random_pattern(rng, depth - 1),
+                        ),
+                        (rng.choice(["next", "following"]),),
+                    )
+                )
+    return Pattern(label, vars_, tuple(items))
+
+
+def test_engine_agrees_with_naive_evaluator():
+    """Randomized equivalence: indexed engine vs the preserved naive matcher."""
+    rng = random.Random(20260805)
+    for __ in range(250):
+        t = _random_tree(rng, rng.randint(1, 3))
+        p = _random_pattern(rng, rng.randint(1, 2))
+        got = {frozenset(m.items()) for m in find_matches(p, t)}
+        expected = {frozenset(m.items()) for m in naive_find_matches(p, t)}
+        assert got == expected, f"find_matches diverges on {p} over {t}"
+        got_anywhere = {
+            frozenset(m.items()) for m in find_matches_anywhere(p, t)
+        }
+        expected_anywhere = {
+            frozenset(m.items()) for m in naive_find_matches_anywhere(p, t)
+        }
+        assert got_anywhere == expected_anywhere
+        assert matches_at_root(p, t) == naive_matches_at_root(p, t)
+        assert evaluate(p, t) == naive_evaluate(p, t)

@@ -172,3 +172,51 @@ class TestSemanticsDetails:
         assert is_solution(m, parse_tree("r[m[a(5)]]"), parse_tree("t[c(5)]"))
         assert not is_solution(m, parse_tree("r[m[a(5)]]"), parse_tree("t"))
         assert is_solution(m, parse_tree("r[m]"), parse_tree("t"))
+
+
+class TestSolutionChecker:
+    """The fixed-source checker must agree with is_solution everywhere."""
+
+    TARGETS = [
+        "r[course(db1, 2009)[taughtby(Ada)], course(db2, 2009)[taughtby(Ada)], "
+        "student(s1)[supervisor(Ada)]]",
+        "r[course(db2, 2009)[taughtby(Ada)], course(db1, 2009)[taughtby(Ada)], "
+        "student(s1)[supervisor(Ada)]]",
+        "r[course(db1, 2009)[taughtby(Ada)], course(x9, 2024)[taughtby(Bob)], "
+        "course(db2, 2009)[taughtby(Ada)], student(s1)[supervisor(Ada)]]",
+        "r[course(db1, 2009)[taughtby(Ada)], course(db2, 2009)[taughtby(Ada)], "
+        "student(s1)[supervisor(Bob)]]",
+        "r",
+    ]
+
+    def test_agrees_with_is_solution(self, paper_mapping):
+        from repro.mappings.membership import SolutionChecker
+
+        checker = SolutionChecker(paper_mapping, SOURCE)
+        for text in self.TARGETS:
+            target = parse_tree(text)
+            assert checker.is_solution_for(target) == is_solution(
+                paper_mapping, SOURCE, target
+            ), text
+
+    def test_conformance_flag(self, paper_mapping):
+        from repro.mappings.membership import SolutionChecker
+
+        checker = SolutionChecker(paper_mapping, SOURCE)
+        nonconforming = parse_tree("r[course(a, 1)]")
+        assert not checker.is_solution_for(nonconforming)
+        # without the conformance gate only the requirements count
+        assert checker.is_solution_for(
+            parse_tree("r"), check_conformance=False
+        ) is False
+
+    def test_untriggered_source_accepts_empty_target(self, paper_mapping):
+        from repro.mappings.membership import SolutionChecker
+
+        source = parse_tree(
+            "r[prof(Ada)[teach[year(2009)[course(db1), course(db1)]], "
+            "supervise[student(s1)]]]"
+        )
+        assert SolutionChecker(paper_mapping, source).is_solution_for(
+            parse_tree("r")
+        )
