@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke bench baseline ci
+.PHONY: test smoke lint bench baseline ci
 
 # tier-1: the full unit/property suite
 test:
@@ -20,4 +20,12 @@ bench:
 baseline:
 	$(PYTHON) benchmarks/bench_matching_engine.py --update-baseline
 
-ci: test smoke
+# style gate; skips with a notice when ruff is not on PATH
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed; skipping lint"; \
+	fi
+
+ci: lint test smoke

@@ -1,4 +1,4 @@
-"""Figure 1, consistency row — experiments F1.1–F1.4 (DESIGN.md §4).
+"""Figure 1, consistency row — experiments F1.1–F1.4 and F1.11 (DESIGN.md §4).
 
 Reproduces the comparison-free cells of the paper's consistency table:
 
@@ -10,7 +10,12 @@ CONS(⇓), nested-rel.   PTIME (cubic)             polynomial sweep (F1.2)
 CONS(⇓,⇒), arbitrary   EXPTIME-complete          exponential sweep (F1.3)
 CONS(⇓,→), nested-rel. PSPACE-hard               exponential sweep (F1.4)
 =====================  =======================  ==========================
+
+F1.11 measures the engine layer itself: the shared compilation cache on
+repeated-DTD sweep points versus ``CompilationCache(enabled=False)``.
 """
+
+import time
 
 from harness import print_table, sweep
 
@@ -29,7 +34,7 @@ def test_f11_cons_down_arbitrary(benchmark):
         return lambda: is_consistent_automata(mapping)
 
     rows = sweep(range(1, 7), make)
-    assert all(result is True for __, __, result in rows)
+    assert all(result.is_proved for __, __, result in rows)
     print_table(
         "F1.1",
         "CONS(⇓) arbitrary DTDs: EXPTIME-complete",
@@ -42,7 +47,7 @@ def test_f11_cons_down_arbitrary(benchmark):
         return lambda: is_consistent_automata(mapping)
 
     negative = sweep(range(1, 5), make_negative)
-    assert all(result is False for __, __, result in negative)
+    assert all(result.is_refuted for __, __, result in negative)
     benchmark(lambda: is_consistent_automata(cons_arbitrary_family(4)))
 
 
@@ -53,7 +58,7 @@ def test_f12_cons_down_nested_ptime(benchmark):
         return lambda: is_consistent_nested(mapping)
 
     rows = sweep([2, 4, 8, 16, 32, 64], make)
-    assert all(result is True for __, __, result in rows)
+    assert all(result.is_proved for __, __, result in rows)
     print_table(
         "F1.2",
         "CONS(⇓) nested-relational DTDs: PTIME (cubic in [4])",
@@ -62,7 +67,7 @@ def test_f12_cons_down_nested_ptime(benchmark):
         note="same copy workload scaled; growth stays polynomial",
     )
     negative = is_consistent_nested(cons_nested_family(16, consistent=False))
-    assert negative is False
+    assert negative.is_refuted
     benchmark(lambda: is_consistent_nested(cons_nested_family(32)))
 
 
@@ -73,7 +78,7 @@ def test_f13_cons_horizontal_arbitrary(benchmark):
         return lambda: is_consistent_automata(mapping)
 
     rows = sweep(range(2, 9), make)
-    assert all(result is True for __, __, result in rows)
+    assert all(result.is_proved for __, __, result in rows)
     print_table(
         "F1.3",
         "CONS(⇓,⇒): EXPTIME-complete (Theorem 5.2)",
@@ -103,7 +108,7 @@ def test_f14_next_sibling_breaks_nested_ptime(benchmark):
         return lambda: is_consistent_automata(mapping)
 
     rows = sweep(range(2, 8), make)
-    assert all(result is False for __, __, result in rows)
+    assert all(result.is_refuted for __, __, result in rows)
     print_table(
         "F1.4",
         "CONS(⇓,→) nested-relational DTDs: PSPACE-hard (Prop 5.3)",
@@ -114,3 +119,49 @@ def test_f14_next_sibling_breaks_nested_ptime(benchmark):
     benchmark(
         lambda: is_consistent_automata(cons_next_sibling_family(5, consistent=False))
     )
+
+
+def test_f111_compilation_cache_speedup(benchmark):
+    """F1.11: the shared CompilationCache on repeated-DTD sweep points.
+
+    Re-deciding the F1.1 sweep points with a shared cache hits the stored
+    DTD automata, closure automata and achievable trigger-set tables (the
+    exponential reachability pass), so repeated points cost dict lookups.
+    The acceptance bar is a measured >= 2x speedup over the same sweep
+    with ``CompilationCache(enabled=False)``.
+    """
+    from repro.engine import (
+        CompilationCache,
+        ConsistencyProblem,
+        ExecutionContext,
+        solve,
+    )
+
+    mappings = [cons_arbitrary_family(n) for n in range(3, 6)]
+    repeats = 5
+
+    def run_sweep(enabled: bool) -> tuple[float, ExecutionContext]:
+        context = ExecutionContext(cache=CompilationCache(enabled=enabled))
+        started = time.perf_counter()
+        for __ in range(repeats):
+            for mapping in mappings:
+                assert solve(ConsistencyProblem(mapping), context).is_proved
+        return time.perf_counter() - started, context
+
+    cold, __ = run_sweep(enabled=False)
+    warm, context = run_sweep(enabled=True)
+    stats = context.cache.stats()
+    speedup = cold / warm
+    print()
+    print("[F1.11] paper: repeated-DTD sweeps amortize compilation (engine layer)")
+    print(f"[F1.11] cache disabled: {cold:.6f}s for {repeats}x{len(mappings)} solves")
+    print(f"[F1.11] cache enabled : {warm:.6f}s "
+          f"(hits={stats['hits']} misses={stats['misses']} "
+          f"evictions={stats['evictions']})")
+    print(f"[F1.11] speedup       : {speedup:.2f}x (acceptance bar: >= 2x)")
+    assert stats["hits"] > 0
+    assert speedup >= 2.0, f"cache speedup {speedup:.2f}x below the 2x bar"
+
+    warm_context = ExecutionContext(cache=CompilationCache())
+    solve(ConsistencyProblem(mappings[-1]), warm_context)
+    benchmark(lambda: solve(ConsistencyProblem(mappings[-1]), warm_context))

@@ -14,18 +14,15 @@ and cross-feed key conflicts.
 Run:  python examples/consistency_audit.py
 """
 
-from repro.consistency import (
-    consistency_witness,
-    is_consistent,
-    is_consistent_automata,
+from repro.consistency import consistency_witness
+from repro.engine import (
+    AbsoluteConsistencyProblem,
+    ConsistencyProblem,
+    Counterexample,
+    ExecutionContext,
+    RigidityExplanation,
+    solve,
 )
-from repro.consistency.abscons import (
-    abscons_counterexample,
-    abscons_ptime_analysis,
-    is_absolutely_consistent_ptime,
-    is_absolutely_consistent_sm0,
-)
-from repro.errors import BoundExceededError, SignatureError
 from repro.mappings.mapping import SchemaMapping
 from repro.xmlmodel.parser import serialize_tree
 
@@ -82,39 +79,34 @@ AUDIT = [
 ]
 
 
-def audit(name: str, mapping: SchemaMapping) -> None:
+def audit(name: str, mapping: SchemaMapping, context: ExecutionContext) -> None:
     print(f"--- {name}")
     print(f"    class {mapping.signature()}, "
           f"{'nested-relational' if mapping.is_nested_relational() else 'arbitrary'} DTDs")
-    try:
-        consistent = is_consistent(mapping)
-    except BoundExceededError:
+    cons = solve(ConsistencyProblem(mapping), context)
+    if cons.is_unknown:
         print("    CONS   : inconclusive within default bounds (class with ∼)")
-        consistent = None
-    if consistent is not None:
-        print(f"    CONS   : {'PASS' if consistent else 'FAIL — no document maps at all'}")
-        if consistent:
+    else:
+        print(f"    CONS   : {'PASS' if cons.is_proved else 'FAIL — no document maps at all'}"
+              f"  [{cons.report.algorithm}]")
+        if cons.is_proved:
             witness = consistency_witness(mapping)
             if witness:
                 print(f"             e.g. {serialize_tree(witness[0])}  ~>  "
                       f"{serialize_tree(witness[1])}")
-    for decide, label in (
-        (is_absolutely_consistent_ptime, "PTIME"),
-        (lambda m: is_absolutely_consistent_sm0(m.strip_values()), "SM° approx"),
-    ):
-        try:
-            absolutely = decide(mapping)
-        except SignatureError:
-            continue
-        print(f"    ABSCONS: {'PASS' if absolutely else 'FAIL'}  [{label} analysis]")
-        if not absolutely:
-            if label == "PTIME":
-                for problem in abscons_ptime_analysis(mapping):
-                    print(f"             why: {problem}")
-            counterexample = abscons_counterexample(mapping, 4, 5)
-            if counterexample is not None:
-                print(f"             unmappable document: {serialize_tree(counterexample)}")
-        break
+    absolute = solve(AbsoluteConsistencyProblem(mapping), context)
+    if absolute.is_unknown:
+        print(f"    ABSCONS: inconclusive ({absolute.reason})")
+    else:
+        print(f"    ABSCONS: {'PASS' if absolute.is_proved else 'FAIL'}"
+              f"  [{absolute.report.algorithm}]")
+    if absolute.is_refuted:
+        certificate = absolute.certificate
+        if isinstance(certificate, RigidityExplanation):
+            for problem in certificate.problems:
+                print(f"             why: {problem}")
+        elif isinstance(certificate, Counterexample):
+            print(f"             unmappable document: {serialize_tree(certificate.source)}")
     print()
 
 
@@ -122,8 +114,12 @@ def main() -> None:
     print("=" * 70)
     print("Mapping audit:", len(AUDIT), "mappings")
     print("=" * 70)
+    context = ExecutionContext()  # one shared compilation cache for the batch
     for name, mapping in AUDIT:
-        audit(name, mapping)
+        audit(name, mapping, context)
+    stats = context.cache.stats()
+    print(f"Compilation cache: {stats['hits']} hits, {stats['misses']} misses, "
+          f"{stats['entries']} entries.")
     print("Legend: CONS = some document maps (Section 5); "
           "ABSCONS = every document maps (Section 6).")
 

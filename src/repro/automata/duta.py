@@ -139,6 +139,7 @@ def reachable_states(
     max_states: int | None = None,
     prune: Callable[[State], bool] | None = None,
     prune_horizontal: Callable[[str, HState], bool] | None = None,
+    charge: Callable[[], None] | None = None,
 ) -> dict[State, TreeNode]:
     """All vertical states realized by some tree, with a witness tree each.
 
@@ -159,6 +160,9 @@ def reachable_states(
     space dramatically.  *prune_horizontal* does the same for horizontal
     states (e.g. once the DTD component's word subset is empty, no
     extension of the child sequence can recover).
+
+    *charge* is called once per newly realized state — the engine layer's
+    budget accounting hook (it may raise to abort the saturation).
     """
     labels = sorted(automaton.labels(), key=repr)
     realized: dict[State, TreeNode] = {}
@@ -193,6 +197,8 @@ def reachable_states(
                 if prune is not None and prune(state):
                     pruned.add(state)
                     continue
+                if charge is not None:
+                    charge()
                 realized[state] = TreeNode(
                     label, (), tuple(realized[c] for c in children)
                 )
@@ -211,6 +217,7 @@ def find_accepted(
     predicate: Callable[[State], bool] | None = None,
     prune: Callable[[State], bool] | None = None,
     prune_horizontal: Callable[[str, HState], bool] | None = None,
+    charge: Callable[[], None] | None = None,
 ) -> tuple[State, TreeNode] | None:
     """Find some tree whose root state satisfies *predicate* (default: accepting).
 
@@ -220,7 +227,11 @@ def find_accepted(
     if predicate is None:
         predicate = automaton.is_accepting
     realized = reachable_states(
-        automaton, stop=predicate, prune=prune, prune_horizontal=prune_horizontal
+        automaton,
+        stop=predicate,
+        prune=prune,
+        prune_horizontal=prune_horizontal,
+        charge=charge,
     )
     for state, witness in realized.items():
         if predicate(state):

@@ -12,8 +12,15 @@ compose    compose two mapping files (Theorem 8.2) and print the result
 
 Documents are plain XML (see :mod:`repro.xmlmodel.xml_io`), DTDs use the
 textual production syntax, mappings the ``.xsm`` format of
-:mod:`repro.mappings.io`.  Exit status is 0 for "yes"/success and 1 for
-"no"/failure, so the commands compose in shell scripts.
+:mod:`repro.mappings.io`.
+
+The analysis commands route through :func:`repro.engine.solve` and report
+certified verdicts.  ``check`` exits 0 when the mapping is consistent, 1
+when it is inconsistent and 2 when every applicable procedure came back
+``Unknown`` (bound exhausted); other commands keep 0 = yes / 1 = no.
+Errors (parse failures, missing labels, ...) exit 3.  ``--stats`` prints
+the engine's per-solve accounting: selected algorithm, routing reason,
+wall clock, charged expansions and compilation-cache hits/misses.
 """
 
 from __future__ import annotations
@@ -23,17 +30,20 @@ import sys
 from pathlib import Path
 
 from repro.composition.compose import compose as compose_mappings
-from repro.consistency import consistency_witness, is_consistent
-from repro.consistency.abscons import (
-    abscons_counterexample,
-    abscons_ptime_analysis,
-    is_absolutely_consistent_ptime,
+from repro.consistency import consistency_witness
+from repro.engine import (
+    AbsoluteConsistencyProblem,
+    ConsistencyProblem,
+    Counterexample,
+    ExecutionContext,
+    MembershipProblem,
+    RigidityExplanation,
+    solve,
 )
-from repro.errors import BoundExceededError, SignatureError, XsmError
+from repro.errors import XsmError
 from repro.exchange import canonical_solution
 from repro.mappings.io import parse_mapping, render_mapping
-from repro.mappings.membership import is_solution, violations
-from repro.mappings.skolem import is_skolem_solution
+from repro.mappings.membership import violations
 from repro.patterns.matching import find_matches
 from repro.patterns.parser import parse_pattern
 from repro.xmlmodel.dtd import parse_dtd
@@ -42,6 +52,20 @@ from repro.xmlmodel.xml_io import from_xml, to_xml
 
 def _read(path: str) -> str:
     return Path(path).read_text()
+
+
+def _print_stats(verdict) -> None:
+    report = getattr(verdict, "report", None)
+    if report is None:
+        return
+    for line in report.lines():
+        print(f"  {line}")
+
+
+def _describe(verdict) -> str:
+    if verdict.is_unknown:
+        return f"unknown ({verdict.reason})"
+    return str(verdict.decision())
 
 
 def cmd_validate(args) -> int:
@@ -73,54 +97,59 @@ def cmd_match(args) -> int:
 def cmd_check(args) -> int:
     mapping = parse_mapping(_read(args.mapping))
     print(f"class: {mapping.signature()}")
-    status = 0
-    try:
-        consistent = is_consistent(mapping)
-        print(f"consistent: {consistent}")
-        if consistent and args.witness:
-            pair = consistency_witness(mapping)
-            if pair:
-                print(f"  witness source: {to_xml(pair[0], mapping.source_dtd).strip()}")
-                print(f"  witness target: {to_xml(pair[1], mapping.target_dtd).strip()}")
-        if not consistent:
-            status = 1
-    except BoundExceededError:
-        print("consistent: inconclusive (class with data comparisons; "
-              "bounded search found no witness)")
-        status = 1
-    try:
-        problems = abscons_ptime_analysis(mapping)
-        absolutely = not problems
-        print(f"absolutely consistent: {absolutely}")
-        for problem in problems:
-            print(f"  why: {problem}")
-        if not absolutely:
-            counterexample = abscons_counterexample(mapping, 4, 5)
-            if counterexample is not None:
-                print("  unmappable document:")
-                print("  " + to_xml(counterexample, mapping.source_dtd).strip()
-                      .replace("\n", "\n  "))
-            status = 1
-    except SignatureError as error:
-        print(f"absolutely consistent: not decided ({error})")
-    return status
+    context = ExecutionContext()
+
+    consistency = solve(ConsistencyProblem(mapping), context)
+    print(f"consistent: {_describe(consistency)}")
+    if args.stats:
+        _print_stats(consistency)
+    if consistency.is_proved and args.witness:
+        pair = consistency_witness(mapping)
+        if pair:
+            print(f"  witness source: {to_xml(pair[0], mapping.source_dtd).strip()}")
+            print(f"  witness target: {to_xml(pair[1], mapping.target_dtd).strip()}")
+
+    absolute = solve(AbsoluteConsistencyProblem(mapping), context)
+    print(f"absolutely consistent: {_describe(absolute)}")
+    if absolute.is_refuted:
+        certificate = absolute.certificate
+        if isinstance(certificate, RigidityExplanation):
+            for problem in certificate.problems:
+                print(f"  why: {problem}")
+        elif isinstance(certificate, Counterexample):
+            print("  unmappable document:")
+            print("  " + to_xml(certificate.source, mapping.source_dtd).strip()
+                  .replace("\n", "\n  "))
+    if args.stats:
+        _print_stats(absolute)
+
+    # the consistency verdict drives the exit code; when it is decided,
+    # a failed (or undecided) absolute-consistency check still flags 1 (or 2)
+    if consistency.is_refuted:
+        return 1
+    if consistency.is_unknown:
+        return 2
+    if absolute.is_refuted:
+        return 1
+    if absolute.is_unknown:
+        return 2
+    return 0
 
 
 def cmd_member(args) -> int:
     mapping = parse_mapping(_read(args.mapping))
     source = from_xml(_read(args.source), mapping.source_dtd)
     target = from_xml(_read(args.target), mapping.target_dtd)
-    if mapping.uses_skolem_functions():
-        answer = is_skolem_solution(mapping, source, target)
-    else:
-        answer = is_solution(mapping, source, target)
-    print("YES" if answer else "NO")
-    if not answer and args.explain and not mapping.uses_skolem_functions():
+    verdict = solve(MembershipProblem(mapping, source, target))
+    print("YES" if verdict.is_proved else "NO")
+    if args.stats:
+        _print_stats(verdict)
+    if verdict.is_refuted and args.explain and not mapping.uses_skolem_functions():
         for std, valuation in violations(mapping, source, target):
             values = {v.name: value for v, value in valuation.items()}
             print(f"  violated: {std}")
             print(f"    with {values}")
-    return 0 if answer else 1
+    return 0 if verdict.is_proved else 1
 
 
 def cmd_solve(args) -> int:
@@ -171,6 +200,8 @@ def build_parser() -> argparse.ArgumentParser:
     check = commands.add_parser("check", help="static analysis of a mapping")
     check.add_argument("mapping")
     check.add_argument("--witness", action="store_true")
+    check.add_argument("--stats", action="store_true",
+                       help="print the engine's algorithm/cost accounting")
     check.set_defaults(handler=cmd_check)
 
     member = commands.add_parser("member", help="is (source, target) in [[M]]?")
@@ -178,13 +209,15 @@ def build_parser() -> argparse.ArgumentParser:
     member.add_argument("source")
     member.add_argument("target")
     member.add_argument("--explain", action="store_true")
+    member.add_argument("--stats", action="store_true",
+                        help="print the engine's algorithm/cost accounting")
     member.set_defaults(handler=cmd_member)
 
-    solve = commands.add_parser("solve", help="canonical solution for a source")
-    solve.add_argument("mapping")
-    solve.add_argument("source")
-    solve.add_argument("--output")
-    solve.set_defaults(handler=cmd_solve)
+    solve_cmd = commands.add_parser("solve", help="canonical solution for a source")
+    solve_cmd.add_argument("mapping")
+    solve_cmd.add_argument("source")
+    solve_cmd.add_argument("--output")
+    solve_cmd.set_defaults(handler=cmd_solve)
 
     compose = commands.add_parser("compose", help="compose two mappings (Thm 8.2)")
     compose.add_argument("first")
@@ -198,9 +231,9 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.handler(args)
-    except XsmError as error:
+    except (XsmError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
-        return 2
+        return 3
 
 
 if __name__ == "__main__":

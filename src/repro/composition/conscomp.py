@@ -18,14 +18,22 @@ All data values are taken equal, which is lossless without comparisons
 (same argument as in :mod:`repro.consistency.cons_automata`).
 
 With comparisons the problem is undecidable (Theorem 7.1(2)); the bounded
-variant searches for an explicit witness chain.
+variant searches for an explicit witness chain and reports ``Unknown``
+when its bounds are exhausted.
 """
 
 from __future__ import annotations
 
-from repro.automata.dtd_automaton import DTDAutomaton
-from repro.automata.duta import ProductAutomaton, reachable_states
-from repro.automata.pattern_automaton import PatternClosureAutomaton
+from repro.engine.budget import ExecutionContext, resolve_budget
+from repro.engine.cache import achievable_sets, dtd_automaton
+from repro.engine.verdicts import (
+    AnalysisCertificate,
+    Proved,
+    Refuted,
+    Unknown,
+    Verdict,
+    WitnessChain,
+)
 from repro.errors import SignatureError, XsmError
 from repro.mappings.mapping import SchemaMapping
 from repro.mappings.membership import SolutionChecker
@@ -33,6 +41,7 @@ from repro.patterns.ast import Pattern
 from repro.values import Const
 from repro.verification.enumeration import enumerate_trees
 from repro.xmlmodel.dtd import DTD
+from repro.xmlmodel.tree import TreeNode
 
 
 def _check_chain(mappings: list[SchemaMapping]) -> None:
@@ -51,8 +60,9 @@ def _check_chain(mappings: list[SchemaMapping]) -> None:
                     raise SignatureError("constants are outside SM(⇓,⇒)")
     for left, right in zip(mappings, mappings[1:]):
         if left.target_dtd.labels != right.source_dtd.labels or any(
-            str(left.target_dtd.productions[l]) != str(right.source_dtd.productions[l])
-            for l in left.target_dtd.labels
+            str(left.target_dtd.productions[label])
+            != str(right.source_dtd.productions[label])
+            for label in left.target_dtd.labels
         ):
             raise XsmError("mappings do not chain: target DTD differs from next source DTD")
 
@@ -64,76 +74,122 @@ def _pattern_labels(patterns: list[Pattern]) -> frozenset[str]:
     return frozenset(labels)
 
 
-def _achievable(dtd: DTD, patterns: list[Pattern]):
-    """Achievable satisfaction bit-sets of *patterns* over conforming trees."""
-    extra = _pattern_labels(patterns)
-    closure = PatternClosureAutomaton(
-        patterns, extra_labels=dtd.labels | extra, arity_of=dtd.arity
+def _achievable(
+    dtd: DTD, patterns: list[Pattern], context: ExecutionContext | None
+) -> dict[frozenset[int], TreeNode]:
+    """Achievable satisfaction bit-sets of *patterns*, with witness trees.
+
+    One product reachability pass, compiled and memoized through the
+    engine's :class:`~repro.engine.cache.CompilationCache`.
+    """
+    return achievable_sets(
+        dtd, patterns, _pattern_labels(patterns), with_arity=True, context=context
     )
-    dtd_automaton = DTDAutomaton(dtd, extra_labels=extra)
-    product = ProductAutomaton([dtd_automaton, closure])
-    realized = reachable_states(
-        product,
-        prune=lambda state: not state[0][1],
-        prune_horizontal=lambda label, h: dtd_automaton.horizontal_dead(h[0]),
-    )
-    sets = set()
-    for state, __ in realized.items():
-        if dtd_automaton.is_accepting(state[0]):
-            sets.add(closure.trigger_set(state[1]))
-    return sets
 
 
-def is_composition_consistent(mappings: list[SchemaMapping]) -> bool:
-    """Exact ``CONSCOMP`` for a chain of comparison-free mappings (EXPTIME)."""
+def is_composition_consistent(
+    mappings: list[SchemaMapping], context: ExecutionContext | None = None
+) -> Verdict:
+    """Exact ``CONSCOMP`` for a chain of comparison-free mappings (EXPTIME).
+
+    ``Proved`` carries a witness chain ``T_1, ..., T_{n+1}`` (all values
+    0) with consecutive pairs in the respective ``[[M_i]]``; ``Refuted``
+    names the stage at which no conforming tree can serve.
+    """
     _check_chain(mappings)
     first = mappings[0]
-    feasible = _achievable(first.source_dtd, [std.source for std in first.stds])
-    if not feasible:
-        return False
+    source_sets = _achievable(
+        first.source_dtd, [std.source for std in first.stds], context
+    )
+    if not source_sets:
+        return Refuted(
+            AnalysisCertificate(
+                "conscomp", "the first mapping's source DTD is unsatisfiable"
+            )
+        )
+    # feasible trigger set -> a chain of (undecorated) witness trees so far
+    feasible: dict[frozenset[int], tuple[TreeNode, ...]] = {
+        triggered: (witness,) for triggered, witness in source_sets.items()
+    }
     for index in range(len(mappings)):
         current = mappings[index]
         nxt = mappings[index + 1] if index + 1 < len(mappings) else None
         target_patterns = [std.target for std in current.stds]
         next_sources = [std.source for std in nxt.stds] if nxt else []
-        combined = _achievable(current.target_dtd, target_patterns + next_sources)
+        combined = _achievable(
+            current.target_dtd, target_patterns + next_sources, context
+        )
         k = len(target_patterns)
-        new_feasible = set()
-        for bits in combined:
+        new_feasible: dict[frozenset[int], tuple[TreeNode, ...]] = {}
+        for bits, witness in combined.items():
             satisfied = frozenset(i for i in bits if i < k)
             triggered = frozenset(i - k for i in bits if i >= k)
-            if any(required <= satisfied for required in feasible):
-                new_feasible.add(triggered)
+            for required, chain in feasible.items():
+                if required <= satisfied:
+                    new_feasible.setdefault(triggered, chain + (witness,))
+                    break
         if not new_feasible:
-            return False
+            return Refuted(
+                AnalysisCertificate(
+                    "conscomp",
+                    f"stage {index + 1}: no conforming tree of the "
+                    f"intermediate DTD satisfies all targets of any feasible "
+                    f"trigger set of mapping {index + 1}",
+                )
+            )
         feasible = new_feasible
     # the final stage's "triggered" sets are all empty frozensets; success
-    return True
+    chain = min(feasible.values(), key=lambda trees: sum(t.size for t in trees))
+    dtds = [mappings[0].source_dtd] + [m.target_dtd for m in mappings]
+    decorated = tuple(
+        dtd_automaton(dtd, context=context).decorate(tree)
+        for dtd, tree in zip(dtds, chain)
+    )
+    return Proved(WitnessChain(decorated))
 
 
 def is_composition_consistent_bounded(
     mappings: list[SchemaMapping],
-    max_tree_size: int = 5,
+    max_tree_size: int | None = None,
     value_domain: tuple = (0, 1),
-) -> bool:
-    """Bounded witness-chain search (sound only): works with comparisons."""
+    context: ExecutionContext | None = None,
+) -> Verdict:
+    """Bounded witness-chain search (sound only): works with comparisons.
+
+    ``Proved`` carries the witness chain; exhausting the bounds yields
+    ``Unknown`` (the class is undecidable, so no refutation is possible).
+    """
     if not mappings:
         raise XsmError("composition of zero mappings")
+    if max_tree_size is None:
+        max_tree_size = resolve_budget(context).max_chain_size
 
-    def extend(index: int, previous) -> bool:
+    def extend(index: int, previous: TreeNode, chain: list[TreeNode]) -> bool:
         if index == len(mappings):
             return True
         mapping = mappings[index]
         # *previous* is fixed for this whole stage: one obligation set
         checker = SolutionChecker(mapping, previous)
         for tree in enumerate_trees(mapping.target_dtd, max_tree_size, value_domain):
+            if context is not None:
+                context.charge()
             if checker.is_solution_for(tree, check_conformance=False):
-                if extend(index + 1, tree):
+                chain.append(tree)
+                if extend(index + 1, tree, chain):
                     return True
+                chain.pop()
         return False
 
     first = mappings[0]
     for source in enumerate_trees(first.source_dtd, max_tree_size, value_domain):
-        if extend(0, source):
-            return True
-    return False
+        if context is not None:
+            context.charge()
+        chain: list[TreeNode] = [source]
+        if extend(0, source, chain):
+            return Proved(WitnessChain(tuple(chain)))
+    return Unknown(
+        f"no witness chain with trees of size <= {max_tree_size} over the "
+        f"value domain {value_domain!r}; the class admits no complete "
+        "procedure (Theorem 7.1(2))",
+        bound_exhausted=True,
+    )

@@ -15,15 +15,26 @@ abstraction**:
 
 So for ``SM(⇓, ⇒)`` the abstraction is exact, and the only approximation
 left is the bound on ``|T2|`` (the paper's upper bound is 2-EXPTIME with a
-construction not given in the text; see DESIGN.md, substitution 2).  With
-comparisons, composition is undecidable (Theorem 7.3), and this search is
-the corresponding sound-but-bounded procedure — extra fresh values can be
-requested via *extra_fresh* since distinct values then matter.
+construction not given in the text; see DESIGN.md, substitution 2) — which
+is why exhausting the middle-tree bound yields ``Unknown`` rather than a
+refutation.  With comparisons, composition is undecidable (Theorem 7.3),
+and this search is the corresponding sound-but-bounded procedure — extra
+fresh values can be requested via *extra_fresh* since distinct values then
+matter.
 """
 
 from __future__ import annotations
 
 from repro.consistency.bounded import mapping_constants
+from repro.engine.budget import ExecutionContext, resolve_budget
+from repro.engine.verdicts import (
+    ConformanceFailure,
+    MiddleTree,
+    Proved,
+    Refuted,
+    Unknown,
+    Verdict,
+)
 from repro.mappings.mapping import SchemaMapping
 from repro.mappings.membership import SolutionChecker, is_solution
 from repro.mappings.skolem import SkolemSolutionChecker, is_skolem_solution
@@ -63,7 +74,7 @@ def default_mid_size(
     return min(3 + pattern_budget * 2, 2 + pattern_budget + triggers)
 
 
-def composition_contains(
+def find_composition_middle(
     m12: SchemaMapping,
     m23: SchemaMapping,
     source_tree: TreeNode,
@@ -71,12 +82,17 @@ def composition_contains(
     max_mid_size: int | None = None,
     extra_fresh: int = 1,
     skolem: bool = False,
-) -> bool:
-    """Is ``(T1, T3) ∈ [[M12]] ∘ [[M23]]`` (with a bounded intermediate)?"""
-    if not m12.source_dtd.conforms(source_tree):
-        return False
-    if not m23.target_dtd.conforms(final_tree):
-        return False
+    context: ExecutionContext | None = None,
+) -> TreeNode | None:
+    """An intermediate ``T2`` witnessing the composition pair, or None.
+
+    The raw search behind :func:`composition_contains`; None means no
+    middle within the size bound.  *max_mid_size* defaults to the
+    context budget's ``max_mid_size`` when set, else the
+    :func:`default_mid_size` heuristic.
+    """
+    if max_mid_size is None:
+        max_mid_size = resolve_budget(context).max_mid_size
     if max_mid_size is None:
         max_mid_size = default_mid_size(m12, m23, source_tree)
     domain = composition_value_domain(m12, m23, source_tree, final_tree, extra_fresh)
@@ -87,11 +103,46 @@ def composition_contains(
         m12, source_tree
     )
     for middle in enumerate_trees(m12.target_dtd, max_mid_size, domain):
+        if context is not None:
+            context.charge()
         if checker12.is_solution_for(middle, check_conformance=False) and check(
             m23, middle, final_tree, check_conformance=False
         ):
-            return True
-    return False
+            return middle
+    return None
+
+
+def composition_contains(
+    m12: SchemaMapping,
+    m23: SchemaMapping,
+    source_tree: TreeNode,
+    final_tree: TreeNode,
+    max_mid_size: int | None = None,
+    extra_fresh: int = 1,
+    skolem: bool = False,
+    context: ExecutionContext | None = None,
+) -> Verdict:
+    """Is ``(T1, T3) ∈ [[M12]] ∘ [[M23]]`` (with a bounded intermediate)?
+
+    ``Proved`` carries the intermediate tree; a non-conforming input pair
+    is ``Refuted`` outright; an exhausted middle-tree bound is
+    ``Unknown`` (exact only up to the bound — module docstring).
+    """
+    if not m12.source_dtd.conforms(source_tree):
+        return Refuted(ConformanceFailure("source"))
+    if not m23.target_dtd.conforms(final_tree):
+        return Refuted(ConformanceFailure("target"))
+    middle = find_composition_middle(
+        m12, m23, source_tree, final_tree,
+        max_mid_size, extra_fresh, skolem, context,
+    )
+    if middle is not None:
+        return Proved(MiddleTree(middle))
+    return Unknown(
+        "no intermediate tree within the size bound; the bound-free upper "
+        "bound (2-EXPTIME, Theorem 7.4) has no published construction",
+        bound_exhausted=True,
+    )
 
 
 def composition_contains_exact(
@@ -99,15 +150,15 @@ def composition_contains_exact(
     m23: SchemaMapping,
     source_tree: TreeNode,
     final_tree: TreeNode,
-) -> bool:
+) -> Verdict:
     """Exact composition membership for the Theorem 8.2 class.
 
     For Skolem mappings over strictly nested-relational DTDs with
     fully-specified stds, the composed mapping is *equal* to the
     composition, so membership reduces to one Skolem-membership check on
-    ``compose(M12, M23)`` — no intermediate-tree bound at all.  Raises
-    :class:`~repro.errors.NotInClassError` outside the class (fall back to
-    :func:`composition_contains` there).
+    ``compose(M12, M23)`` — no intermediate-tree bound at all, hence
+    never ``Unknown``.  Raises :class:`~repro.errors.NotInClassError`
+    outside the class (fall back to :func:`composition_contains` there).
     """
     from repro.composition.compose import compose
     from repro.mappings.skolem import SkolemMapping

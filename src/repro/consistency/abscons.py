@@ -31,15 +31,29 @@ Three procedures, mirroring the paper's results:
   case (Theorem 6.2 proves decidability in EXPSPACE; the paper's counting
   construction is not given, so completeness is only up to the bounds —
   see DESIGN.md, substitution 1).
+
+Every decision entry point returns an
+:class:`~repro.engine.verdicts.Verdict`; the witness extractors
+(:func:`sm0_counterexample`, :func:`abscons_counterexample`) stay raw for
+the certificate re-checker.
 """
 
 from __future__ import annotations
 
 from repro.automata.dtd_automaton import DTDAutomaton
-from repro.automata.duta import ProductAutomaton, reachable_states
-from repro.automata.pattern_automaton import PatternClosureAutomaton
 from repro.consistency.bounded import default_value_domain
 from repro.consistency.cons_nested import _Embedder
+from repro.engine.budget import ExecutionContext, resolve_budget
+from repro.engine.cache import achievable_sets
+from repro.engine.verdicts import (
+    AnalysisCertificate,
+    Counterexample,
+    Proved,
+    Refuted,
+    RigidityExplanation,
+    Unknown,
+    Verdict,
+)
 from repro.errors import BoundExceededError, SignatureError
 from repro.mappings.mapping import SchemaMapping
 from repro.mappings.std import STD
@@ -67,63 +81,65 @@ def _check_sm0(mapping: SchemaMapping) -> None:
                 )
 
 
-def _achievable_sets(dtd: DTD, patterns: list[Pattern], extra: frozenset[str]):
-    closure = PatternClosureAutomaton(patterns, extra_labels=dtd.labels | extra)
-    dtd_automaton = DTDAutomaton(dtd, extra_labels=extra)
-    product = ProductAutomaton([dtd_automaton, closure])
-    realized = reachable_states(
-        product,
-        prune=lambda state: not state[0][1],
-        prune_horizontal=lambda label, h: dtd_automaton.horizontal_dead(h[0]),
-    )
-    sets: dict[frozenset[int], TreeNode] = {}
-    for state, witness in realized.items():
-        if dtd_automaton.is_accepting(state[0]):
-            sets.setdefault(closure.trigger_set(state[1]), witness)
-    return sets
-
-
-def is_absolutely_consistent_sm0(mapping: SchemaMapping) -> bool:
-    """Exact ``ABSCONS°(⇓,⇒)`` decision for value-free mappings."""
-    _check_sm0(mapping)
+def _sm0_sets(mapping: SchemaMapping, context: ExecutionContext | None):
+    """Achievable (trigger set, witness) tables for both sides, cached."""
     extra = frozenset(
         label
         for std in mapping.stds
         for pattern in (std.source, std.target)
         for label in pattern.labels_used()
     )
-    source_sets = _achievable_sets(
-        mapping.source_dtd, [std.source for std in mapping.stds], extra
+    source_sets = achievable_sets(
+        mapping.source_dtd,
+        [std.source for std in mapping.stds],
+        extra,
+        with_arity=False,
+        context=context,
     )
-    target_sets = _achievable_sets(
-        mapping.target_dtd, [std.target for std in mapping.stds], extra
+    target_sets = achievable_sets(
+        mapping.target_dtd,
+        [std.target for std in mapping.stds],
+        extra,
+        with_arity=False,
+        context=context,
     )
+    return source_sets, target_sets
+
+
+def is_absolutely_consistent_sm0(
+    mapping: SchemaMapping, context: ExecutionContext | None = None
+) -> Verdict:
+    """Exact ``ABSCONS°(⇓,⇒)`` decision for value-free mappings.
+
+    ``Refuted`` carries a conforming source tree with no solution.
+    """
+    _check_sm0(mapping)
+    source_sets, target_sets = _sm0_sets(mapping, context)
     maximal_targets = [
         satisfied
         for satisfied in target_sets
         if not any(satisfied < other for other in target_sets)
     ]
-    return all(
-        any(triggered <= satisfied for satisfied in maximal_targets)
-        for triggered in source_sets
+    for triggered, witness in source_sets.items():
+        if not any(triggered <= satisfied for satisfied in maximal_targets):
+            return Refuted(
+                Counterexample(DTDAutomaton(mapping.source_dtd).decorate(witness))
+            )
+    return Proved(
+        AnalysisCertificate(
+            "abscons-sm0",
+            "every achievable source trigger set is covered by an "
+            "achievable target satisfaction set",
+        )
     )
 
 
-def sm0_counterexample(mapping: SchemaMapping) -> TreeNode | None:
+def sm0_counterexample(
+    mapping: SchemaMapping, context: ExecutionContext | None = None
+) -> TreeNode | None:
     """A source tree (values erased) with no solution, for SM° mappings."""
     _check_sm0(mapping)
-    extra = frozenset(
-        label
-        for std in mapping.stds
-        for pattern in (std.source, std.target)
-        for label in pattern.labels_used()
-    )
-    source_sets = _achievable_sets(
-        mapping.source_dtd, [std.source for std in mapping.stds], extra
-    )
-    target_sets = _achievable_sets(
-        mapping.target_dtd, [std.target for std in mapping.stds], extra
-    )
+    source_sets, target_sets = _sm0_sets(mapping, context)
     for triggered, witness in source_sets.items():
         if not any(triggered <= satisfied for satisfied in target_sets):
             return DTDAutomaton(mapping.source_dtd).decorate(witness)
@@ -202,7 +218,7 @@ def abscons_ptime_analysis(mapping: SchemaMapping) -> list[str]:
     Returns the list of problems found (empty = absolutely consistent);
     each entry is a human-readable reason a source document can be built
     that has no solution.  :func:`is_absolutely_consistent_ptime` is the
-    Boolean view.
+    Verdict view.
     """
     _check_ptime_class(mapping)
     source_embedder = _Embedder(mapping.source_dtd)
@@ -294,9 +310,17 @@ def abscons_ptime_analysis(mapping: SchemaMapping) -> list[str]:
     return problems
 
 
-def is_absolutely_consistent_ptime(mapping: SchemaMapping) -> bool:
+def is_absolutely_consistent_ptime(mapping: SchemaMapping) -> Verdict:
     """Exact PTIME decision of ``ABSCONS(↓)`` for the Theorem 6.3 class."""
-    return not abscons_ptime_analysis(mapping)
+    problems = abscons_ptime_analysis(mapping)
+    if problems:
+        return Refuted(RigidityExplanation(tuple(problems)))
+    return Proved(
+        AnalysisCertificate(
+            "abscons-ptime",
+            "the rigidity analysis found no over-constrained rigid target class",
+        )
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -306,39 +330,45 @@ def is_absolutely_consistent_ptime(mapping: SchemaMapping) -> bool:
 
 def abscons_counterexample(
     mapping: SchemaMapping,
-    max_source_size: int = 5,
-    max_target_size: int = 6,
+    max_source_size: int | None = None,
+    max_target_size: int | None = None,
     value_domain: tuple | None = None,
     extra_target_values: int = 2,
+    context: ExecutionContext | None = None,
 ) -> TreeNode | None:
     """A bounded source tree with no bounded solution, or None.
 
     Sound refuter for the general ``ABSCONS`` problem: a returned tree
     genuinely has no solution *within the target bound*; None means
-    absolute consistency holds as far as the bounds can see.
+    absolute consistency holds as far as the bounds can see.  Bounds
+    default to the context's :class:`~repro.engine.budget.Budget`.
     """
+    budget = resolve_budget(context)
+    if max_source_size is None:
+        max_source_size = budget.max_source_size
+    if max_target_size is None:
+        max_target_size = budget.max_target_size
     if value_domain is None:
         value_domain = default_value_domain(mapping)
     target_domain = tuple(value_domain) + tuple(
         f"#null{i}" for i in range(extra_target_values)
     )
     for source in enumerate_trees(mapping.source_dtd, max_source_size, value_domain):
+        if context is not None:
+            context.charge()
         if not oracle_has_solution(mapping, source, max_target_size, target_domain):
             return source
     return None
 
 
-def is_absolutely_consistent(
+def decide_absolute_consistency(
     mapping: SchemaMapping,
-    max_source_size: int = 5,
-    max_target_size: int = 6,
-) -> bool:
-    """Dispatch to the strongest applicable ABSCONS procedure.
+    context: ExecutionContext | None = None,
+) -> tuple[Verdict, str]:
+    """Run the strongest applicable ABSCONS procedure.
 
-    Exact for SM° mappings and for the Theorem 6.3 class; otherwise a
-    bounded refutation is attempted and finding nothing raises
-    :class:`BoundExceededError` (the honest outcome for a problem whose
-    general algorithm is EXPSPACE with an unpublished construction).
+    Returns ``(verdict, algorithm)`` so the engine's solve report can
+    record which route decided (or gave up on) the instance.
     """
     is_sm0 = all(
         not std.source_conditions
@@ -348,22 +378,59 @@ def is_absolutely_consistent(
         for std in mapping.stds
     )
     if is_sm0:
-        return is_absolutely_consistent_sm0(mapping)
+        return is_absolutely_consistent_sm0(mapping, context), "abscons-sm0"
     try:
-        return is_absolutely_consistent_ptime(mapping)
+        return is_absolutely_consistent_ptime(mapping), "abscons-ptime"
     except SignatureError:
         pass
     # exact fallback for wildcard/descendant *sources* via expansion
     from repro.consistency.expansion import is_absolutely_consistent_expanded
 
     try:
-        return is_absolutely_consistent_expanded(mapping)
+        return is_absolutely_consistent_expanded(mapping), "abscons-expansion"
     except (SignatureError, BoundExceededError):
         pass
-    if abscons_counterexample(mapping, max_source_size, max_target_size) is not None:
-        return False
-    raise BoundExceededError(
-        "no counterexample within the bounds; the general ABSCONS algorithm "
-        "(EXPSPACE, Theorem 6.2) is approximated by bounded refutation only",
-        bound=max_source_size,
+    counterexample = abscons_counterexample(mapping, context=context)
+    if counterexample is not None:
+        return Refuted(Counterexample(counterexample)), "abscons-bounded"
+    budget = resolve_budget(context)
+    return (
+        Unknown(
+            "no counterexample within the bounds; the general ABSCONS "
+            "algorithm (EXPSPACE, Theorem 6.2) is approximated by bounded "
+            f"refutation only (source bound {budget.max_source_size})",
+            bound_exhausted=True,
+        ),
+        "abscons-bounded",
     )
+
+
+def is_absolutely_consistent(
+    mapping: SchemaMapping,
+    max_source_size: int | None = None,
+    max_target_size: int | None = None,
+    context: ExecutionContext | None = None,
+) -> Verdict:
+    """Dispatch to the strongest applicable ABSCONS procedure.
+
+    Exact for SM° mappings and for the Theorem 6.3 class (with or without
+    source expansion); otherwise a bounded refutation is attempted and
+    finding nothing yields ``Unknown`` with ``bound_exhausted=True`` (the
+    honest outcome for a problem whose general algorithm is EXPSPACE with
+    an unpublished construction).
+    """
+    from repro.engine.budget import Budget
+
+    if max_source_size is not None or max_target_size is not None:
+        budget = context.budget if context is not None else Budget.default()
+        overrides = {}
+        if max_source_size is not None:
+            overrides["max_source_size"] = max_source_size
+        if max_target_size is not None:
+            overrides["max_target_size"] = max_target_size
+        context = ExecutionContext(
+            budget.with_(**overrides),
+            cache=context.cache if context is not None else None,
+        )
+    verdict, _ = decide_absolute_consistency(mapping, context)
+    return verdict

@@ -26,6 +26,8 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.engine.budget import ExecutionContext, resolve_budget, resolve_context
+from repro.engine.verdicts import Proved, Unknown, Verdict, WitnessPair
 from repro.mappings.mapping import SchemaMapping
 from repro.mappings.membership import SolutionChecker
 from repro.mappings.skolem import SkolemSolutionChecker
@@ -65,21 +67,31 @@ def default_value_domain(mapping: SchemaMapping) -> tuple:
 
 def find_consistency_witness_bounded(
     mapping: SchemaMapping,
-    max_source_size: int,
-    max_target_size: int,
+    max_source_size: int | None = None,
+    max_target_size: int | None = None,
     value_domain: tuple | None = None,
     skolem: bool = False,
     on_candidate: Callable[[TreeNode], None] | None = None,
+    context: ExecutionContext | None = None,
 ) -> tuple[TreeNode, TreeNode] | None:
     """Search for ``(T, T') ∈ [[M]]`` within the size bounds.
 
+    Bounds default to the context's :class:`~repro.engine.budget.Budget`.
     *on_candidate* is called on every source tree tried (used by the
     benchmarks to report search effort).
     """
+    budget = resolve_budget(context)
+    context = resolve_context(context)
+    if max_source_size is None:
+        max_source_size = budget.max_source_size
+    if max_target_size is None:
+        max_target_size = budget.max_target_size
     if value_domain is None:
         value_domain = default_value_domain(mapping)
     make_checker = SkolemSolutionChecker if skolem else SolutionChecker
     for source in enumerate_trees(mapping.source_dtd, max_source_size, value_domain):
+        if context is not None:
+            context.charge()
         if on_candidate is not None:
             on_candidate(source)
         # the source side is fixed across the inner loop: compute its
@@ -88,6 +100,8 @@ def find_consistency_witness_bounded(
         for target in enumerate_trees(
             mapping.target_dtd, max_target_size, value_domain
         ):
+            if context is not None:
+                context.charge()
             if checker.is_solution_for(target, check_conformance=False):
                 return source, target
     return None
@@ -95,15 +109,25 @@ def find_consistency_witness_bounded(
 
 def is_consistent_bounded(
     mapping: SchemaMapping,
-    max_source_size: int,
-    max_target_size: int,
+    max_source_size: int | None = None,
+    max_target_size: int | None = None,
     value_domain: tuple | None = None,
     skolem: bool = False,
-) -> bool:
-    """True iff a witness exists within the bounds (sound; see module doc)."""
-    return (
-        find_consistency_witness_bounded(
-            mapping, max_source_size, max_target_size, value_domain, skolem
-        )
-        is not None
+    context: ExecutionContext | None = None,
+) -> Verdict:
+    """``Proved`` with a witness pair, or ``Unknown`` when the bounds are out.
+
+    The search is sound but complete only up to its bounds (module doc),
+    so exhausting them yields ``Unknown`` — never a refutation.
+    """
+    witness = find_consistency_witness_bounded(
+        mapping, max_source_size, max_target_size, value_domain, skolem,
+        context=context,
+    )
+    if witness is not None:
+        return Proved(WitnessPair(*witness))
+    return Unknown(
+        "no witness within the search bounds; the class admits no complete "
+        "procedure (Theorem 5.4)",
+        bound_exhausted=True,
     )

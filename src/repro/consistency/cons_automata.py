@@ -25,16 +25,23 @@ matching the EXPTIME-completeness of the problem.
 
 from __future__ import annotations
 
-from repro.automata.dtd_automaton import DTDAutomaton
-from repro.automata.duta import ProductAutomaton, reachable_states
-from repro.automata.pattern_automaton import PatternClosureAutomaton
+from repro.engine.budget import ExecutionContext
+from repro.engine.cache import achievable_sets, dtd_automaton
+from repro.engine.verdicts import (
+    AnalysisCertificate,
+    Proved,
+    Refuted,
+    TriggerRefutation,
+    Verdict,
+    WitnessPair,
+)
 from repro.errors import SignatureError, XsmError
 from repro.mappings.mapping import SchemaMapping
 from repro.mappings.membership import is_solution
 from repro.patterns.ast import Pattern
-from repro.values import Const
 from repro.xmlmodel.dtd import DTD
 from repro.xmlmodel.tree import TreeNode
+from repro.values import Const
 
 
 def _check_applicable(mapping: SchemaMapping) -> None:
@@ -52,39 +59,34 @@ def _check_applicable(mapping: SchemaMapping) -> None:
                 )
 
 
+def _pattern_labels(mapping: SchemaMapping) -> frozenset[str]:
+    return frozenset(
+        label
+        for std in mapping.stds
+        for pattern in (std.source, std.target)
+        for label in pattern.labels_used()
+    )
+
+
 def _achievable_sets(
-    dtd: DTD, patterns: list[Pattern], extra_labels: frozenset[str]
+    dtd: DTD,
+    patterns: list[Pattern],
+    extra_labels: frozenset[str],
+    context: ExecutionContext | None = None,
 ) -> list[tuple[frozenset[int], TreeNode]]:
     """All achievable (pattern satisfaction set, witness tree) pairs.
 
     One reachability pass over the product of the DTD automaton and the
-    closure automaton of *patterns*; the satisfaction set of a conforming
-    root state is read off the closure component.
+    closure automaton of *patterns* — compiled and memoized through the
+    engine's :class:`~repro.engine.cache.CompilationCache`.
     """
-    closure = PatternClosureAutomaton(
-        patterns, extra_labels=dtd.labels | extra_labels, arity_of=dtd.arity
-    )
-    dtd_automaton = DTDAutomaton(dtd, extra_labels=extra_labels)
-    product = ProductAutomaton([dtd_automaton, closure])
-    # a non-conforming subtree never occurs inside a conforming tree:
-    # prune states whose DTD component is dead
-    realized = reachable_states(
-        product,
-        prune=lambda state: not state[0][1],
-        prune_horizontal=lambda label, h: dtd_automaton.horizontal_dead(h[0]),
-    )
-    results: dict[frozenset[int], TreeNode] = {}
-    for state, witness in realized.items():
-        if not dtd_automaton.is_accepting(state[0]):
-            continue
-        satisfied = closure.trigger_set(state[1])
-        if satisfied not in results:
-            results[satisfied] = witness
-    return list(results.items())
+    return list(achievable_sets(dtd, patterns, extra_labels, True, context).items())
 
 
 def consistency_witness_automata(
-    mapping: SchemaMapping, verify: bool = False
+    mapping: SchemaMapping,
+    verify: bool = False,
+    context: ExecutionContext | None = None,
 ) -> tuple[TreeNode, TreeNode] | None:
     """A pair ``(T, T') ∈ [[M]]`` (all values 0), or None if inconsistent.
 
@@ -93,40 +95,65 @@ def consistency_witness_automata(
     independent (and cheap, Boolean-only) cross-check of the automata
     construction, used by the tests.
     """
+    verdict = decide_consistency_automata(mapping, context)
+    if not verdict.is_proved:
+        return None
+    pair = (verdict.certificate.source, verdict.certificate.target)
+    if verify and not is_solution(mapping, *pair):
+        raise XsmError(
+            "internal error: automata witness failed the "
+            "pattern-engine membership check"
+        )
+    return pair
+
+
+def decide_consistency_automata(
+    mapping: SchemaMapping, context: ExecutionContext | None = None
+) -> Verdict:
+    """The verdict-level automata decision: witness pair or refutation."""
     _check_applicable(mapping)
-    pattern_labels = frozenset(
-        label
-        for std in mapping.stds
-        for pattern in (std.source, std.target)
-        for label in pattern.labels_used()
-    )
+    pattern_labels = _pattern_labels(mapping)
     source_sets = _achievable_sets(
-        mapping.source_dtd, [std.source for std in mapping.stds], pattern_labels
+        mapping.source_dtd,
+        [std.source for std in mapping.stds],
+        pattern_labels,
+        context,
     )
-    if not source_sets:
-        return None  # source DTD unsatisfiable
     target_sets = _achievable_sets(
-        mapping.target_dtd, [std.target for std in mapping.stds], pattern_labels
+        mapping.target_dtd,
+        [std.target for std in mapping.stds],
+        pattern_labels,
+        context,
     )
     # prune: only minimal trigger sets / maximal satisfaction sets matter
-    source_sets.sort(key=lambda pair: len(pair[0]))
-    target_sets.sort(key=lambda pair: -len(pair[0]))
+    source_sets = sorted(source_sets, key=lambda pair: len(pair[0]))
+    target_sets = sorted(target_sets, key=lambda pair: -len(pair[0]))
     for triggered, source_witness in source_sets:
         for satisfied, target_witness in target_sets:
             if triggered <= satisfied:
-                pair = (
-                    DTDAutomaton(mapping.source_dtd).decorate(source_witness),
-                    DTDAutomaton(mapping.target_dtd).decorate(target_witness),
+                pair = WitnessPair(
+                    dtd_automaton(mapping.source_dtd, context=context).decorate(
+                        source_witness
+                    ),
+                    dtd_automaton(mapping.target_dtd, context=context).decorate(
+                        target_witness
+                    ),
                 )
-                if verify and not is_solution(mapping, *pair):
-                    raise XsmError(
-                        "internal error: automata witness failed the "
-                        "pattern-engine membership check"
-                    )
-                return pair
-    return None
+                return Proved(pair)
+    if not source_sets:
+        # no conforming source tree exists at all, hence no pair
+        return Refuted(
+            AnalysisCertificate("cons-automata", "source DTD is unsatisfiable")
+        )
+    triggered, source_witness = source_sets[0]
+    source = dtd_automaton(mapping.source_dtd, context=context).decorate(
+        source_witness
+    )
+    return Refuted(TriggerRefutation(source, tuple(sorted(triggered))))
 
 
-def is_consistent_automata(mapping: SchemaMapping) -> bool:
+def is_consistent_automata(
+    mapping: SchemaMapping, context: ExecutionContext | None = None
+) -> Verdict:
     """Decide ``CONS`` for mappings without data comparisons (exact)."""
-    return consistency_witness_automata(mapping) is not None
+    return decide_consistency_automata(mapping, context)

@@ -24,6 +24,14 @@ from __future__ import annotations
 
 from functools import reduce
 
+from repro.engine.budget import ExecutionContext
+from repro.engine.verdicts import (
+    AnalysisCertificate,
+    Proved,
+    Refuted,
+    TriggerRefutation,
+    Verdict,
+)
 from repro.errors import SignatureError, XsmError
 from repro.mappings.mapping import SchemaMapping
 from repro.mappings.std import STD
@@ -125,13 +133,39 @@ def triggered_by_minimal_tree(mapping: SchemaMapping) -> list[STD]:
     return [std for std in mapping.stds if engine.exists_at_root(std.source)]
 
 
-def is_consistent_nested(mapping: SchemaMapping) -> bool:
-    """Decide ``CONS(⇓)`` over nested-relational DTDs in polynomial time."""
+def is_consistent_nested(
+    mapping: SchemaMapping, context: ExecutionContext | None = None
+) -> Verdict:
+    """Decide ``CONS(⇓)`` over nested-relational DTDs in polynomial time.
+
+    Exact (never ``Unknown``).  ``Proved`` carries the triggered-std
+    analysis (the witness pair itself is built on demand by
+    :func:`nested_consistency_witness`); ``Refuted`` carries ``T_min`` and
+    the triggered stds whose targets do not embed into ``D_t``.
+    """
     _check_applicable(mapping)
     embedder = _Embedder(mapping.target_dtd)
-    return all(
-        embedder.embeddable(std.target, mapping.target_dtd.root)
-        for std in triggered_by_minimal_tree(mapping)
+    engine = engine_for(mapping.source_dtd.minimal_tree())
+    triggered: list[int] = []
+    failing: list[int] = []
+    for index, std in enumerate(mapping.stds):
+        if context is not None:
+            context.charge()
+        if not engine.exists_at_root(std.source):
+            continue
+        triggered.append(index)
+        if not embedder.embeddable(std.target, mapping.target_dtd.root):
+            failing.append(index)
+    if failing:
+        return Refuted(
+            TriggerRefutation(mapping.source_dtd.minimal_tree(), tuple(failing))
+        )
+    return Proved(
+        AnalysisCertificate(
+            "cons-nested",
+            "every std triggered by T_min has a target embeddable into D_t; "
+            f"triggered: {triggered}",
+        )
     )
 
 

@@ -10,86 +10,93 @@ no comparisons        arbitrary                EXPTIME (cons_automata)
 with ∼ / constants    any                      bounded search (sound only)
 ====================  =======================  ===========================
 
-For the bounded case :func:`is_consistent` raises
-:class:`~repro.errors.BoundExceededError` when no witness is found — a
-caller wanting the raw tri-state uses
-:func:`repro.consistency.bounded.is_consistent_bounded` directly.
+The routing itself lives in :mod:`repro.engine.core`; this module keeps
+the historical entry points as thin wrappers over
+``engine.solve(ConsistencyProblem(mapping))``.  :func:`is_consistent`
+returns a :class:`~repro.engine.verdicts.Verdict` — in particular the
+bounded fallback yields ``Unknown`` instead of raising
+:class:`~repro.errors.BoundExceededError`.
 """
 
 from __future__ import annotations
 
-from repro.consistency.bounded import find_consistency_witness_bounded
-from repro.consistency.cons_automata import consistency_witness_automata
-from repro.consistency.cons_nested import (
-    is_consistent_nested,
-    nested_consistency_witness,
-)
-from repro.errors import BoundExceededError
+from repro.engine.budget import Budget, ExecutionContext
+from repro.engine.core import nested_ptime_applicable, uses_constants
+from repro.engine.problems import ConsistencyProblem
+from repro.engine.verdicts import Verdict, WitnessPair
 from repro.mappings.mapping import SchemaMapping
-from repro.patterns.features import HORIZONTAL
-from repro.values import Const
 from repro.xmlmodel.tree import TreeNode
 
-#: Default bounds for the bounded fallback.
-DEFAULT_MAX_SOURCE_SIZE = 6
-DEFAULT_MAX_TARGET_SIZE = 6
+#: Deprecated aliases — the canonical defaults live in ``Budget.default()``.
+DEFAULT_MAX_SOURCE_SIZE = Budget.default().max_source_size
+DEFAULT_MAX_TARGET_SIZE = Budget.default().max_target_size
 
 
 def _uses_constants(mapping: SchemaMapping) -> bool:
-    return any(
-        isinstance(term, Const)
-        for std in mapping.stds
-        for pattern in (std.source, std.target)
-        for term in pattern.terms()
-    )
+    return uses_constants(mapping)
 
 
 def _nested_ptime_applicable(mapping: SchemaMapping) -> bool:
-    if mapping.uses_data_comparisons() or _uses_constants(mapping):
-        return False
-    if mapping.signature().features & HORIZONTAL:
-        return False
-    return mapping.is_nested_relational()
+    return nested_ptime_applicable(mapping)
 
 
-def consistency_witness(
-    mapping: SchemaMapping,
-    max_source_size: int = DEFAULT_MAX_SOURCE_SIZE,
-    max_target_size: int = DEFAULT_MAX_TARGET_SIZE,
-) -> tuple[TreeNode, TreeNode] | None:
-    """A pair in ``[[M]]``, or None when the mapping is (known) inconsistent."""
-    if not mapping.uses_data_comparisons() and not _uses_constants(mapping):
-        if _nested_ptime_applicable(mapping):
-            return nested_consistency_witness(mapping)
-        return consistency_witness_automata(mapping)
-    witness = find_consistency_witness_bounded(
-        mapping, max_source_size, max_target_size
+def _context_for(
+    context: ExecutionContext | None,
+    max_source_size: int | None,
+    max_target_size: int | None,
+) -> ExecutionContext | None:
+    if max_source_size is None and max_target_size is None:
+        return context
+    budget = context.budget if context is not None else Budget.default()
+    overrides = {}
+    if max_source_size is not None:
+        overrides["max_source_size"] = max_source_size
+    if max_target_size is not None:
+        overrides["max_target_size"] = max_target_size
+    return ExecutionContext(
+        budget.with_(**overrides),
+        cache=context.cache if context is not None else None,
     )
-    if witness is None:
-        raise BoundExceededError(
-            "no witness within the default bounds; the class of this mapping "
-            "admits no complete procedure (Theorem 5.4) — "
-            "use is_consistent_bounded with explicit bounds",
-            bound=max_source_size,
-        )
-    return witness
 
 
 def is_consistent(
     mapping: SchemaMapping,
-    max_source_size: int = DEFAULT_MAX_SOURCE_SIZE,
-    max_target_size: int = DEFAULT_MAX_TARGET_SIZE,
-) -> bool:
+    max_source_size: int | None = None,
+    max_target_size: int | None = None,
+    context: ExecutionContext | None = None,
+) -> Verdict:
     """Decide consistency with the strongest applicable algorithm.
 
-    Exact for mappings without data comparisons; raises
-    :class:`BoundExceededError` when only an inconclusive bounded search is
-    available and it finds nothing.
+    Exact for mappings without data comparisons; for the classes with only
+    an inconclusive bounded search available, exhausting the bounds
+    returns ``Unknown`` (with ``bound_exhausted=True``).
     """
-    from repro.consistency.cons_automata import is_consistent_automata
+    from repro.engine.core import solve
 
-    if not mapping.uses_data_comparisons() and not _uses_constants(mapping):
-        if _nested_ptime_applicable(mapping):
-            return is_consistent_nested(mapping)
-        return is_consistent_automata(mapping)
-    return consistency_witness(mapping, max_source_size, max_target_size) is not None
+    return solve(
+        ConsistencyProblem(mapping),
+        _context_for(context, max_source_size, max_target_size),
+    )
+
+
+def consistency_witness(
+    mapping: SchemaMapping,
+    max_source_size: int | None = None,
+    max_target_size: int | None = None,
+    context: ExecutionContext | None = None,
+) -> tuple[TreeNode, TreeNode] | None:
+    """A pair in ``[[M]]``, or None when no witness is known.
+
+    None covers both refuted consistency and an exhausted bounded search;
+    use :func:`is_consistent` for the tri-state.
+    """
+    from repro.consistency.cons_nested import nested_consistency_witness
+
+    verdict = is_consistent(mapping, max_source_size, max_target_size, context)
+    if not verdict.is_proved:
+        return None
+    certificate = verdict.certificate
+    if isinstance(certificate, WitnessPair):
+        return certificate.source, certificate.target
+    # the PTIME route proves consistency analytically; build the pair now
+    return nested_consistency_witness(mapping)

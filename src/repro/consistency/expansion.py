@@ -27,6 +27,14 @@ from __future__ import annotations
 
 import itertools
 
+from repro.engine.budget import resolve_budget
+from repro.engine.verdicts import (
+    AnalysisCertificate,
+    Proved,
+    Refuted,
+    RigidityExplanation,
+    Verdict,
+)
 from repro.errors import BoundExceededError, SignatureError
 from repro.mappings.mapping import SchemaMapping
 from repro.mappings.std import STD
@@ -58,7 +66,7 @@ def _downward_paths(dtd: DTD) -> dict[tuple[str, str], list[tuple[str, ...]]]:
 
 
 def expand_source_pattern(
-    dtd: DTD, pattern: Pattern, limit: int = 10_000
+    dtd: DTD, pattern: Pattern, limit: int | None = None
 ) -> list[Pattern]:
     """The fully-specified instantiations of a ``⇓``-source pattern.
 
@@ -66,8 +74,10 @@ def expand_source_pattern(
     The union of the instantiations' match sets over trees conforming to
     *dtd* equals the original pattern's match set.  Raises
     :class:`BoundExceededError` when more than *limit* instantiations
-    would be produced.
+    would be produced (default: the ambient budget's ``expansion_limit``).
     """
+    if limit is None:
+        limit = resolve_budget(None).expansion_limit
     if dtd.is_recursive():
         raise SignatureError("expansion requires a non-recursive DTD")
     paths = _downward_paths(dtd)
@@ -133,7 +143,7 @@ def expand_source_pattern(
 
 
 def expansion_is_exact_on(
-    dtd: DTD, pattern: Pattern, tree, limit: int = 10_000
+    dtd: DTD, pattern: Pattern, tree, limit: int | None = None
 ) -> bool:
     """Cross-check the expansion against the pattern engine on one tree.
 
@@ -154,7 +164,7 @@ def expansion_is_exact_on(
 
 
 def expand_mapping_sources(
-    mapping: SchemaMapping, limit: int = 10_000
+    mapping: SchemaMapping, limit: int | None = None
 ) -> SchemaMapping:
     """The mapping with every std's source replaced by its instantiations.
 
@@ -178,14 +188,16 @@ def expand_mapping_sources(
 
 
 def is_absolutely_consistent_expanded(
-    mapping: SchemaMapping, limit: int = 10_000
-) -> bool:
+    mapping: SchemaMapping, limit: int | None = None
+) -> Verdict:
     """Exact ``ABSCONS(⇓)`` with wildcard/descendant **sources** allowed.
 
     Requirements: nested-relational DTDs, no comparisons, fully-specified
     *targets*; sources may use wildcard and descendant (the NEXPTIME-hard
     extension of Theorem 6.3 — the worst-case exponential expansion is the
-    lower bound made visible).
+    lower bound made visible).  Raises :class:`BoundExceededError` when
+    the expansion itself overflows (the caller falls back to bounded
+    refutation, which reports ``Unknown``).
     """
     from repro.consistency.abscons import abscons_ptime_analysis
     from repro.patterns.features import is_fully_specified
@@ -196,4 +208,13 @@ def is_absolutely_consistent_expanded(
                 "targets must be fully specified; only sources expand"
             )
     expanded = expand_mapping_sources(mapping, limit)
-    return not abscons_ptime_analysis(expanded)
+    problems = abscons_ptime_analysis(expanded)
+    if problems:
+        return Refuted(RigidityExplanation(tuple(problems)))
+    return Proved(
+        AnalysisCertificate(
+            "abscons-expansion",
+            f"rigidity analysis of the {len(expanded.stds)}-std source "
+            "expansion found no over-constrained rigid target class",
+        )
+    )

@@ -1,0 +1,112 @@
+"""The solver engine: budgets, compilation caching, certified verdicts.
+
+Every decision procedure in the library routes through this layer:
+
+* :mod:`repro.engine.verdicts` — the ``Proved`` / ``Refuted`` / ``Unknown``
+  result algebra with per-problem certificates;
+* :mod:`repro.engine.budget` — :class:`Budget` (the single home of the
+  default bounds) and :class:`ExecutionContext` (budget + cache + cost
+  accounting, threaded through every solver);
+* :mod:`repro.engine.cache` — the content-hash-keyed
+  :class:`CompilationCache` of DTD automata, closure automata, production
+  DFAs, classifications and achievable trigger-set tables;
+* :mod:`repro.engine.core` — :func:`solve`, the front door routing each
+  :mod:`problem <repro.engine.problems>` to the strongest applicable
+  algorithm per Figures 1–2 and attaching a
+  :class:`~repro.engine.report.SolveReport`;
+* :mod:`repro.engine.certify` — independent re-validation of
+  certificates.
+"""
+
+from repro.engine.budget import (
+    Budget,
+    BudgetExceeded,
+    ExecutionContext,
+    current_context,
+)
+from repro.engine.cache import (
+    DEFAULT_CACHE,
+    CompilationCache,
+    DTDClassification,
+    achievable_sets,
+    closure_automaton,
+    dtd_automaton,
+    dtd_classification,
+)
+from repro.engine.certify import CertificationError, certify
+from repro.engine.core import nested_ptime_applicable, solve, uses_constants
+from repro.engine.problems import (
+    AbsoluteConsistencyProblem,
+    CompositionConsistencyProblem,
+    CompositionMembershipProblem,
+    ConsistencyProblem,
+    MembershipProblem,
+    Problem,
+    SatisfiabilityProblem,
+    SeparationProblem,
+)
+from repro.engine.report import SolveReport
+from repro.engine.verdicts import (
+    AnalysisCertificate,
+    ComposedMapping,
+    ConformanceFailure,
+    Counterexample,
+    MiddleTree,
+    ObligationsMet,
+    Proved,
+    Refuted,
+    RigidityExplanation,
+    SatisfyingTree,
+    SeparatingTree,
+    TriggerRefutation,
+    Unknown,
+    Verdict,
+    ViolationWitness,
+    WitnessChain,
+    WitnessPair,
+)
+
+__all__ = [
+    "Budget",
+    "BudgetExceeded",
+    "ExecutionContext",
+    "current_context",
+    "CompilationCache",
+    "DEFAULT_CACHE",
+    "DTDClassification",
+    "achievable_sets",
+    "closure_automaton",
+    "dtd_automaton",
+    "dtd_classification",
+    "CertificationError",
+    "certify",
+    "solve",
+    "uses_constants",
+    "nested_ptime_applicable",
+    "SolveReport",
+    "Problem",
+    "ConsistencyProblem",
+    "AbsoluteConsistencyProblem",
+    "MembershipProblem",
+    "CompositionMembershipProblem",
+    "CompositionConsistencyProblem",
+    "SatisfiabilityProblem",
+    "SeparationProblem",
+    "Verdict",
+    "Proved",
+    "Refuted",
+    "Unknown",
+    "AnalysisCertificate",
+    "ComposedMapping",
+    "ConformanceFailure",
+    "Counterexample",
+    "MiddleTree",
+    "ObligationsMet",
+    "RigidityExplanation",
+    "SatisfyingTree",
+    "SeparatingTree",
+    "TriggerRefutation",
+    "ViolationWitness",
+    "WitnessChain",
+    "WitnessPair",
+]

@@ -1,0 +1,263 @@
+"""The content-hash-keyed compilation cache shared by every procedure.
+
+Solvers spend their time in compiled artifacts — DTD automata, pattern
+closure automata, determinized production DFAs, DTD classifications and
+the achievable trigger-set tables read off their products.  Each artifact
+depends only on the *content* of its inputs, so the cache keys are content
+hashes (a DTD's deterministic ``repr``; patterns hash structurally), and
+two structurally equal DTDs hit the same entry regardless of object
+identity.  A benchmark sweep or CLI session compiles each artifact once.
+
+The cache is a bounded LRU with exact hit/miss/eviction counters
+(``--stats`` prints them).  ``CompilationCache(enabled=False)`` gives the
+measured-off mode the Figure-1 benchmarks compare against.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable
+
+from repro.automata.dtd_automaton import DTDAutomaton
+from repro.automata.duta import ProductAutomaton, reachable_states
+from repro.automata.pattern_automaton import PatternClosureAutomaton
+from repro.patterns.ast import Pattern
+from repro.xmlmodel.dtd import DTD
+from repro.xmlmodel.tree import TreeNode
+
+
+class CompilationCache:
+    """Bounded LRU of compiled artifacts, keyed by input content."""
+
+    def __init__(self, max_entries: int = 256, enabled: bool = True):
+        self.max_entries = max_entries
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+
+    def lookup(self, key: Hashable, build: Callable[[], object]) -> object:
+        """The cached artifact under *key*, building (and storing) on miss."""
+        if self.enabled and key in self._entries:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return self._entries[key]
+        self.misses += 1
+        value = build()
+        if self.enabled:
+            self._entries[key] = value
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return value
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+#: The process-wide cache used when no :class:`ExecutionContext` overrides it.
+DEFAULT_CACHE = CompilationCache()
+
+
+def resolve_cache(context=None) -> CompilationCache:
+    """The cache of the (explicit or ambient) context, or the default."""
+    from repro.engine.budget import resolve_context
+
+    resolved = resolve_context(context)
+    return resolved.cache if resolved is not None else DEFAULT_CACHE
+
+
+# ---------------------------------------------------------------------------
+# content keys
+# ---------------------------------------------------------------------------
+
+
+def dtd_key(dtd: DTD) -> str:
+    """A content key for a DTD: its deterministic ``repr`` (sorted rows).
+
+    Computed once per object (memoized on the instance), equal across
+    distinct objects with identical content.
+    """
+    key = getattr(dtd, "_content_key", None)
+    if key is None:
+        key = repr(dtd)
+        dtd._content_key = key
+    return key
+
+
+def patterns_key(patterns: Iterable[Pattern]) -> tuple:
+    """Patterns are frozen dataclasses — they *are* their content."""
+    return tuple(patterns)
+
+
+# ---------------------------------------------------------------------------
+# compiled artifacts
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DTDClassification:
+    """The schema-class facts routing decisions keep re-deriving."""
+
+    recursive: bool
+    nested_relational: bool
+    strictly_nested_relational: bool
+
+
+def dtd_classification(dtd: DTD, context=None) -> DTDClassification:
+    """Cached recursive / nested-relational classification of a DTD."""
+    cache = resolve_cache(context)
+    return cache.lookup(
+        ("classification", dtd_key(dtd)),
+        lambda: DTDClassification(
+            recursive=dtd.is_recursive(),
+            nested_relational=dtd.is_nested_relational(),
+            strictly_nested_relational=dtd.is_strictly_nested_relational(),
+        ),
+    )
+
+
+def regex_dfa(dtd: DTD, label: str, alphabet: frozenset[str], context=None):
+    """The determinized production DFA of *label*, total over *alphabet*."""
+    cache = resolve_cache(context)
+    return cache.lookup(
+        ("regex-dfa", dtd_key(dtd), label, alphabet),
+        lambda: dtd.production_nfa(label).determinize(alphabet),
+    )
+
+
+class CompiledDTDAutomaton(DTDAutomaton):
+    """A :class:`DTDAutomaton` stepping through cached production DFAs.
+
+    The subset construction is paid once per (DTD, alphabet) and stored in
+    the compilation cache; ``step_horizontal`` then becomes two dict
+    lookups instead of an NFA subset union.  DFA states are the same
+    frozensets the NFA stepping produces, so pruning and state identity
+    are unchanged.
+    """
+
+    def __init__(self, dtd: DTD, extra_labels: Iterable[str] = (), context=None):
+        super().__init__(dtd, extra_labels)
+        alphabet = self._labels
+        self._dfas = {
+            label: regex_dfa(dtd, label, alphabet, context)
+            for label in dtd.productions
+        }
+
+    def initial_horizontal(self, label: str):
+        dfa = self._dfas.get(label)
+        if dfa is None:
+            return None  # unknown label: sink
+        return (dfa.initial, True)
+
+    def step_horizontal(self, label: str, hstate, child_state):
+        if hstate is None:
+            return None
+        subset, children_ok = hstate
+        child_label, child_ok = child_state
+        return (
+            self._dfas[label].transitions[subset][child_label],
+            children_ok and child_ok,
+        )
+
+    def finish(self, label: str, hstate):
+        if hstate is None:
+            return (label, False)
+        subset, children_ok = hstate
+        return (label, children_ok and subset in self._dfas[label].accepting)
+
+
+def dtd_automaton(
+    dtd: DTD, extra_labels: frozenset[str] = frozenset(), context=None
+) -> DTDAutomaton:
+    """A cached conformance automaton for *dtd* over its labels + extras."""
+    cache = resolve_cache(context)
+    return cache.lookup(
+        ("dtd-automaton", dtd_key(dtd), frozenset(extra_labels)),
+        lambda: CompiledDTDAutomaton(dtd, extra_labels, context),
+    )
+
+
+def closure_automaton(
+    patterns: Iterable[Pattern],
+    dtd: DTD,
+    extra_labels: frozenset[str] = frozenset(),
+    with_arity: bool = True,
+    context=None,
+) -> PatternClosureAutomaton:
+    """A cached pattern closure automaton over *dtd*'s label alphabet."""
+    cache = resolve_cache(context)
+    patterns = tuple(patterns)
+    return cache.lookup(
+        ("closure", dtd_key(dtd), patterns, frozenset(extra_labels), with_arity),
+        lambda: PatternClosureAutomaton(
+            patterns,
+            extra_labels=dtd.labels | frozenset(extra_labels),
+            arity_of=dtd.arity if with_arity else None,
+        ),
+    )
+
+
+def achievable_sets(
+    dtd: DTD,
+    patterns: Iterable[Pattern],
+    extra_labels: frozenset[str] = frozenset(),
+    with_arity: bool = True,
+    context=None,
+) -> dict[frozenset[int], TreeNode]:
+    """All achievable ``{satisfied pattern indices}`` with a witness each.
+
+    One reachability pass over the product of the DTD automaton and the
+    closure automaton of *patterns*, pruning states whose DTD component is
+    dead (a non-conforming subtree never occurs inside a conforming tree).
+    This table is what the Section-5/6/7 trigger-set algorithms consume;
+    caching it is the big win on repeated-DTD sweeps, since the reachability
+    pass *is* the exponential part.
+    """
+    from repro.engine.budget import resolve_context
+
+    cache = resolve_cache(context)
+    patterns = tuple(patterns)
+    key = (
+        "achievable",
+        dtd_key(dtd),
+        patterns,
+        frozenset(extra_labels),
+        with_arity,
+    )
+    if cache.enabled and key in cache._entries:
+        return cache.lookup(key, lambda: None)  # pure hit, no charging
+
+    resolved = resolve_context(context)
+    charge = resolved.charge if resolved is not None else None
+
+    def build() -> dict[frozenset[int], TreeNode]:
+        closure = closure_automaton(patterns, dtd, extra_labels, with_arity, context)
+        conformance = dtd_automaton(dtd, frozenset(extra_labels), context)
+        product = ProductAutomaton([conformance, closure])
+        realized = reachable_states(
+            product,
+            prune=lambda state: not state[0][1],
+            prune_horizontal=lambda label, h: conformance.horizontal_dead(h[0]),
+            charge=charge,
+        )
+        sets: dict[frozenset[int], TreeNode] = {}
+        for state, witness in realized.items():
+            if conformance.is_accepting(state[0]):
+                sets.setdefault(closure.trigger_set(state[1]), witness)
+        return sets
+
+    return cache.lookup(key, build)

@@ -1,0 +1,287 @@
+"""``engine.solve``: the single front door of every decision procedure.
+
+Routing follows Figures 1–2 of the paper: the problem type plus the
+mapping's ``SM(σ)`` fragment (axes, comparisons, constants) and the
+DTD classification select the strongest applicable algorithm — exact
+where the theory gives one, sound-but-bounded where it proves
+undecidability or leaves the construction open.  The selected algorithm,
+the routing rationale and the run's cost (wall clock, charged expansions,
+cache hit/miss deltas) are recorded in a
+:class:`~repro.engine.report.SolveReport` attached to the returned
+verdict, and :class:`~repro.engine.budget.BudgetExceeded` (or any legacy
+:class:`~repro.errors.BoundExceededError`) raised mid-search is converted
+into ``Unknown(bound_exhausted=True)`` — bound exhaustion never escapes
+``solve`` as an exception.
+
+Solver modules are imported lazily inside the routing functions: they
+import the engine's leaf modules (verdicts, budget, cache) at module
+level, so importing them from here at module level would be circular.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.engine.budget import ExecutionContext, current_context
+from repro.engine.problems import (
+    AbsoluteConsistencyProblem,
+    CompositionConsistencyProblem,
+    CompositionMembershipProblem,
+    ConsistencyProblem,
+    MembershipProblem,
+    SatisfiabilityProblem,
+    SeparationProblem,
+)
+from repro.engine.report import SolveReport
+from repro.engine.verdicts import Unknown, Verdict
+from repro.errors import BoundExceededError, SignatureError, XsmError
+
+
+# ---------------------------------------------------------------------------
+# fragment predicates (Figure 1's row labels)
+# ---------------------------------------------------------------------------
+
+
+def uses_constants(mapping) -> bool:
+    """Does any pattern of the mapping mention a constant?"""
+    from repro.values import Const
+
+    return any(
+        isinstance(term, Const)
+        for std in mapping.stds
+        for pattern in (std.source, std.target)
+        for term in pattern.terms()
+    )
+
+
+def uses_skolem_functions(mapping) -> bool:
+    """Does any std use Skolem functions (Section 8 semantics)?"""
+    return any(std.skolem_functions() for std in mapping.stds)
+
+
+def nested_ptime_applicable(mapping, context: ExecutionContext | None = None) -> bool:
+    """Is the Fact-5.1 PTIME consistency route applicable?
+
+    Requires ``SM(⇓)`` (no horizontal axes, comparisons or constants) over
+    nested-relational DTDs; the DTD classification is read through the
+    compilation cache.
+    """
+    from repro.engine.cache import dtd_classification
+    from repro.patterns.features import HORIZONTAL
+
+    if mapping.uses_data_comparisons() or uses_constants(mapping):
+        return False
+    if mapping.signature().features & HORIZONTAL:
+        return False
+    return (
+        dtd_classification(mapping.source_dtd, context).nested_relational
+        and dtd_classification(mapping.target_dtd, context).nested_relational
+    )
+
+
+# ---------------------------------------------------------------------------
+# per-problem routing
+# ---------------------------------------------------------------------------
+
+
+def _solve_consistency(problem, context, info) -> Verdict:
+    from repro.consistency.bounded import is_consistent_bounded
+    from repro.consistency.cons_automata import is_consistent_automata
+    from repro.consistency.cons_nested import is_consistent_nested
+
+    mapping = problem.mapping
+    if not mapping.uses_data_comparisons() and not uses_constants(mapping):
+        if nested_ptime_applicable(mapping, context):
+            info.update(
+                algorithm="cons-nested",
+                reason="SM(⇓) over nested-relational DTDs: PTIME via the "
+                "minimal tree (Fact 5.1)",
+            )
+            return is_consistent_nested(mapping, context)
+        info.update(
+            algorithm="cons-automata",
+            reason="no data comparisons or constants: exact trigger-set "
+            "automata (Theorem 5.2, EXPTIME)",
+        )
+        return is_consistent_automata(mapping, context)
+    info.update(
+        algorithm="cons-bounded",
+        reason="data comparisons or constants: sound bounded witness search "
+        "only (Theorems 5.4/5.5)",
+    )
+    return is_consistent_bounded(mapping, context=context)
+
+
+def _solve_abscons(problem, context, info) -> Verdict:
+    from repro.consistency.abscons import decide_absolute_consistency
+
+    reasons = {
+        "abscons-sm0": "value-free SM° mapping: exact trigger-set coverage "
+        "(Proposition 6.1)",
+        "abscons-ptime": "nested-relational + fully specified: exact rigidity "
+        "analysis (Theorem 6.3, PTIME)",
+        "abscons-expansion": "⇓-sources over non-recursive DTDs: exact via "
+        "source expansion + rigidity analysis",
+        "abscons-bounded": "outside every exact class: sound bounded "
+        "refutation (Theorem 6.2 gives EXPSPACE, construction unpublished)",
+    }
+    verdict, algorithm = decide_absolute_consistency(problem.mapping, context)
+    info.update(algorithm=algorithm, reason=reasons.get(algorithm, ""))
+    return verdict
+
+
+def _solve_membership(problem, context, info) -> Verdict:
+    from repro.mappings.membership import is_solution
+    from repro.mappings.skolem import is_skolem_solution
+
+    if uses_skolem_functions(problem.mapping):
+        info.update(
+            algorithm="membership-skolem",
+            reason="Skolem stds: backtracking valuation of the shared "
+            "unknowns (Section 8)",
+        )
+        return is_skolem_solution(
+            problem.mapping, problem.source_tree, problem.target_tree
+        )
+    info.update(
+        algorithm="membership",
+        reason="plain stds: conformance plus per-obligation semi-joins "
+        "(Definition 3.2)",
+    )
+    return is_solution(problem.mapping, problem.source_tree, problem.target_tree)
+
+
+def _solve_composition_membership(problem, context, info) -> Verdict:
+    from repro.composition.semantics import (
+        composition_contains,
+        composition_contains_exact,
+    )
+    from repro.errors import NotInClassError
+
+    try:
+        verdict = composition_contains_exact(
+            problem.m12, problem.m23, problem.source_tree, problem.final_tree
+        )
+    except (NotInClassError, SignatureError):
+        info.update(
+            algorithm="composition-bounded",
+            reason="outside the Theorem 8.2 class: bounded intermediate-tree "
+            "search with the finite value abstraction (Section 7.2)",
+        )
+        return composition_contains(
+            problem.m12,
+            problem.m23,
+            problem.source_tree,
+            problem.final_tree,
+            context=context,
+        )
+    info.update(
+        algorithm="composition-exact",
+        reason="Theorem 8.2 class: membership via the composed Skolem mapping",
+    )
+    return verdict
+
+
+def _solve_composition_consistency(problem, context, info) -> Verdict:
+    from repro.composition.conscomp import (
+        is_composition_consistent,
+        is_composition_consistent_bounded,
+    )
+
+    mappings = list(problem.mappings)
+    try:
+        verdict = is_composition_consistent(mappings, context)
+    except SignatureError:
+        info.update(
+            algorithm="conscomp-bounded",
+            reason="comparisons or constants in the chain: sound bounded "
+            "witness-chain search (the problem is undecidable, Theorem 7.1(2))",
+        )
+        return is_composition_consistent_bounded(mappings, context=context)
+    info.update(
+        algorithm="conscomp-automata",
+        reason="comparison-free chain: exact staged trigger-set chaining "
+        "(Theorem 7.1(1), EXPTIME)",
+    )
+    return verdict
+
+
+def _solve_satisfiability(problem, context, info) -> Verdict:
+    from repro.patterns.satisfiability import is_satisfiable
+
+    info.update(
+        algorithm="pattern-sat",
+        reason="closure-automaton reachability with tag lifting (Lemma 4.1)",
+    )
+    return is_satisfiable(problem.dtd, problem.pattern, context)
+
+
+def _solve_separation(problem, context, info) -> Verdict:
+    from repro.patterns.separation import separation_verdict
+
+    info.update(
+        algorithm="separation",
+        reason="joint closure automaton over P+ ∪ P-: conforming root state "
+        "containing P+ and avoiding P- (Section 9)",
+    )
+    return separation_verdict(
+        problem.dtd, problem.positives, problem.negatives, context
+    )
+
+
+_ROUTES = {
+    ConsistencyProblem: _solve_consistency,
+    AbsoluteConsistencyProblem: _solve_abscons,
+    MembershipProblem: _solve_membership,
+    CompositionMembershipProblem: _solve_composition_membership,
+    CompositionConsistencyProblem: _solve_composition_consistency,
+    SatisfiabilityProblem: _solve_satisfiability,
+    SeparationProblem: _solve_separation,
+}
+
+
+def solve(problem, context: ExecutionContext | None = None) -> Verdict:
+    """Decide *problem* with the strongest applicable algorithm.
+
+    The returned verdict carries ``.report`` (algorithm, routing reason,
+    cost accounting) and ``.problem`` (for ``certify()``).  Bound
+    exhaustion inside any route surfaces as ``Unknown``, never as a
+    :class:`~repro.errors.BoundExceededError`.
+    """
+    route = _ROUTES.get(type(problem))
+    if route is None:
+        raise XsmError(
+            f"engine.solve cannot route a {type(problem).__name__}; "
+            "use one of repro.engine.problems"
+        )
+    if context is None:
+        context = current_context()
+    if context is None:
+        context = ExecutionContext()
+    info = {"algorithm": type(problem).__name__, "reason": ""}
+    cache_before = context.cache.stats()
+    expansions_before = context.expansions
+    started = time.perf_counter()
+    context.start_clock()
+    try:
+        with context.activate():
+            verdict = route(problem, context, info)
+    except BoundExceededError as exc:
+        verdict = Unknown(str(exc), bound_exhausted=True)
+    cache_after = context.cache.stats()
+    verdict.report = SolveReport(
+        problem=type(problem).__name__,
+        algorithm=info["algorithm"],
+        reason=info["reason"],
+        elapsed=time.perf_counter() - started,
+        expansions=context.expansions - expansions_before,
+        cache={
+            "hits": cache_after["hits"] - cache_before["hits"],
+            "misses": cache_after["misses"] - cache_before["misses"],
+            "evictions": cache_after["evictions"] - cache_before["evictions"],
+            "entries": cache_after["entries"],
+        },
+        budget=context.budget,
+    )
+    verdict.problem = problem
+    return verdict

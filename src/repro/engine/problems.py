@@ -1,0 +1,93 @@
+"""Problem objects for the ``engine.solve`` front door.
+
+One dataclass per decision problem of Figures 1–2; ``solve`` routes on the
+problem type plus the mapping's ``SM(σ)`` fragment.  They are plain value
+holders — construction never computes anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.mappings.mapping import SchemaMapping
+    from repro.patterns.ast import Pattern
+    from repro.xmlmodel.dtd import DTD
+    from repro.xmlmodel.tree import TreeNode
+
+
+@dataclass(eq=False)
+class ConsistencyProblem:
+    """CONS: is ``[[M]]`` non-empty?  (Figure 1, top half.)"""
+
+    mapping: "SchemaMapping"
+
+
+@dataclass(eq=False)
+class AbsoluteConsistencyProblem:
+    """ABSCONS: does every source tree have a solution?  (Figure 1, bottom.)"""
+
+    mapping: "SchemaMapping"
+
+
+@dataclass(eq=False)
+class MembershipProblem:
+    """Membership: is ``(T, T') ∈ [[M]]``?  (Figure 2.)"""
+
+    mapping: "SchemaMapping"
+    source_tree: "TreeNode"
+    target_tree: "TreeNode"
+
+
+@dataclass(eq=False)
+class CompositionMembershipProblem:
+    """Is ``(T1, T3) ∈ [[M12]] ∘ [[M23]]``?  (Section 7.2 / Theorem 8.2.)"""
+
+    m12: "SchemaMapping"
+    m23: "SchemaMapping"
+    source_tree: "TreeNode"
+    final_tree: "TreeNode"
+
+
+@dataclass(eq=False)
+class CompositionConsistencyProblem:
+    """CONSCOMP: is ``[[M1]] ∘ ... ∘ [[Mn]]`` non-empty?  (Theorem 7.1.)"""
+
+    mappings: tuple["SchemaMapping", ...]
+
+    def __post_init__(self):
+        self.mappings = tuple(self.mappings)
+
+
+@dataclass(eq=False)
+class SatisfiabilityProblem:
+    """Is some ``T |= D`` matched by the pattern?  (Lemma 4.1.)"""
+
+    dtd: "DTD"
+    pattern: "Pattern"
+
+
+@dataclass(eq=False)
+class SeparationProblem:
+    """Is there a ``T |= D`` matching all positives and no negatives?
+    (Section 9's technical problem.)"""
+
+    dtd: "DTD"
+    positives: tuple["Pattern", ...] = field(default_factory=tuple)
+    negatives: tuple["Pattern", ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        self.positives = tuple(self.positives)
+        self.negatives = tuple(self.negatives)
+
+
+Problem = (
+    ConsistencyProblem,
+    AbsoluteConsistencyProblem,
+    MembershipProblem,
+    CompositionMembershipProblem,
+    CompositionConsistencyProblem,
+    SatisfiabilityProblem,
+    SeparationProblem,
+)

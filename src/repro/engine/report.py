@@ -1,0 +1,37 @@
+"""Structured accounting of one ``engine.solve`` call."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.budget import Budget
+
+
+@dataclass
+class SolveReport:
+    """What ran, why, and what it cost.
+
+    ``algorithm`` names the procedure the Figure-1/2 routing selected,
+    ``reason`` the routing rationale (fragment facts), ``elapsed`` the
+    wall-clock seconds, ``expansions`` the charged search steps, and
+    ``cache`` the hit/miss/eviction deltas of the compilation cache over
+    this solve.
+    """
+
+    problem: str
+    algorithm: str
+    reason: str
+    elapsed: float = 0.0
+    expansions: int = 0
+    cache: dict[str, int] = field(default_factory=dict)
+    budget: Budget = field(default_factory=Budget.default)
+
+    def lines(self) -> list[str]:
+        """Render for ``--stats`` output."""
+        cache = self.cache or {}
+        return [
+            f"algorithm: {self.algorithm} ({self.reason})",
+            f"elapsed: {self.elapsed:.6f}s  expansions: {self.expansions}",
+            "cache: "
+            + "  ".join(f"{k}={cache.get(k, 0)}" for k in ("hits", "misses", "evictions")),
+        ]

@@ -50,6 +50,16 @@ class NotInClassError(XsmError):
     """
 
 
+class UnknownVerdictError(XsmError):
+    """Raised when an ``Unknown`` verdict is forced into a boolean.
+
+    The engine's verdicts are truthy (``Proved`` is True, ``Refuted`` is
+    False) so existing boolean call sites keep working, but an ``Unknown``
+    has no honest boolean value — callers must inspect ``.is_unknown`` or
+    ``.decision()``.
+    """
+
+
 class BoundExceededError(XsmError):
     """Raised by bounded decision procedures that could not conclude.
 

@@ -24,6 +24,14 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from repro.engine.verdicts import (
+    ConformanceFailure,
+    ObligationsMet,
+    Proved,
+    Refuted,
+    Verdict,
+    ViolationWitness,
+)
 from repro.errors import XsmError
 from repro.mappings.mapping import SchemaMapping
 from repro.mappings.std import STD
@@ -131,16 +139,39 @@ def is_solution(
     source_tree: TreeNode,
     target_tree: TreeNode,
     check_conformance: bool = True,
-) -> bool:
-    """``(T, T') ∈ [[M]]``: conformance to both DTDs plus all stds."""
+) -> Verdict:
+    """``(T, T') ∈ [[M]]``: conformance to both DTDs plus all stds.
+
+    Returns a :class:`~repro.engine.verdicts.Verdict` (membership is
+    decidable, so never ``Unknown``): ``Proved`` carries the number of
+    checked obligations, ``Refuted`` either the non-conforming side or the
+    first exported valuation with no target match.
+    """
     if check_conformance:
         if not mapping.source_dtd.conforms(source_tree):
-            return False
+            return Refuted(ConformanceFailure("source"))
         if not mapping.target_dtd.conforms(target_tree):
-            return False
-    return all(
-        std_is_satisfied(std, source_tree, target_tree) for std in mapping.stds
-    )
+            return Refuted(ConformanceFailure("target"))
+    obligations = 0
+    for index, std in enumerate(mapping.stds):
+        if std.skolem_functions():
+            raise XsmError(
+                "std uses Skolem functions; use "
+                "repro.mappings.skolem.is_skolem_solution"
+            )
+        for exported in _exported_assignments(std, source_tree):
+            obligations += 1
+            if not _target_satisfied(
+                std, std.target.substitute(exported), exported, target_tree
+            ):
+                valuation = tuple(
+                    sorted(
+                        ((var.name, value) for var, value in exported.items()),
+                        key=lambda item: (item[0], repr(item[1])),
+                    )
+                )
+                return Refuted(ViolationWitness(index, valuation))
+    return Proved(ObligationsMet(obligations))
 
 
 def violations(

@@ -30,6 +30,15 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from repro.engine.budget import current_context
+from repro.engine.verdicts import (
+    ConformanceFailure,
+    ObligationsMet,
+    Proved,
+    Refuted,
+    Verdict,
+    AnalysisCertificate,
+)
 from repro.errors import NotInClassError
 from repro.mappings.mapping import SchemaMapping
 from repro.mappings.std import Comparison
@@ -311,9 +320,13 @@ def _solve_requirements(
     branches early.
     """
 
+    context = current_context()
+
     def backtrack(
         index: int, bound: dict[Var, object], constraints: list[Comparison]
     ) -> Iterator[dict[Var, object]]:
+        if context is not None:
+            context.charge()
         if not _constraints_solvable(registry, constraints, bound):
             return
         if index == len(requirements):
@@ -379,11 +392,24 @@ def is_skolem_solution(
     source_tree: TreeNode,
     target_tree: TreeNode,
     check_conformance: bool = True,
-) -> bool:
-    """``(T, T') ∈ [[M]]`` under the Skolem semantics of Section 8."""
+) -> Verdict:
+    """``(T, T') ∈ [[M]]`` under the Skolem semantics of Section 8.
+
+    Returns a :class:`~repro.engine.verdicts.Verdict` (never ``Unknown`` —
+    the unknowns range over a finite candidate space per target tree).
+    """
     if check_conformance:
         if not mapping.source_dtd.conforms(source_tree):
-            return False
+            return Refuted(ConformanceFailure("source"))
         if not mapping.target_dtd.conforms(target_tree):
-            return False
-    return find_skolem_witness(mapping, source_tree, target_tree) is not None
+            return Refuted(ConformanceFailure("target"))
+    requirements, registry = skolem_requirements(mapping, source_tree)
+    for __ in _solve_requirements(requirements, registry, target_tree):
+        return Proved(ObligationsMet(len(requirements)))
+    return Refuted(
+        AnalysisCertificate(
+            "skolem-membership",
+            "no valuation of the shared Skolem unknowns satisfies every "
+            "triggered requirement",
+        )
+    )

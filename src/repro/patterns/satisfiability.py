@@ -42,30 +42,38 @@ from repro.xmlmodel.tree import TreeNode
 FRESH = Null("pattern-sat-fresh")
 
 
-def structural_witness(dtd: DTD, pattern: Pattern) -> TreeNode | None:
+def structural_witness(
+    dtd: DTD, pattern: Pattern, context=None
+) -> TreeNode | None:
     """A conforming label-tree structurally matching *pattern*, or None.
 
     Exact as a *structural* statement: None means no conforming tree
-    matches even with the most permissive choice of data values.
+    matches even with the most permissive choice of data values.  The two
+    automata are compiled through the engine's
+    :class:`~repro.engine.cache.CompilationCache`.
     """
-    # imported here: repro.automata depends on repro.patterns.ast, so a
-    # top-level import would be circular
-    from repro.automata.dtd_automaton import DTDAutomaton
+    # imported here: repro.automata (which the engine cache compiles)
+    # depends on repro.patterns.ast, so top-level imports would be circular
     from repro.automata.duta import ProductAutomaton, find_accepted
-    from repro.automata.pattern_automaton import PatternClosureAutomaton
+    from repro.engine.budget import resolve_context
+    from repro.engine.cache import closure_automaton, dtd_automaton
 
-    closure = PatternClosureAutomaton(
-        [pattern], extra_labels=dtd.labels, arity_of=dtd.arity
-    )
-    dtd_automaton = DTDAutomaton(dtd, extra_labels=pattern.labels_used())
+    extra = frozenset(pattern.labels_used())
+    closure = closure_automaton([pattern], dtd, extra, context=context)
+    conformance = dtd_automaton(dtd, extra, context=context)
     product = ProductAutomaton(
-        [dtd_automaton, closure],
+        [conformance, closure],
         predicate=lambda state: (
-            dtd_automaton.is_accepting(state[0])
+            conformance.is_accepting(state[0])
             and closure.satisfies(state[1], pattern)
         ),
     )
-    found = find_accepted(product, prune=lambda state: not state[0][1])
+    resolved = resolve_context(context)
+    found = find_accepted(
+        product,
+        prune=lambda state: not state[0][1],
+        charge=resolved.charge if resolved is not None else None,
+    )
     if found is None:
         return None
     __, witness = found
@@ -139,14 +147,14 @@ def _unlift(witness: TreeNode) -> TreeNode:
     )
 
 
-def satisfying_tree(dtd: DTD, pattern: Pattern) -> TreeNode | None:
+def satisfying_tree(dtd: DTD, pattern: Pattern, context=None) -> TreeNode | None:
     """A tree ``T |= D`` with a match for *pattern*, or None if unsatisfiable."""
     from repro.automata.dtd_automaton import DTDAutomaton
     from repro.automata.duta import ProductAutomaton, find_accepted
 
     if any(isinstance(term, SkolemTerm) for term in pattern.terms()):
         raise XsmError("satisfiability is defined for patterns without Skolem terms")
-    skeleton = structural_witness(dtd, pattern)
+    skeleton = structural_witness(dtd, pattern, context)
     if skeleton is None:
         return None
     constants = [t.value for t in pattern.terms() if isinstance(t, Const)]
@@ -183,6 +191,26 @@ def satisfying_tree(dtd: DTD, pattern: Pattern) -> TreeNode | None:
     return None
 
 
-def is_satisfiable(dtd: DTD, pattern: Pattern) -> bool:
-    """Decide (exactly) whether some ``T |= D`` matches *pattern*."""
-    return satisfying_tree(dtd, pattern) is not None
+def is_satisfiable(dtd: DTD, pattern: Pattern, context=None):
+    """Decide (exactly) whether some ``T |= D`` matches *pattern*.
+
+    Returns a :class:`~repro.engine.verdicts.Verdict` — ``Proved`` carries
+    the satisfying tree, and the decision is exact (never ``Unknown``).
+    """
+    from repro.engine.verdicts import (
+        AnalysisCertificate,
+        Proved,
+        Refuted,
+        SatisfyingTree,
+    )
+
+    witness = satisfying_tree(dtd, pattern, context)
+    if witness is not None:
+        return Proved(SatisfyingTree(witness))
+    return Refuted(
+        AnalysisCertificate(
+            "pattern-sat",
+            "no conforming tree matches the pattern (closure-automaton "
+            "reachability over the tag-lifted alphabet is empty)",
+        )
+    )

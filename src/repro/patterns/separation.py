@@ -13,7 +13,11 @@ conforming root state whose satisfaction set contains ``P+`` and avoids
 ``P-`` — the EXPTIME upper bound, implemented.
 
 Pattern containment over a DTD is the special case
-``P+ = {p1}, P- = {p2}`` being unseparable.
+``P+ = {p1}, P- = {p2}`` being unseparable.  The decision entry points
+(:func:`pattern_contained`, :func:`patterns_equivalent`) return
+:class:`~repro.engine.verdicts.Verdict`\\ s refuted by a separating tree;
+:func:`find_separating_tree` is the raw witness extractor the certificate
+re-checker uses.
 """
 
 from __future__ import annotations
@@ -29,18 +33,20 @@ def find_separating_tree(
     dtd: DTD,
     positives: Iterable[Pattern],
     negatives: Iterable[Pattern],
+    context=None,
 ) -> TreeNode | None:
     """A conforming tree matching all *positives* and no *negatives*, or None.
 
     Exact for structural satisfaction: patterns may carry variables (their
     arity constrains, their values do not — decorate the witness freely),
-    but constants are not supported here.
+    but constants are not supported here.  The automata are compiled
+    through the engine's compilation cache.
     """
-    # imported here: repro.automata depends on repro.patterns.ast, so a
-    # top-level import would be circular
-    from repro.automata.dtd_automaton import DTDAutomaton
+    # imported here: repro.automata (which the engine cache compiles)
+    # depends on repro.patterns.ast, so top-level imports would be circular
     from repro.automata.duta import ProductAutomaton, find_accepted
-    from repro.automata.pattern_automaton import PatternClosureAutomaton
+    from repro.engine.budget import resolve_context
+    from repro.engine.cache import closure_automaton, dtd_automaton
 
     positives = list(positives)
     negatives = list(negatives)
@@ -48,38 +54,79 @@ def find_separating_tree(
     extra = frozenset(
         label for pattern in patterns for label in pattern.labels_used()
     )
-    closure = PatternClosureAutomaton(
-        patterns, extra_labels=dtd.labels | extra, arity_of=dtd.arity
-    )
-    dtd_automaton = DTDAutomaton(dtd, extra_labels=extra)
+    closure = closure_automaton(patterns, dtd, extra, context=context)
+    conformance = dtd_automaton(dtd, extra, context=context)
 
     def separated(state) -> bool:
-        if not dtd_automaton.is_accepting(state[0]):
+        if not conformance.is_accepting(state[0]):
             return False
         sat = state[1][0]
         return all(p in sat for p in positives) and not any(
             p in sat for p in negatives
         )
 
-    product = ProductAutomaton([dtd_automaton, closure], predicate=separated)
+    product = ProductAutomaton([conformance, closure], predicate=separated)
+    resolved = resolve_context(context)
     found = find_accepted(
         product,
         prune=lambda state: not state[0][1],
-        prune_horizontal=lambda label, h: dtd_automaton.horizontal_dead(h[0]),
+        prune_horizontal=lambda label, h: conformance.horizontal_dead(h[0]),
+        charge=resolved.charge if resolved is not None else None,
     )
     if found is None:
         return None
-    return dtd_automaton.decorate(found[1])
+    return conformance.decorate(found[1])
 
 
-def pattern_contained(dtd: DTD, smaller: Pattern, larger: Pattern) -> bool:
-    """Structural containment over *dtd*: every conforming tree matching
-    *smaller* also matches *larger*."""
-    return find_separating_tree(dtd, [smaller], [larger]) is None
-
-
-def patterns_equivalent(dtd: DTD, left: Pattern, right: Pattern) -> bool:
-    """Structural equivalence of two patterns over *dtd*."""
-    return pattern_contained(dtd, left, right) and pattern_contained(
-        dtd, right, left
+def separation_verdict(
+    dtd: DTD,
+    positives: Iterable[Pattern],
+    negatives: Iterable[Pattern],
+    context=None,
+):
+    """Verdict view of separation: ``Proved`` carries the separating tree."""
+    from repro.engine.verdicts import (
+        AnalysisCertificate,
+        Proved,
+        Refuted,
+        SeparatingTree,
     )
+
+    witness = find_separating_tree(dtd, positives, negatives, context)
+    if witness is not None:
+        return Proved(SeparatingTree(witness))
+    return Refuted(
+        AnalysisCertificate(
+            "separation",
+            "no conforming tree matches every positive pattern while "
+            "avoiding every negative one",
+        )
+    )
+
+
+def pattern_contained(dtd: DTD, smaller: Pattern, larger: Pattern, context=None):
+    """Structural containment over *dtd*: every conforming tree matching
+    *smaller* also matches *larger*.
+
+    ``Refuted`` carries a separating tree (matches *smaller*, not
+    *larger*); the decision is exact.
+    """
+    from repro.engine.verdicts import AnalysisCertificate, Proved, Refuted, SeparatingTree
+
+    witness = find_separating_tree(dtd, [smaller], [larger], context)
+    if witness is not None:
+        return Refuted(SeparatingTree(witness))
+    return Proved(
+        AnalysisCertificate(
+            "separation",
+            "no conforming tree matches the smaller pattern without the larger",
+        )
+    )
+
+
+def patterns_equivalent(dtd: DTD, left: Pattern, right: Pattern, context=None):
+    """Structural equivalence of two patterns over *dtd* (exact)."""
+    forward = pattern_contained(dtd, left, right, context)
+    if forward.is_refuted:
+        return forward
+    return pattern_contained(dtd, right, left, context)

@@ -11,7 +11,7 @@ from repro.consistency.abscons import (
     is_absolutely_consistent_sm0,
     sm0_counterexample,
 )
-from repro.errors import BoundExceededError, SignatureError
+from repro.errors import SignatureError, UnknownVerdictError
 from repro.mappings.mapping import SchemaMapping
 from repro.verification.oracle import (
     oracle_has_solution,
@@ -245,10 +245,13 @@ class TestDispatcher:
         m = mk("r -> a*\na(x)", "t -> b*\nb(u)", ["r//a(x) -> t[b(x)]"])
         assert is_absolutely_consistent(m, max_source_size=3, max_target_size=4)
 
-    def test_bounded_inconclusive_raises(self):
+    def test_bounded_inconclusive_is_unknown(self):
         # a wildcard *target* defeats both exact routes; the bounded refuter
         # finds nothing on this absolutely-consistent mapping, so the
-        # dispatcher must refuse to guess
+        # dispatcher must refuse to guess — Unknown, never a raised bound
         m = mk("r -> a*\na(x)", "t -> b*\nb(u)", ["r[a(x)] -> t[_(x)]"])
-        with pytest.raises(BoundExceededError):
-            is_absolutely_consistent(m, max_source_size=3, max_target_size=4)
+        verdict = is_absolutely_consistent(m, max_source_size=3, max_target_size=4)
+        assert verdict.is_unknown
+        assert verdict.bound_exhausted
+        with pytest.raises(UnknownVerdictError):
+            bool(verdict)

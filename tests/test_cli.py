@@ -139,8 +139,34 @@ class TestCli:
         # the printed mapping parses back
         parse_mapping(out)
 
+    def test_check_stats(self, mapping_file, capsys):
+        assert main(["check", mapping_file, "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "algorithm:" in out
+        assert "cache: hits=" in out
+
+    def test_check_unknown_exits_2(self, tmp_path, capsys):
+        # comparisons put the mapping outside every exact consistency
+        # procedure, and the bounded search finds no witness: Unknown
+        path = tmp_path / "unknown.xsm"
+        path.write_text(
+            "source:\n    r -> a, b\n    a(x)\n    b(y)\n"
+            "target:\n    t -> c?\n    c(u)\n"
+            "std: r[a(x), b(y)], x = y -> t[zzz]\n"
+            "std: r[a(x), b(y)], x != y -> t[zzz]\n"
+        )
+        assert main(["check", str(path)]) == 2
+        assert "consistent: unknown" in capsys.readouterr().out
+
+    def test_member_stats(self, tmp_path, capsys, mapping_file, source_file):
+        good = tmp_path / "good.xml"
+        good.write_text('<w><product sku="s1" supplier="acme"/></w>')
+        assert main(["member", mapping_file, source_file, str(good), "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "YES" in out and "algorithm:" in out
+
     def test_error_reported(self, tmp_path, capsys):
         bad = tmp_path / "bad.xsm"
         bad.write_text("nonsense")
-        assert main(["check", str(bad)]) == 2
+        assert main(["check", str(bad)]) == 3
         assert "error:" in capsys.readouterr().err

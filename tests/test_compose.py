@@ -33,7 +33,9 @@ def assert_equivalent(
                 m12, m23, source, final,
                 max_mid_size=max_mid_size, extra_fresh=extra_fresh, skolem=True,
             )
-            assert direct == via_middle, (
+            # the semantic search returns Unknown (not Refuted) past its
+            # middle-tree bound, so compare proved-ness, not raw verdicts
+            assert direct.is_proved == via_middle.is_proved, (
                 f"disagree on ({source!r}, {final!r}): "
                 f"composed={direct}, semantic={via_middle}"
             )

@@ -45,7 +45,9 @@ def verify_pair(seed: int, source_slack=2, final_slack=2):
                 m12, m23, source, final,
                 max_mid_size=max_mid_size, extra_fresh=1, skolem=True,
             )
-            assert direct == semantic, (
+            # semantic search returns Unknown past its middle-tree bound;
+            # proved-ness is the comparable decision
+            assert direct.is_proved == semantic.is_proved, (
                 f"seed {seed}: disagree on ({source!r}, {final!r}): "
                 f"composed={direct}, semantic={semantic}\n"
                 f"M12 stds: {[str(s) for s in m12.stds]}\n"

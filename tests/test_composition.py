@@ -35,9 +35,13 @@ class TestCompositionMembership:
 
     def test_missing_value_rejected(self):
         m12, m23 = copy_chain()
-        assert not composition_contains(
+        verdict = composition_contains(
             m12, m23, parse_tree("r[a(1), a(2)]"), parse_tree("t[c(1)]")
         )
+        # the bounded middle search cannot *prove* absence, so it reports
+        # Unknown rather than Refuted
+        assert not verdict.is_proved
+        assert verdict.is_unknown
 
     def test_extra_target_values_fine(self):
         m12, m23 = copy_chain()
@@ -153,7 +157,10 @@ class TestConsComp:
         assert is_composition_consistent_bounded([m12, m23], max_tree_size=3)
         m12b = SchemaMapping.parse("r -> a", D2, ["r[a] -> m[b(x)]"])
         m23b = SchemaMapping.parse(D2, "t -> c?", ["m[b(u)] -> t[zzz]"])
-        assert not is_composition_consistent_bounded([m12b, m23b], max_tree_size=3)
+        # the bounded search cannot prove inconsistency: it reports Unknown
+        bounded = is_composition_consistent_bounded([m12b, m23b], max_tree_size=3)
+        assert not bounded.is_proved
+        assert bounded.is_unknown
 
 
 class TestExactCompositionMembership:
@@ -170,9 +177,10 @@ class TestExactCompositionMembership:
         for source_text, final_text, expected in cases:
             source, final = parse_tree(source_text), parse_tree(final_text)
             assert composition_contains_exact(m12, m23, source, final) == expected
-            assert composition_contains(
-                m12, m23, source, final, max_mid_size=4
-            ) == expected
+            # the bounded search answers Unknown (never Refuted) on the
+            # negative cases, so compare proved-ness
+            bounded = composition_contains(m12, m23, source, final, max_mid_size=4)
+            assert bounded.is_proved == expected
 
     def test_exact_rejects_outside_class(self):
         from repro.composition.semantics import composition_contains_exact

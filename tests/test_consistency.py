@@ -14,7 +14,7 @@ from repro.consistency import (
     find_consistency_witness_bounded,
     nested_consistency_witness,
 )
-from repro.errors import BoundExceededError, SignatureError
+from repro.errors import SignatureError, UnknownVerdictError
 from repro.mappings.mapping import SchemaMapping
 from repro.mappings.membership import is_solution
 from repro.verification.oracle import oracle_is_consistent
@@ -232,7 +232,10 @@ class TestBoundedSearchWithComparisons:
             "t -> c?\nc(u)",
             ["r[a(x), b(y)], x = y -> t[zzz]", "r[a(x), b(y)], x != y -> t[zzz]"],
         )
-        assert not is_consistent_bounded(m, 3, 2)
+        # the bounded search cannot prove inconsistency — it reports Unknown
+        verdict = is_consistent_bounded(m, 3, 2)
+        assert not verdict.is_proved
+        assert verdict.is_unknown
 
     def test_equality_branch_satisfiable(self):
         m = mk(
@@ -264,14 +267,19 @@ class TestDispatcher:
         source, target = consistency_witness(m)
         assert is_solution(m, source, target)
 
-    def test_bounded_raises_when_inconclusive(self):
+    def test_bounded_is_unknown_when_inconclusive(self):
         m = mk(
             "r -> a, b\na(x)\nb(y)",
             "t -> c?\nc(u)",
             ["r[a(x), b(y)], x = y -> t[zzz]", "r[a(x), b(y)], x != y -> t[zzz]"],
         )
-        with pytest.raises(BoundExceededError):
-            is_consistent(m)
+        # bound exhaustion never escapes as an exception any more: the
+        # dispatcher answers Unknown with bound_exhausted set
+        verdict = is_consistent(m)
+        assert verdict.is_unknown
+        assert verdict.bound_exhausted
+        with pytest.raises(UnknownVerdictError):
+            bool(verdict)
 
     def test_bounded_succeeds_on_witness(self):
         m = mk(
