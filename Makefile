@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke lint bench baseline ci
+.PHONY: test smoke bench-smoke lint bench baseline ci
 
 # tier-1: the full unit/property suite
 test:
@@ -11,6 +11,12 @@ test:
 # fails on a >2x regression at the smoke sizes
 smoke:
 	$(PYTHON) benchmarks/bench_matching_engine.py --smoke
+
+# benchmark smoke gates: the matching-engine regression check plus the
+# solve_many correctness gate (parallel verdicts == serial; no timing
+# assertions, so it is safe on loaded single-core runners)
+bench-smoke: smoke
+	$(PYTHON) benchmarks/bench_fig1_parallel.py --smoke
 
 # full before/after series (slow; prints the speedup table)
 bench:
@@ -28,4 +34,4 @@ lint:
 		echo "ruff not installed; skipping lint"; \
 	fi
 
-ci: lint test smoke
+ci: lint test bench-smoke

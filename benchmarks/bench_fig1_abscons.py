@@ -31,7 +31,7 @@ def test_f18_abscons_sm0(benchmark):
         return lambda: is_absolutely_consistent_sm0(mapping)
 
     rows = sweep(range(1, 7), make)
-    assert all(result.is_proved for __, __, result in rows)
+    assert all(result.is_proved for result in (row[2] for row in rows))
     print_table(
         "F1.8a",
         "ABSCONS°(⇓): Pi_2^p-complete (Prop 6.1)",
@@ -44,7 +44,7 @@ def test_f18_abscons_sm0(benchmark):
         return lambda: is_absolutely_consistent_sm0(mapping)
 
     negative = sweep(range(1, 5), make_negative)
-    assert all(result.is_refuted for __, __, result in negative)
+    assert all(result.is_refuted for result in (row[2] for row in negative))
     benchmark(lambda: is_absolutely_consistent_sm0(abscons_sm0_family(4)))
 
 
@@ -62,7 +62,7 @@ def test_f18_abscons_general_refuter(benchmark):
         ) is not None
 
     rows = sweep(range(1, 4), make)
-    assert all(result is True for __, __, result in rows)
+    assert all(result is True for result in (row[2] for row in rows))
     print_table(
         "F1.8b",
         "ABSCONS(⇓) general: in EXPSPACE, NEXPTIME-hard (Thm 6.2)",
@@ -84,7 +84,7 @@ def test_f19_abscons_ptime(benchmark):
         return lambda: is_absolutely_consistent_ptime(mapping)
 
     rows = sweep([2, 4, 8, 16, 32, 64], make)
-    assert all(result.is_proved for __, __, result in rows)
+    assert all(result.is_proved for result in (row[2] for row in rows))
     print_table(
         "F1.9",
         "ABSCONS(⇓) nested-relational + fully-specified: PTIME (Thm 6.3)",
@@ -120,7 +120,7 @@ def test_f110_abscons_wildcard_hard(benchmark):
         return lambda: is_absolutely_consistent_expanded(mapping)
 
     rows = sweep(range(2, 9), make)
-    assert all(result.is_refuted for __, __, result in rows)
+    assert all(result.is_refuted for result in (row[2] for row in rows))
     print_table(
         "F1.10",
         "ABSCONS(⇓) + wildcard: NEXPTIME-hard (Thm 6.3)",
@@ -134,7 +134,7 @@ def test_f110_abscons_wildcard_hard(benchmark):
         return lambda: is_absolutely_consistent_expanded(mapping)
 
     positive = sweep(range(2, 7), make_positive)
-    assert all(result.is_proved for __, __, result in positive)
+    assert all(result.is_proved for result in (row[2] for row in positive))
     print_table(
         "F1.10b",
         "(consistent variant, same exact procedure)",

@@ -1,0 +1,232 @@
+"""Figure 1, batch mode — experiments F1.12 and F1.13 (DESIGN.md §4).
+
+The paper's Figure 1 is a sweep of independent decision problems, which
+is exactly the shape :func:`repro.engine.solve_many` parallelizes:
+
+* **F1.12** re-decides the Figure 1 consistency sweep serially and with
+  ``jobs=4``; the verdicts must be identical, and on a multi-core
+  machine the parallel run must be >= 2x faster.
+* **F1.13** runs the same sweep twice against one ``--cache-dir``: the
+  second (warm) run reads every compiled automaton from disk and must
+  measurably beat the first (cold) run.
+
+Both experiments journal their numbers into the repo-root
+``BENCH_fig1.json``.  The CI smoke mode (``--smoke``, seconds not
+minutes) shrinks the sweep and asserts only correctness — parallel
+verdicts equal to serial — never wall-clock, so it is safe on loaded
+single-core runners.
+
+Run directly (``python benchmarks/bench_fig1_parallel.py``) for the full
+comparison, or through pytest alongside the other figure benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+if True:  # make both `pytest benchmarks` and direct execution work
+    _here = Path(__file__).resolve().parent
+    for entry in (_here, _here.parent / "src"):
+        if str(entry) not in sys.path:
+            sys.path.insert(0, str(entry))
+
+from harness import emit_json
+
+from repro.engine import (
+    AbsoluteConsistencyProblem,
+    CompilationCache,
+    ConsistencyProblem,
+    ExecutionContext,
+    solve_many,
+)
+from repro.workloads.families import (
+    cons_arbitrary_family,
+    cons_nested_family,
+    cons_next_sibling_family,
+)
+
+PARALLEL_SPEEDUP_TARGET = 2.0
+PARALLEL_JOBS = 4
+
+
+def figure1_problems(scale: int = 1) -> list:
+    """The Figure 1 consistency sweep as one mixed batch.
+
+    Mirrors the F1.1–F1.4 rows: EXPTIME automata cells next to PTIME
+    nested-relational cells, proved next to refuted, plus absolute
+    consistency — the routing matrix ``solve_many`` must preserve.
+    """
+    problems: list = []
+    for n in range(1, 4 + scale):
+        problems.append(ConsistencyProblem(cons_arbitrary_family(n)))
+        problems.append(
+            ConsistencyProblem(cons_arbitrary_family(n, consistent=False))
+        )
+    for n in (2, 4, 8 * scale):
+        problems.append(ConsistencyProblem(cons_nested_family(n)))
+        problems.append(AbsoluteConsistencyProblem(cons_nested_family(n)))
+    for n in range(2, 4 + scale):
+        problems.append(ConsistencyProblem(cons_next_sibling_family(n)))
+        problems.append(
+            ConsistencyProblem(cons_next_sibling_family(n, consistent=False))
+        )
+    return problems
+
+
+def _fresh_context() -> ExecutionContext:
+    """Each run gets its own cache so timings do not leak between runs."""
+    return ExecutionContext(cache=CompilationCache())
+
+
+def _timed_batch(problems, **kwargs) -> tuple[float, object]:
+    started = time.perf_counter()
+    batch = solve_many(problems, context=_fresh_context(), **kwargs)
+    return time.perf_counter() - started, batch
+
+
+def run_parallel_comparison(scale: int = 2, emit: bool = True) -> dict:
+    """F1.12: serial vs ``jobs=4`` over the Figure 1 sweep."""
+    problems = figure1_problems(scale)
+    serial_seconds, serial = _timed_batch(problems, jobs=1)
+    parallel_seconds, parallel = _timed_batch(problems, jobs=PARALLEL_JOBS)
+
+    mismatches = [
+        i
+        for i, (a, b) in enumerate(zip(serial, parallel))
+        if a.decision() != b.decision()
+    ]
+    assert not mismatches, f"verdicts diverge at indices {mismatches}"
+
+    speedup = serial_seconds / max(parallel_seconds, 1e-9)
+    record = {
+        "claim": "independent Figure 1 cells parallelize across workers",
+        "problems": len(problems),
+        "jobs": PARALLEL_JOBS,
+        "cpu_count": os.cpu_count() or 1,
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": speedup,
+        "outcomes": dict(parallel.report.outcomes),
+        "verdicts_identical": True,
+    }
+    print(f"[F1.12] {len(problems)} problems: serial {serial_seconds:.4f}s, "
+          f"jobs={PARALLEL_JOBS} {parallel_seconds:.4f}s -> {speedup:.2f}x "
+          f"({os.cpu_count() or 1} cores)")
+    if emit:
+        emit_json("fig1", "F1.12", record)
+    return record
+
+
+def run_disk_cache_comparison(cache_dir=None, emit: bool = True) -> dict:
+    """F1.13: cold vs warm persistent compilation cache, same sweep."""
+    owned = cache_dir is None
+    if owned:
+        cache_dir = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    try:
+        problems = figure1_problems(scale=2)
+        cold_seconds, cold = _timed_batch(problems, jobs=1, cache_dir=cache_dir)
+        warm_seconds, warm = _timed_batch(problems, jobs=1, cache_dir=cache_dir)
+        assert cold.decisions() == warm.decisions()
+
+        speedup = cold_seconds / max(warm_seconds, 1e-9)
+        record = {
+            "claim": "a warm disk cache beats cold compilation",
+            "problems": len(problems),
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "speedup": speedup,
+            "cold_cache": dict(cold.report.cache),
+            "warm_cache": dict(warm.report.cache),
+        }
+        print(f"[F1.13] disk cache: cold {cold_seconds:.4f}s, warm "
+              f"{warm_seconds:.4f}s -> {speedup:.2f}x "
+              f"(disk hits: {warm.report.cache.get('disk_hits', 0)})")
+        if emit:
+            emit_json("fig1", "F1.13", record)
+        return record
+    finally:
+        if owned:
+            shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+def run_smoke() -> int:
+    """CI gate: parallel answers must match serial answers.  No timing
+    assertions — smoke runners may be loaded or single-core."""
+    problems = figure1_problems(scale=1)
+    serial = solve_many(problems, jobs=1, context=_fresh_context())
+    parallel = solve_many(
+        problems, jobs=2, context=_fresh_context(), chunk_size=1
+    )
+    if serial.decisions() != parallel.decisions():
+        print("smoke: FAIL — parallel verdicts diverge from serial")
+        for i, (a, b) in enumerate(zip(serial, parallel)):
+            if a.decision() != b.decision():
+                print(f"  problem {i}: serial={a!r} parallel={b!r}")
+        return 1
+    unknown = parallel.report.outcomes.get("unknown", 0)
+    if unknown:
+        print(f"smoke: FAIL — {unknown} unknown verdicts in a decidable sweep")
+        return 1
+    print(f"smoke: {len(problems)} problems, parallel verdicts == serial "
+          f"({parallel.report.outcomes.get('proved', 0)} proved, "
+          f"{parallel.report.outcomes.get('refuted', 0)} refuted)")
+    return 0
+
+
+# -- pytest entry points -------------------------------------------------------
+
+
+def test_f112_parallel_matches_serial(benchmark):
+    """F1.12: identical verdicts; >=2x speedup where the cores exist."""
+    record = run_parallel_comparison()
+    if (os.cpu_count() or 1) >= PARALLEL_JOBS:
+        assert record["speedup"] >= PARALLEL_SPEEDUP_TARGET, (
+            f"parallel speedup {record['speedup']:.2f}x below "
+            f"{PARALLEL_SPEEDUP_TARGET}x on a {record['cpu_count']}-core machine"
+        )
+    problems = figure1_problems(scale=1)
+    benchmark(lambda: solve_many(problems, jobs=1, context=_fresh_context()))
+
+
+def test_f113_warm_disk_cache_beats_cold(benchmark, tmp_path):
+    """F1.13: the second run over one --cache-dir must be faster."""
+    record = run_disk_cache_comparison(cache_dir=tmp_path / "cache")
+    assert record["warm_cache"].get("disk_hits", 0) > 0
+    assert record["warm_seconds"] < record["cold_seconds"], (
+        f"warm run {record['warm_seconds']:.4f}s not faster than cold "
+        f"{record['cold_seconds']:.4f}s"
+    )
+    problems = figure1_problems(scale=1)
+    benchmark(
+        lambda: solve_many(
+            problems, jobs=1, context=_fresh_context(),
+            cache_dir=tmp_path / "cache",
+        )
+    )
+
+
+def main(argv=None) -> int:
+    global PARALLEL_JOBS
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="correctness-only gate: parallel == serial")
+    parser.add_argument("--jobs", type=int, default=PARALLEL_JOBS)
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return run_smoke()
+    PARALLEL_JOBS = args.jobs
+    record = run_parallel_comparison()
+    run_disk_cache_comparison()
+    if (os.cpu_count() or 1) >= args.jobs:
+        assert record["speedup"] >= PARALLEL_SPEEDUP_TARGET
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -45,7 +45,7 @@ def test_f25_composition_data(benchmark):
         )
 
     rows = sweep([1, 2, 3, 4], make)
-    assert all(result.is_proved for __, __, result in rows)
+    assert all(result.is_proved for result in (row[2] for row in rows))
     print_table(
         "F2.5",
         "composition membership over SM(⇓,⇒), data: EXPTIME-complete",
@@ -64,7 +64,7 @@ def test_f26_composition_combined(benchmark):
         return composition_contains(m12, m23, t1, t3, max_mid_size=2 * n + 1)
 
     rows = sweep(range(1, 4), lambda n: lambda: decide(n))
-    assert all(result.is_proved for __, __, result in rows)
+    assert all(result.is_proved for result in (row[2] for row in rows))
     print_table(
         "F2.6",
         "composition membership over SM(⇓,⇒), combined: 2-EXPTIME / NEXPTIME-hard",
@@ -108,7 +108,7 @@ def test_f27_composition_with_values(benchmark):
         )
 
     rows = sweep(range(1, 4), lambda n: lambda: decide(n))
-    assert all(result.is_proved for __, __, result in rows)
+    assert all(result.is_proved for result in (row[2] for row in rows))
     print_table(
         "F2.7",
         "composition over SM(⇓,⇒,∼): undecidable / not uniformly decidable",
@@ -136,7 +136,7 @@ def test_f71_consistency_of_composition(benchmark):
         return [m12, m23]
 
     rows = sweep(range(1, 6), lambda n: lambda: is_composition_consistent(chain(n)))
-    assert all(result.is_proved for __, __, result in rows)
+    assert all(result.is_proved for result in (row[2] for row in rows))
     print_table(
         "F7.1",
         "consistency of composition over SM(⇓,⇒): EXPTIME-complete (Thm 7.1)",

@@ -72,7 +72,7 @@ def test_f22_pattern_eval_combined(benchmark):
         return lambda: matches_at_root(pattern, document)
 
     rows = sweep([2, 4, 8, 16, 32], make)
-    assert all(result is True for __, __, result in rows)
+    assert all(result is True for result in (row[2] for row in rows))
     print_table(
         "F2.2",
         "pattern evaluation, combined complexity: PTIME",
@@ -87,7 +87,7 @@ def test_f22_pattern_eval_combined(benchmark):
         return lambda: matches_at_root(pattern, document)
 
     descendant_rows = sweep([2, 4, 8, 16], make_descendant)
-    assert all(result is True for __, __, result in descendant_rows)
+    assert all(result is True for result in (row[2] for row in descendant_rows))
     print_table(
         "F2.2b",
         "descendant chains (memoized //)",

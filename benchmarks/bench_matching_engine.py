@@ -110,18 +110,18 @@ def measure_series(name: str, sizes, naive: bool = True) -> dict:
     if naive:
         rows = sweep(sizes, lambda n: lambda: run_naive(pattern, documents[n]))
         print_table(f"{name}/naive", "original matcher (before)", rows, "|T|")
-        out["naive"] = {str(n): seconds for n, seconds, __ in rows}
+        out["naive"] = {str(row[0]): row[1] for row in rows}
 
     rows = sweep(
         sizes,
         lambda n: _cold(documents[n], lambda: run_engine(pattern, documents[n])),
     )
     print_table(f"{name}/cold", "indexed engine, rebuilt per call", rows, "|T|")
-    out["engine_cold"] = {str(n): seconds for n, seconds, __ in rows}
+    out["engine_cold"] = {str(row[0]): row[1] for row in rows}
 
     rows = sweep(sizes, lambda n: lambda: run_engine(pattern, documents[n]))
     print_table(f"{name}/warm", "indexed engine, cached across calls", rows, "|T|")
-    out["engine_warm"] = {str(n): seconds for n, seconds, __ in rows}
+    out["engine_warm"] = {str(row[0]): row[1] for row in rows}
 
     # per-run counters at the largest size, from one cold evaluation
     largest = documents[max(sizes)]

@@ -10,8 +10,28 @@ formal machines.
 
 from __future__ import annotations
 
+import json
+import re
 import time
-from typing import Callable, Iterable, Sequence
+from pathlib import Path
+from typing import Callable, Iterable, NamedTuple, Sequence
+
+#: ``BENCH_fig1.json`` / ``BENCH_fig2.json`` live at the repository root.
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+class SweepPoint(NamedTuple):
+    """One measured point: size, mean seconds, last result, sample count.
+
+    Unpacks like the historical ``(n, seconds, result)`` triple for
+    existing consumers; ``samples`` records how many runs entered the
+    mean (1 = a single cold measurement).
+    """
+
+    n: int
+    seconds: float
+    result: object
+    samples: int = 1
 
 
 def time_once(action: Callable[[], object]) -> tuple[float, object]:
@@ -25,7 +45,7 @@ def sweep(
     sizes: Iterable[int],
     make_action: Callable[[int], Callable[[], object]],
     min_repeat_seconds: float = 0.01,
-) -> list[tuple[int, float, object]]:
+) -> list[SweepPoint]:
     """Run ``make_action(n)()`` per size; fast points are repeated and averaged.
 
     The first call pays one-time costs (lazy imports, caches warming up),
@@ -33,7 +53,7 @@ def sweep(
     *discarded* and only warm runs enter the average.  Slow points keep
     their single cold measurement — it is the only sample there is.
     """
-    rows: list[tuple[int, float, object]] = []
+    rows: list[SweepPoint] = []
     for n in sizes:
         action = make_action(n)
         elapsed, result = time_once(action)
@@ -50,8 +70,40 @@ def sweep(
                 repeats += more
             else:
                 elapsed, repeats, warm_only = batch, more, True
-        rows.append((n, elapsed / repeats, result))
+        rows.append(SweepPoint(n, elapsed / repeats, result, repeats))
     return rows
+
+
+def batch_sweep(
+    groups: Sequence[tuple[int, list]],
+    jobs: int = 1,
+    task_timeout: float | None = None,
+    cache_dir=None,
+    context=None,
+) -> list[SweepPoint]:
+    """The parallel sweep mode: one ``solve_many`` batch per point.
+
+    Each ``(n, problems)`` group is decided in a single batch; the point's
+    result is the :class:`~repro.engine.parallel.BatchResult`, so callers
+    can compare verdicts across serial/parallel runs and read the
+    aggregated cache statistics.
+    """
+    from repro.engine import solve_many
+
+    points: list[SweepPoint] = []
+    for n, problems in groups:
+        started = time.perf_counter()
+        batch = solve_many(
+            problems,
+            jobs=jobs,
+            task_timeout=task_timeout,
+            cache_dir=cache_dir,
+            context=context,
+        )
+        points.append(
+            SweepPoint(n, time.perf_counter() - started, batch, len(problems))
+        )
+    return points
 
 
 def growth_ratios(rows: Sequence[tuple[int, float, object]]) -> list[float]:
@@ -62,6 +114,53 @@ def growth_ratios(rows: Sequence[tuple[int, float, object]]) -> list[float]:
     ]
 
 
+def series_payload(
+    rows: Sequence[SweepPoint], claim: str = "", note: str = "", **extra
+) -> dict:
+    """A JSON-ready record of one experiment's series.
+
+    Every point carries its sample count next to the timing, so a reader
+    of the trajectory files can tell a noisy single cold measurement from
+    a repeat-averaged one.
+    """
+    payload = {
+        "claim": claim,
+        "note": note,
+        "points": [
+            {
+                "n": row[0],
+                "seconds": row[1],
+                "samples": row[3] if len(row) > 3 else 1,
+                "result": repr(row[2]),
+            }
+            for row in rows
+        ],
+    }
+    payload.update(extra)
+    return payload
+
+
+def emit_json(figure: str, experiment: str, payload: dict) -> Path:
+    """Merge one experiment's record into the repo-root trajectory file.
+
+    ``figure`` is ``"fig1"`` or ``"fig2"``; the record lands under
+    *experiment* (e.g. ``"F1.1"``) in ``BENCH_<figure>.json``.  Several
+    benchmark modules contribute to one file, so writes read-merge-write;
+    an unreadable file is rebuilt from scratch rather than crashing the
+    benchmark run.
+    """
+    path = REPO_ROOT / f"BENCH_{figure}.json"
+    try:
+        data = json.loads(path.read_text())
+        if not isinstance(data, dict):
+            data = {}
+    except (OSError, ValueError):
+        data = {}
+    data[experiment] = payload
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path
+
+
 def print_table(
     experiment: str,
     claim: str,
@@ -69,15 +168,30 @@ def print_table(
     size_label: str = "n",
     note: str = "",
 ) -> None:
-    """Render one experiment's series in a fixed, grep-friendly format."""
+    """Render one experiment's series in a fixed, grep-friendly format.
+
+    Figure experiments (labels ``F1.*`` / ``F2.*``) are additionally
+    journaled into the repo-root trajectory file for that figure, so a
+    benchmark run leaves ``BENCH_fig1.json`` / ``BENCH_fig2.json`` behind
+    without each module wiring up :func:`emit_json` itself.
+    """
+    match = re.match(r"F([12])\.", experiment)
+    if match:
+        emit_json(
+            f"fig{match.group(1)}",
+            experiment,
+            series_payload(rows, claim=claim, note=note, size_label=size_label),
+        )
     print()
     print(f"[{experiment}] paper: {claim}")
     if note:
         print(f"[{experiment}] note : {note}")
-    header = f"[{experiment}] {size_label:>6} | {'seconds':>12} | result"
+    header = f"[{experiment}] {size_label:>6} | {'seconds':>12} | {'samples':>7} | result"
     print(header)
-    for n, seconds, result in rows:
-        print(f"[{experiment}] {n:>6} | {seconds:>12.6f} | {result}")
+    for row in rows:
+        n, seconds, result = row[0], row[1], row[2]
+        samples = row[3] if len(row) > 3 else 1
+        print(f"[{experiment}] {n:>6} | {seconds:>12.6f} | {samples:>7} | {result}")
     ratios = growth_ratios(rows)
     if ratios:
         rendered = ", ".join(f"{r:.2f}x" for r in ratios)

@@ -21,11 +21,21 @@ when it is inconsistent and 2 when every applicable procedure came back
 Errors (parse failures, missing labels, ...) exit 3.  ``--stats`` prints
 the engine's per-solve accounting: selected algorithm, routing reason,
 wall clock, charged expansions and compilation-cache hits/misses.
+
+``check`` and ``member`` accept *batches* — several mapping files, or
+several target documents — and the exit code is the maximum over the
+inputs.  ``--jobs N`` fans the batch out over N worker processes through
+:func:`repro.engine.solve_many`; ``--cache-dir`` attaches a persistent
+on-disk compilation cache shared by the workers and by repeat
+invocations, and ``--cache-size`` bounds the in-memory LRU (both also
+honour the ``REPRO_CACHE_DIR`` / ``REPRO_CACHE_SIZE`` environment
+variables).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -33,12 +43,14 @@ from repro.composition.compose import compose as compose_mappings
 from repro.consistency import consistency_witness
 from repro.engine import (
     AbsoluteConsistencyProblem,
+    CompilationCache,
     ConsistencyProblem,
     Counterexample,
+    DiskCacheTier,
     ExecutionContext,
     MembershipProblem,
     RigidityExplanation,
-    solve,
+    solve_many,
 )
 from repro.errors import XsmError
 from repro.exchange import canonical_solution
@@ -94,12 +106,17 @@ def cmd_match(args) -> int:
     return 0
 
 
-def cmd_check(args) -> int:
-    mapping = parse_mapping(_read(args.mapping))
-    print(f"class: {mapping.signature()}")
-    context = ExecutionContext()
+def _batch_context(args) -> ExecutionContext:
+    """An execution context honouring ``--cache-size`` / ``--cache-dir``."""
+    cache_dir = getattr(args, "cache_dir", None) or os.environ.get("REPRO_CACHE_DIR")
+    disk = DiskCacheTier(cache_dir) if cache_dir else None
+    cache = CompilationCache(max_entries=getattr(args, "cache_size", None), disk=disk)
+    return ExecutionContext(cache=cache)
 
-    consistency = solve(ConsistencyProblem(mapping), context)
+
+def _check_one(args, mapping, consistency, absolute) -> int:
+    """Report one mapping's analysis; returns its exit code."""
+    print(f"class: {mapping.signature()}")
     print(f"consistent: {_describe(consistency)}")
     if args.stats:
         _print_stats(consistency)
@@ -109,7 +126,6 @@ def cmd_check(args) -> int:
             print(f"  witness source: {to_xml(pair[0], mapping.source_dtd).strip()}")
             print(f"  witness target: {to_xml(pair[1], mapping.target_dtd).strip()}")
 
-    absolute = solve(AbsoluteConsistencyProblem(mapping), context)
     print(f"absolutely consistent: {_describe(absolute)}")
     if absolute.is_refuted:
         certificate = absolute.certificate
@@ -136,20 +152,57 @@ def cmd_check(args) -> int:
     return 0
 
 
+def cmd_check(args) -> int:
+    mappings = [parse_mapping(_read(path)) for path in args.mappings]
+    problems = []
+    for mapping in mappings:
+        problems.append(ConsistencyProblem(mapping))
+        problems.append(AbsoluteConsistencyProblem(mapping))
+    batch = solve_many(
+        problems,
+        jobs=args.jobs,
+        context=_batch_context(args),
+        cache_dir=args.cache_dir,
+    )
+    exit_code = 0
+    for position, (path, mapping) in enumerate(zip(args.mappings, mappings)):
+        if len(args.mappings) > 1:
+            if position:
+                print()
+            print(f"== {path}")
+        code = _check_one(
+            args, mapping, batch[2 * position], batch[2 * position + 1]
+        )
+        exit_code = max(exit_code, code)
+    if args.stats and len(args.mappings) > 1:
+        for line in batch.report.lines():
+            print(f"  {line}")
+    return exit_code
+
+
 def cmd_member(args) -> int:
     mapping = parse_mapping(_read(args.mapping))
     source = from_xml(_read(args.source), mapping.source_dtd)
-    target = from_xml(_read(args.target), mapping.target_dtd)
-    verdict = solve(MembershipProblem(mapping, source, target))
-    print("YES" if verdict.is_proved else "NO")
-    if args.stats:
-        _print_stats(verdict)
-    if verdict.is_refuted and args.explain and not mapping.uses_skolem_functions():
-        for std, valuation in violations(mapping, source, target):
-            values = {v.name: value for v, value in valuation.items()}
-            print(f"  violated: {std}")
-            print(f"    with {values}")
-    return 0 if verdict.is_proved else 1
+    targets = [from_xml(_read(path), mapping.target_dtd) for path in args.targets]
+    batch = solve_many(
+        [MembershipProblem(mapping, source, target) for target in targets],
+        jobs=args.jobs,
+        context=_batch_context(args),
+        cache_dir=args.cache_dir,
+    )
+    exit_code = 0
+    for path, target, verdict in zip(args.targets, targets, batch):
+        answer = "YES" if verdict.is_proved else "NO"
+        print(answer if len(args.targets) == 1 else f"{path}: {answer}")
+        if args.stats:
+            _print_stats(verdict)
+        if verdict.is_refuted and args.explain and not mapping.uses_skolem_functions():
+            for std, valuation in violations(mapping, source, target):
+                values = {v.name: value for v, value in valuation.items()}
+                print(f"  violated: {std}")
+                print(f"    with {values}")
+        exit_code = max(exit_code, 0 if verdict.is_proved else 1)
+    return exit_code
 
 
 def cmd_solve(args) -> int:
@@ -197,20 +250,37 @@ def build_parser() -> argparse.ArgumentParser:
     match.add_argument("document")
     match.set_defaults(handler=cmd_match)
 
-    check = commands.add_parser("check", help="static analysis of a mapping")
-    check.add_argument("mapping")
+    def add_batch_options(command) -> None:
+        command.add_argument("--jobs", type=int, default=1, metavar="N",
+                             help="solve the batch over N worker processes")
+        command.add_argument("--cache-dir", metavar="DIR",
+                             default=None,
+                             help="persistent on-disk compilation cache "
+                             "(default: $REPRO_CACHE_DIR)")
+        command.add_argument("--cache-size", type=int, default=None, metavar="N",
+                             help="in-memory compilation-cache capacity "
+                             "(default: $REPRO_CACHE_SIZE or 256)")
+
+    check = commands.add_parser("check", help="static analysis of mappings")
+    check.add_argument("mappings", nargs="+",
+                       help="one or more mapping files; the exit code is the "
+                       "maximum over the files")
     check.add_argument("--witness", action="store_true")
     check.add_argument("--stats", action="store_true",
                        help="print the engine's algorithm/cost accounting")
+    add_batch_options(check)
     check.set_defaults(handler=cmd_check)
 
     member = commands.add_parser("member", help="is (source, target) in [[M]]?")
     member.add_argument("mapping")
     member.add_argument("source")
-    member.add_argument("target")
+    member.add_argument("targets", nargs="+", metavar="target",
+                        help="one or more target documents; the exit code is "
+                        "the maximum over the targets")
     member.add_argument("--explain", action="store_true")
     member.add_argument("--stats", action="store_true",
                         help="print the engine's algorithm/cost accounting")
+    add_batch_options(member)
     member.set_defaults(handler=cmd_member)
 
     solve_cmd = commands.add_parser("solve", help="canonical solution for a source")

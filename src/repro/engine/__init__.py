@@ -14,6 +14,12 @@ Every decision procedure in the library routes through this layer:
   :mod:`problem <repro.engine.problems>` to the strongest applicable
   algorithm per Figures 1–2 and attaching a
   :class:`~repro.engine.report.SolveReport`;
+* :mod:`repro.engine.diskcache` — the opt-in, content-keyed on-disk tier
+  under the compilation cache (atomic writes, version-stamped keys,
+  corruption-tolerant reads);
+* :mod:`repro.engine.parallel` — :func:`solve_many`, the batch front
+  door fanning independent solves over a process pool with per-task
+  timeout/crash containment and aggregated statistics;
 * :mod:`repro.engine.certify` — independent re-validation of
   certificates.
 """
@@ -29,12 +35,25 @@ from repro.engine.cache import (
     CompilationCache,
     DTDClassification,
     achievable_sets,
+    cache_from_env,
     closure_automaton,
     dtd_automaton,
     dtd_classification,
 )
 from repro.engine.certify import CertificationError, certify
-from repro.engine.core import nested_ptime_applicable, solve, uses_constants
+from repro.engine.core import (
+    nested_ptime_applicable,
+    register_route,
+    solve,
+    uses_constants,
+)
+from repro.engine.diskcache import CACHE_FORMAT_VERSION, DiskCacheTier
+from repro.engine.parallel import (
+    WORKER_CRASH,
+    WORKER_TIMEOUT,
+    BatchResult,
+    solve_many,
+)
 from repro.engine.problems import (
     AbsoluteConsistencyProblem,
     CompositionConsistencyProblem,
@@ -45,7 +64,7 @@ from repro.engine.problems import (
     SatisfiabilityProblem,
     SeparationProblem,
 )
-from repro.engine.report import SolveReport
+from repro.engine.report import BatchReport, SolveReport
 from repro.engine.verdicts import (
     AnalysisCertificate,
     ComposedMapping,
@@ -81,8 +100,17 @@ __all__ = [
     "CertificationError",
     "certify",
     "solve",
+    "solve_many",
+    "register_route",
     "uses_constants",
     "nested_ptime_applicable",
+    "cache_from_env",
+    "CACHE_FORMAT_VERSION",
+    "DiskCacheTier",
+    "BatchResult",
+    "BatchReport",
+    "WORKER_CRASH",
+    "WORKER_TIMEOUT",
     "SolveReport",
     "Problem",
     "ConsistencyProblem",

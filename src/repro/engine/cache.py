@@ -10,11 +10,20 @@ identity.  A benchmark sweep or CLI session compiles each artifact once.
 
 The cache is a bounded LRU with exact hit/miss/eviction counters
 (``--stats`` prints them).  ``CompilationCache(enabled=False)`` gives the
-measured-off mode the Figure-1 benchmarks compare against.
+measured-off mode the Figure-1 benchmarks compare against.  An optional
+:class:`~repro.engine.diskcache.DiskCacheTier` sits under the LRU so
+compiled artifacts survive the interpreter (and are shared by the worker
+processes of :func:`repro.engine.parallel.solve_many`): a memory miss
+consults the disk before building, and every build is written back.
+
+Defaults are environment-configurable: ``REPRO_CACHE_SIZE`` overrides the
+LRU capacity (default 256) and ``REPRO_CACHE_DIR`` attaches a disk tier
+to the process-wide :data:`DEFAULT_CACHE`.
 """
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Hashable, Iterable
@@ -22,17 +31,47 @@ from typing import Callable, Hashable, Iterable
 from repro.automata.dtd_automaton import DTDAutomaton
 from repro.automata.duta import ProductAutomaton, reachable_states
 from repro.automata.pattern_automaton import PatternClosureAutomaton
+from repro.engine.diskcache import MISS, DiskCacheTier
 from repro.patterns.ast import Pattern
 from repro.xmlmodel.dtd import DTD
 from repro.xmlmodel.tree import TreeNode
 
+#: Environment overrides for the default cache configuration.
+CACHE_SIZE_ENV = "REPRO_CACHE_SIZE"
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+DEFAULT_MAX_ENTRIES = 256
+
+
+def env_cache_size(default: int = DEFAULT_MAX_ENTRIES) -> int:
+    """The LRU capacity from ``REPRO_CACHE_SIZE`` (malformed → default)."""
+    raw = os.environ.get(CACHE_SIZE_ENV)
+    if raw is None:
+        return default
+    try:
+        size = int(raw)
+    except ValueError:
+        return default
+    return size if size > 0 else default
+
 
 class CompilationCache:
-    """Bounded LRU of compiled artifacts, keyed by input content."""
+    """Bounded LRU of compiled artifacts, keyed by input content.
 
-    def __init__(self, max_entries: int = 256, enabled: bool = True):
-        self.max_entries = max_entries
+    ``max_entries=None`` reads ``REPRO_CACHE_SIZE`` (default 256).
+    *disk* is an optional :class:`DiskCacheTier` consulted on memory
+    misses; ``misses`` then counts actual builds, with disk traffic
+    reported separately in :meth:`stats`.
+    """
+
+    def __init__(
+        self,
+        max_entries: int | None = None,
+        enabled: bool = True,
+        disk: DiskCacheTier | None = None,
+    ):
+        self.max_entries = env_cache_size() if max_entries is None else max_entries
         self.enabled = enabled
+        self.disk = disk
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -44,32 +83,52 @@ class CompilationCache:
             self.hits += 1
             self._entries.move_to_end(key)
             return self._entries[key]
+        if self.enabled and self.disk is not None:
+            value = self.disk.get(key)
+            if value is not MISS:
+                self._store(key, value)
+                return value
         self.misses += 1
         value = build()
         if self.enabled:
-            self._entries[key] = value
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
-                self.evictions += 1
+            self._store(key, value)
+            if self.disk is not None:
+                self.disk.put(key, value)
         return value
+
+    def _store(self, key: Hashable, value: object) -> None:
+        self._entries[key] = value
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def stats(self) -> dict[str, int]:
-        return {
+        stats = {
             "entries": len(self._entries),
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
         }
+        if self.disk is not None:
+            stats.update(self.disk.stats())
+        return stats
 
     def clear(self) -> None:
         self._entries.clear()
 
 
+def cache_from_env() -> CompilationCache:
+    """A cache configured by ``REPRO_CACHE_SIZE`` / ``REPRO_CACHE_DIR``."""
+    directory = os.environ.get(CACHE_DIR_ENV)
+    disk = DiskCacheTier(directory) if directory else None
+    return CompilationCache(disk=disk)
+
+
 #: The process-wide cache used when no :class:`ExecutionContext` overrides it.
-DEFAULT_CACHE = CompilationCache()
+DEFAULT_CACHE = cache_from_env()
 
 
 def resolve_cache(context=None) -> CompilationCache:

@@ -240,6 +240,18 @@ _ROUTES = {
 }
 
 
+def register_route(problem_type: type, route) -> None:
+    """Register a routing function for an out-of-tree problem type.
+
+    *route* is called as ``route(problem, context, info)`` and must return
+    a :class:`~repro.engine.verdicts.Verdict`.  Registration at module
+    import time makes the type solvable in :func:`solve_many` worker
+    processes too: unpickling the problem imports its defining module,
+    which re-registers the route.
+    """
+    _ROUTES[problem_type] = route
+
+
 def solve(problem, context: ExecutionContext | None = None) -> Verdict:
     """Decide *problem* with the strongest applicable algorithm.
 

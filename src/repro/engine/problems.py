@@ -3,6 +3,12 @@
 One dataclass per decision problem of Figures 1–2; ``solve`` routes on the
 problem type plus the mapping's ``SM(σ)`` fragment.  They are plain value
 holders — construction never computes anything.
+
+Every problem type is guaranteed to pickle round-trip (enforced by
+``tests/test_parallel.py``): :func:`repro.engine.parallel.solve_many`
+ships problems to worker processes, and their components (mappings,
+DTDs, trees, patterns) shed per-process memoized state on the way.  Keep
+new problem types plain — no lambdas, no open handles, no locks.
 """
 
 from __future__ import annotations

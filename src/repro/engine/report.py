@@ -1,7 +1,8 @@
-"""Structured accounting of one ``engine.solve`` call."""
+"""Structured accounting of ``engine.solve`` / ``engine.solve_many`` calls."""
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.engine.budget import Budget
@@ -34,4 +35,50 @@ class SolveReport:
             f"elapsed: {self.elapsed:.6f}s  expansions: {self.expansions}",
             "cache: "
             + "  ".join(f"{k}={cache.get(k, 0)}" for k in ("hits", "misses", "evictions")),
+        ]
+
+
+@dataclass
+class BatchReport:
+    """Aggregated accounting of one ``engine.solve_many`` batch.
+
+    ``outcomes`` counts verdict kinds (``proved`` / ``refuted`` /
+    ``unknown``), ``cache`` sums the per-chunk compilation-cache deltas
+    across every worker (plus the driver, on the serial path),
+    ``timeouts`` / ``crashes`` count tasks that came back as ``Unknown``
+    with a ``worker-timeout`` / ``worker-crash`` reason, and ``retries``
+    counts chunks that were re-run after a pool failure took out
+    innocent bystanders.
+    """
+
+    problems: int = 0
+    jobs: int = 1
+    chunks: int = 0
+    elapsed: float = 0.0
+    outcomes: Counter = field(default_factory=Counter)
+    cache: Counter = field(default_factory=Counter)
+    timeouts: int = 0
+    crashes: int = 0
+    retries: int = 0
+
+    def merge_cache(self, stats: dict[str, int]) -> None:
+        self.cache.update(stats)
+
+    def lines(self) -> list[str]:
+        """Render for ``--stats`` output."""
+        outcome = "  ".join(
+            f"{kind}={self.outcomes.get(kind, 0)}"
+            for kind in ("proved", "refuted", "unknown")
+        )
+        cache = "  ".join(
+            f"{k}={self.cache.get(k, 0)}"
+            for k in ("hits", "misses", "disk_hits", "disk_stores")
+        )
+        return [
+            f"batch: {self.problems} problems over {self.jobs} jobs "
+            f"({self.chunks} chunks) in {self.elapsed:.6f}s",
+            f"outcomes: {outcome}",
+            f"cache: {cache}",
+            f"recovery: timeouts={self.timeouts}  crashes={self.crashes}  "
+            f"retries={self.retries}",
         ]

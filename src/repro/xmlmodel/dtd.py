@@ -122,6 +122,17 @@ class DTD:
             rows.append(f"{head} -> {self.productions[label]}")
         return "DTD<" + "; ".join(rows) + ">"
 
+    # -- pickling --------------------------------------------------------------
+    # DTDs travel to engine.solve_many workers and into the on-disk
+    # compilation cache; the compiled Glushkov NFAs and the memoized
+    # content key are per-process accelerators, rebuilt on demand.
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_nfas"] = {}
+        state.pop("_content_key", None)
+        return state
+
     # -- conformance -----------------------------------------------------------
 
     def check_conformance(self, node: TreeNode) -> None:

@@ -81,6 +81,20 @@ class TreeNode:
 
         return f"TreeNode({serialize_tree(self)!r})"
 
+    # -- pickling -------------------------------------------------------------
+    # Trees cross process boundaries (engine.solve_many workers) and land
+    # in the on-disk compilation cache; only the content travels — the
+    # memoized hash and any attached pattern-evaluation engine are
+    # per-process state and are rebuilt on demand after unpickling.
+
+    def __getstate__(self):
+        return (self.label, self.attrs, self.children)
+
+    def __setstate__(self, state):
+        self.label, self.attrs, self.children = state
+        self._hash = None
+        self._engine = None
+
     # -- measurements ---------------------------------------------------------
 
     @property

@@ -1,0 +1,53 @@
+"""Pathological problem types for exercising ``solve_many``'s containment.
+
+Routes are registered at module import time, so worker processes resolve
+them whether they inherited this module via fork or re-imported it while
+unpickling a problem instance.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+from repro.engine.core import register_route
+from repro.engine.verdicts import AnalysisCertificate, Proved
+
+
+@dataclass(eq=False)
+class EasyProblem:
+    """Solves instantly; the innocent bystander in recovery tests."""
+
+    value: int = 0
+
+
+@dataclass(eq=False)
+class CrashProblem:
+    """Kills the worker process outright (simulates a segfault/OOM kill)."""
+
+
+@dataclass(eq=False)
+class HangProblem:
+    """Blocks without charging the budget — only the watchdog can help."""
+
+    seconds: float = 60.0
+
+
+def _route_easy(problem, context, info):
+    info.update(algorithm="easy", reason="test helper")
+    return Proved(AnalysisCertificate("easy", str(problem.value)))
+
+
+def _route_crash(problem, context, info):
+    os._exit(13)
+
+
+def _route_hang(problem, context, info):
+    time.sleep(problem.seconds)
+    return Proved(AnalysisCertificate("hang", "slept through"))
+
+
+register_route(EasyProblem, _route_easy)
+register_route(CrashProblem, _route_crash)
+register_route(HangProblem, _route_hang)

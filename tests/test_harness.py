@@ -8,7 +8,7 @@ import pytest
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "benchmarks"))
 
 import harness
-from harness import growth_ratios, sweep, time_once
+from harness import emit_json, growth_ratios, series_payload, sweep, time_once
 
 
 class FakeClock:
@@ -52,25 +52,29 @@ def test_sweep_discards_cold_first_sample(clock):
     # the first call pays a one-time 9ms setup, warm calls take 1ms; the
     # reported mean must be the warm cost, not a cold/warm mixture
     action = make_action(clock, [0.009], 0.001)
-    ((n, mean, result),) = sweep([7], lambda n: action, min_repeat_seconds=0.01)
+    ((n, mean, result, samples),) = sweep(
+        [7], lambda n: action, min_repeat_seconds=0.01
+    )
     assert n == 7
     assert mean == pytest.approx(0.001)
     assert result == action.calls["n"]
+    assert samples > 1  # repeat-averaged, and the count is recorded
 
 
 def test_sweep_keeps_single_sample_for_slow_points(clock):
     # a point over the repeat threshold is measured exactly once (cold)
     action = make_action(clock, [], 0.02)
-    ((_, mean, __),) = sweep([3], lambda n: action, min_repeat_seconds=0.01)
+    ((_, mean, __, samples),) = sweep([3], lambda n: action, min_repeat_seconds=0.01)
     assert mean == pytest.approx(0.02)
     assert action.calls["n"] == 1
+    assert samples == 1
 
 
 def test_sweep_accumulates_warm_batches(clock):
     # steady 0.4ms per call: several warm batches are needed to cross the
     # 10ms floor, and every one of them enters the average
     action = make_action(clock, [0.002], 0.0004)
-    ((_, mean, __),) = sweep([1], lambda n: action, min_repeat_seconds=0.01)
+    ((_, mean, __, ___),) = sweep([1], lambda n: action, min_repeat_seconds=0.01)
     assert mean == pytest.approx(0.0004)
     assert action.calls["n"] > 20
 
@@ -78,3 +82,29 @@ def test_sweep_accumulates_warm_batches(clock):
 def test_growth_ratios():
     rows = [(1, 1.0, None), (2, 2.0, None), (4, 8.0, None)]
     assert growth_ratios(rows) == [2.0, 4.0]
+
+
+def test_series_payload_records_samples():
+    rows = [harness.SweepPoint(2, 0.5, True, 7), (4, 1.0, False)]
+    payload = series_payload(rows, claim="EXPTIME", note="demo", extra_key=1)
+    assert payload["claim"] == "EXPTIME"
+    assert payload["extra_key"] == 1
+    assert payload["points"][0] == {
+        "n": 2, "seconds": 0.5, "samples": 7, "result": "True",
+    }
+    assert payload["points"][1]["samples"] == 1  # bare triple: single sample
+
+
+def test_emit_json_merges_experiments(monkeypatch, tmp_path):
+    monkeypatch.setattr(harness, "REPO_ROOT", tmp_path)
+    emit_json("fig1", "F1.1", {"claim": "a"})
+    path = emit_json("fig1", "F1.2", {"claim": "b"})
+    assert path == tmp_path / "BENCH_fig1.json"
+    import json
+
+    data = json.loads(path.read_text())
+    assert set(data) == {"F1.1", "F1.2"}
+    # corrupt trajectory files are rebuilt, not fatal
+    path.write_text("{broken")
+    emit_json("fig1", "F1.3", {"claim": "c"})
+    assert set(json.loads(path.read_text())) == {"F1.3"}
