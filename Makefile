@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke bench-smoke lint bench baseline ci
+.PHONY: test smoke bench-smoke stats-smoke lint bench baseline ci
 
 # tier-1: the full unit/property suite
 test:
@@ -12,11 +12,19 @@ test:
 smoke:
 	$(PYTHON) benchmarks/bench_matching_engine.py --smoke
 
-# benchmark smoke gates: the matching-engine regression check plus the
+# benchmark smoke gates: the matching-engine regression check, the
 # solve_many correctness gate (parallel verdicts == serial; no timing
-# assertions, so it is safe on loaded single-core runners)
+# assertions, so it is safe on loaded single-core runners), and the
+# observability gate (idle-instrumentation overhead within tolerance,
+# plus the BENCH_trace_smoke.jsonl trace artifact CI uploads)
 bench-smoke: smoke
 	$(PYTHON) benchmarks/bench_fig1_parallel.py --smoke
+	$(PYTHON) benchmarks/bench_obs.py --smoke
+
+# self-checking metrics-exporter gate: solves a built-in batch over two
+# workers and fails on any Prometheus/JSON exporter or trace-merge regression
+stats-smoke:
+	$(PYTHON) -m repro stats --jobs 2
 
 # full before/after series (slow; prints the speedup table)
 bench:
@@ -34,4 +42,4 @@ lint:
 		echo "ruff not installed; skipping lint"; \
 	fi
 
-ci: lint test bench-smoke
+ci: lint test bench-smoke stats-smoke

@@ -36,7 +36,7 @@ if True:  # make both `pytest benchmarks` and direct execution work
         if str(entry) not in sys.path:
             sys.path.insert(0, str(entry))
 
-from harness import emit_json
+from harness import emit_json, span_breakdown_of
 
 from repro.engine import (
     AbsoluteConsistencyProblem,
@@ -92,9 +92,13 @@ def _timed_batch(problems, **kwargs) -> tuple[float, object]:
 
 def run_parallel_comparison(scale: int = 2, emit: bool = True) -> dict:
     """F1.12: serial vs ``jobs=4`` over the Figure 1 sweep."""
+    from repro.obs import collecting
+
     problems = figure1_problems(scale)
     serial_seconds, serial = _timed_batch(problems, jobs=1)
-    parallel_seconds, parallel = _timed_batch(problems, jobs=PARALLEL_JOBS)
+    # trace the parallel run: the record journals where the time went
+    with collecting("bench-f112", jobs=PARALLEL_JOBS):
+        parallel_seconds, parallel = _timed_batch(problems, jobs=PARALLEL_JOBS)
 
     mismatches = [
         i
@@ -114,7 +118,11 @@ def run_parallel_comparison(scale: int = 2, emit: bool = True) -> dict:
         "speedup": speedup,
         "outcomes": dict(parallel.report.outcomes),
         "verdicts_identical": True,
+        "queue_wait_seconds": parallel.report.queue_wait_seconds,
     }
+    breakdown = span_breakdown_of(parallel)
+    if breakdown:
+        record["span_breakdown"] = breakdown
     print(f"[F1.12] {len(problems)} problems: serial {serial_seconds:.4f}s, "
           f"jobs={PARALLEL_JOBS} {parallel_seconds:.4f}s -> {speedup:.2f}x "
           f"({os.cpu_count() or 1} cores)")

@@ -1,0 +1,182 @@
+"""Observability overhead guard and trace-artifact smoke (DESIGN.md §Observability).
+
+Instrumentation must be near-free when nobody is looking.  The guard
+times a fixed serial solve workload twice — once as shipped (registry
+enabled, no trace collector installed) and once with the registry
+disabled (the true no-obs baseline) — and fails when the idle
+instrumentation costs more than ``OVERHEAD_TOLERANCE`` (default 5%,
+override with ``REPRO_OBS_TOLERANCE``).  Timings take the min over
+several runs and the comparison retries before failing, so a loaded CI
+runner gets the benefit of the doubt but a real regression does not.
+
+``--smoke`` runs the guard at reduced size, then a traced ``jobs=2``
+batch whose merged span log is written to ``BENCH_trace_smoke.jsonl``
+(the artifact CI uploads) and whose Prometheus export must parse clean.
+
+Run directly (``python benchmarks/bench_obs.py``) for the full guard.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from pathlib import Path
+
+if True:  # make both `pytest benchmarks` and direct execution work
+    _here = Path(__file__).resolve().parent
+    for entry in (_here, _here.parent / "src"):
+        if str(entry) not in sys.path:
+            sys.path.insert(0, str(entry))
+
+from harness import REPO_ROOT, emit_json
+
+from repro.engine import CompilationCache, ExecutionContext, solve, solve_many
+from repro.engine.problems import ConsistencyProblem, SatisfiabilityProblem
+from repro.obs import REGISTRY, collecting, parse_prometheus, tracing_active
+from repro.patterns.parser import parse_pattern
+from repro.workloads.families import cons_nested_family
+from repro.xmlmodel.dtd import parse_dtd
+
+OVERHEAD_TOLERANCE = float(os.environ.get("REPRO_OBS_TOLERANCE", "0.05"))
+TRACE_ARTIFACT = REPO_ROOT / "BENCH_trace_smoke.jsonl"
+
+
+def _workload(scale: int = 4):
+    """A fixed, deterministic serial solve loop (fresh cache per run, so
+    both timed arms pay identical compilation work)."""
+    problems = [ConsistencyProblem(cons_nested_family(n)) for n in range(2, 2 + scale)]
+    problems += [
+        SatisfiabilityProblem(parse_dtd("r -> a*, b?"), parse_pattern(p))
+        for p in ("r/a", "r/b", "r//a")
+    ]
+
+    def run() -> None:
+        context = ExecutionContext(cache=CompilationCache())
+        for problem in problems:
+            solve(problem, context)
+
+    return run
+
+
+def _best_of(run, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def run_overhead_guard(
+    scale: int = 4, repeats: int = 5, attempts: int = 3, emit: bool = True
+) -> dict:
+    """Idle instrumentation vs the registry-disabled baseline.
+
+    Returns the record; raises ``AssertionError`` when the overhead
+    exceeds the tolerance on every attempt.
+    """
+    assert not tracing_active(), "guard must run without a trace collector"
+    run = _workload(scale)
+    run()  # warm lazy imports and interned parse artifacts out of the timing
+    overhead = float("inf")
+    baseline = observed = 0.0
+    for _ in range(attempts):
+        REGISTRY.enabled = False
+        try:
+            baseline = _best_of(run, repeats)
+        finally:
+            REGISTRY.enabled = True
+        observed = _best_of(run, repeats)
+        overhead = observed / max(baseline, 1e-9) - 1.0
+        if overhead <= OVERHEAD_TOLERANCE:
+            break
+    record = {
+        "claim": "idle observability stays within "
+        f"{OVERHEAD_TOLERANCE:.0%} of the no-obs baseline",
+        "baseline_seconds": baseline,
+        "observed_seconds": observed,
+        "overhead": overhead,
+        "tolerance": OVERHEAD_TOLERANCE,
+        "repeats": repeats,
+    }
+    print(
+        f"[obs-guard] baseline {baseline:.6f}s, instrumented {observed:.6f}s "
+        f"-> overhead {overhead:+.2%} (tolerance {OVERHEAD_TOLERANCE:.0%})"
+    )
+    if emit:
+        emit_json("obs", "overhead_guard", record)
+    assert overhead <= OVERHEAD_TOLERANCE, (
+        f"idle observability overhead {overhead:+.2%} exceeds "
+        f"{OVERHEAD_TOLERANCE:.0%} (baseline {baseline:.6f}s, "
+        f"observed {observed:.6f}s)"
+    )
+    return record
+
+
+def run_trace_smoke(jobs: int = 2) -> int:
+    """Traced parallel batch: writes the JSONL artifact, checks the export."""
+    problems = [ConsistencyProblem(cons_nested_family(n)) for n in range(2, 8)]
+    with collecting("bench-obs-smoke", jobs=jobs) as tree:
+        batch = solve_many(problems, jobs=jobs, chunk_size=1)
+    TRACE_ARTIFACT.write_text(tree.jsonl())
+    spans = tree.jsonl().count("\n")
+    solve_spans = tree.jsonl().count('"name": "solve"')
+    print(
+        f"[obs-smoke] {len(problems)} problems over {jobs} jobs: "
+        f"{spans} spans ({solve_spans} solves) -> {TRACE_ARTIFACT.name}"
+    )
+    failures = []
+    if solve_spans < len(problems):
+        failures.append(
+            f"merged trace covers {solve_spans}/{len(problems)} solves"
+        )
+    if batch.report.trace is None:
+        failures.append("batch report carries no merged trace")
+    try:
+        series = parse_prometheus(REGISTRY.render_prometheus())
+    except ValueError as error:
+        failures.append(f"prometheus export does not parse: {error}")
+    else:
+        names = {key.split("{", 1)[0] for key in series}
+        for required in ("repro_solves_total", "repro_worker_chunks_total"):
+            if required not in names:
+                failures.append(f"missing series {required}")
+    for failure in failures:
+        print(f"[obs-smoke] FAIL: {failure}")
+    return 1 if failures else 0
+
+
+# -- pytest entry points -------------------------------------------------------
+
+
+def test_obs_overhead_within_tolerance():
+    run_overhead_guard(scale=2, repeats=3, emit=False)
+
+
+def test_obs_trace_smoke(tmp_path, monkeypatch):
+    monkeypatch.setattr(
+        sys.modules[__name__], "TRACE_ARTIFACT", tmp_path / "trace.jsonl"
+    )
+    assert run_trace_smoke(jobs=2) == 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced-size guard + trace artifact for CI")
+    args = parser.parse_args(argv)
+    try:
+        if args.smoke:
+            run_overhead_guard(scale=2, repeats=3)
+            return run_trace_smoke()
+        run_overhead_guard()
+        return run_trace_smoke()
+    except AssertionError as error:
+        print(f"FAIL: {error}")
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,8 @@ formal machines.
 from __future__ import annotations
 
 import json
+import os
+import platform
 import re
 import time
 from pathlib import Path
@@ -18,6 +20,25 @@ from typing import Callable, Iterable, NamedTuple, Sequence
 
 #: ``BENCH_fig1.json`` / ``BENCH_fig2.json`` live at the repository root.
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Version of the ``BENCH_*.json`` layout.  2 added the ``_meta`` block
+#: (schema version + run environment) and per-point span breakdowns.
+SCHEMA_VERSION = 2
+
+
+def run_environment(jobs: int | None = None) -> dict:
+    """The run-environment block journaled under ``_meta.environment``.
+
+    Numbers from different machines are not comparable; this records
+    enough to tell them apart when reading a trajectory file.
+    """
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count() or 1,
+        "jobs": jobs if jobs is not None else os.cpu_count() or 1,
+    }
 
 
 class SweepPoint(NamedTuple):
@@ -80,26 +101,42 @@ def batch_sweep(
     task_timeout: float | None = None,
     cache_dir=None,
     context=None,
+    collect_traces: bool = False,
 ) -> list[SweepPoint]:
     """The parallel sweep mode: one ``solve_many`` batch per point.
 
     Each ``(n, problems)`` group is decided in a single batch; the point's
     result is the :class:`~repro.engine.parallel.BatchResult`, so callers
     can compare verdicts across serial/parallel runs and read the
-    aggregated cache statistics.
+    aggregated cache statistics.  With *collect_traces* each batch runs
+    under a trace collector, so ``batch.report.trace`` carries the merged
+    cross-process span tree and :func:`series_payload` journals the
+    per-span breakdown next to the timing.
     """
     from repro.engine import solve_many
 
     points: list[SweepPoint] = []
     for n, problems in groups:
         started = time.perf_counter()
-        batch = solve_many(
-            problems,
-            jobs=jobs,
-            task_timeout=task_timeout,
-            cache_dir=cache_dir,
-            context=context,
-        )
+        if collect_traces:
+            from repro.obs import collecting
+
+            with collecting("batch-sweep", n=n, jobs=jobs):
+                batch = solve_many(
+                    problems,
+                    jobs=jobs,
+                    task_timeout=task_timeout,
+                    cache_dir=cache_dir,
+                    context=context,
+                )
+        else:
+            batch = solve_many(
+                problems,
+                jobs=jobs,
+                task_timeout=task_timeout,
+                cache_dir=cache_dir,
+                context=context,
+            )
         points.append(
             SweepPoint(n, time.perf_counter() - started, batch, len(problems))
         )
@@ -123,21 +160,37 @@ def series_payload(
     of the trajectory files can tell a noisy single cold measurement from
     a repeat-averaged one.
     """
-    payload = {
-        "claim": claim,
-        "note": note,
-        "points": [
-            {
-                "n": row[0],
-                "seconds": row[1],
-                "samples": row[3] if len(row) > 3 else 1,
-                "result": repr(row[2]),
-            }
-            for row in rows
-        ],
-    }
+    points = []
+    for row in rows:
+        point = {
+            "n": row[0],
+            "seconds": row[1],
+            "samples": row[3] if len(row) > 3 else 1,
+            "result": repr(row[2]),
+        }
+        breakdown = span_breakdown_of(row[2])
+        if breakdown:
+            point["span_breakdown"] = breakdown
+        points.append(point)
+    payload = {"claim": claim, "note": note, "points": points}
     payload.update(extra)
     return payload
+
+
+def span_breakdown_of(result: object) -> dict[str, float] | None:
+    """Seconds per span name, when *result* carries a merged trace
+    (a :class:`BatchResult` from a traced :func:`batch_sweep`)."""
+    tree = getattr(getattr(result, "report", None), "trace", None)
+    if not tree:
+        return None
+    try:
+        from repro.obs import span_breakdown
+    except ImportError:  # pragma: no cover - src/ not on sys.path
+        return None
+    return {
+        name: round(seconds, 6)
+        for name, seconds in sorted(span_breakdown(tree).items())
+    }
 
 
 def emit_json(figure: str, experiment: str, payload: dict) -> Path:
@@ -147,7 +200,9 @@ def emit_json(figure: str, experiment: str, payload: dict) -> Path:
     *experiment* (e.g. ``"F1.1"``) in ``BENCH_<figure>.json``.  Several
     benchmark modules contribute to one file, so writes read-merge-write;
     an unreadable file is rebuilt from scratch rather than crashing the
-    benchmark run.
+    benchmark run.  Every write refreshes the ``_meta`` block
+    (:data:`SCHEMA_VERSION` plus :func:`run_environment`), stamping the
+    file with the machine that produced the latest numbers.
     """
     path = REPO_ROOT / f"BENCH_{figure}.json"
     try:
@@ -157,6 +212,10 @@ def emit_json(figure: str, experiment: str, payload: dict) -> Path:
     except (OSError, ValueError):
         data = {}
     data[experiment] = payload
+    data["_meta"] = {
+        "schema_version": SCHEMA_VERSION,
+        "environment": run_environment(jobs=payload.get("jobs")),
+    }
     path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
     return path
 

@@ -9,6 +9,7 @@ check      static analysis of a mapping file (consistency, absolute consistency)
 member     is (source.xml, target.xml) in [[M]]?
 solve      build the canonical solution for a source document
 compose    compose two mapping files (Theorem 8.2) and print the result
+stats      self-checking metrics-exporter smoke test (the CI gate)
 
 Documents are plain XML (see :mod:`repro.xmlmodel.xml_io`), DTDs use the
 textual production syntax, mappings the ``.xsm`` format of
@@ -30,6 +31,15 @@ on-disk compilation cache shared by the workers and by repeat
 invocations, and ``--cache-size`` bounds the in-memory LRU (both also
 honour the ``REPRO_CACHE_DIR`` / ``REPRO_CACHE_SIZE`` environment
 variables).
+
+Observability (see DESIGN.md §Observability): ``--trace[=FILE]`` writes
+a JSONL span log of the whole invocation — with ``--jobs`` the workers'
+spans are merged into one cross-process tree; ``--metrics[=FILE]``
+exports the metrics registry (Prometheus text, or JSON for ``.json``
+destinations); ``--stats`` additionally prints a registry-derived
+``registry:`` section of every series the command moved.  ``repro
+stats`` runs a built-in self-test batch and fails (exit 1) when the
+exporters regress.  ``REPRO_PROFILE=1`` dumps per-solve cProfile data.
 """
 
 from __future__ import annotations
@@ -56,6 +66,7 @@ from repro.errors import XsmError
 from repro.exchange import canonical_solution
 from repro.mappings.io import parse_mapping, render_mapping
 from repro.mappings.membership import violations
+from repro.obs import REGISTRY, collecting, diff_snapshots, parse_prometheus
 from repro.patterns.matching import find_matches
 from repro.patterns.parser import parse_pattern
 from repro.xmlmodel.dtd import parse_dtd
@@ -72,6 +83,91 @@ def _print_stats(verdict) -> None:
         return
     for line in report.lines():
         print(f"  {line}")
+
+
+# ---------------------------------------------------------------------------
+# observability plumbing: --trace / --metrics / registry-derived --stats
+# ---------------------------------------------------------------------------
+
+
+def _write_obs(dest: str, text: str) -> None:
+    """``-`` goes to stdout, anything else is a file path."""
+    if dest == "-":
+        sys.stdout.write(text)
+    else:
+        Path(dest).write_text(text)
+
+
+def _render_metrics(dest: str) -> str:
+    """Registry export: ``.json`` destinations get JSON, else Prometheus."""
+    if dest.endswith(".json"):
+        return REGISTRY.render_json()
+    return REGISTRY.render_prometheus()
+
+
+class _Observer:
+    """Per-invocation --trace/--metrics/--stats wiring around a handler.
+
+    Installs a trace collector when ``--trace`` asked for one (so every
+    engine span of the command lands in one tree, including the merged
+    cross-process spans of ``--jobs`` batches), snapshots the registry
+    around the handler for the ``--stats`` registry section, and flushes
+    the requested exports even when the handler raises.
+    """
+
+    def __init__(self, args):
+        self.trace_dest = getattr(args, "trace", None)
+        self.metrics_dest = getattr(args, "metrics", None)
+        self.stats = bool(getattr(args, "stats", False))
+        self.command = getattr(args, "command", "repro")
+        self.tree = None
+        self._before = None
+        self._collector = None
+
+    def __enter__(self):
+        self._before = REGISTRY.snapshot()
+        if self.trace_dest is not None:
+            self._collector = collecting("repro", command=self.command)
+            self.tree = self._collector.__enter__()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if self._collector is not None:
+            self._collector.__exit__(exc_type, exc, tb)
+        if self.trace_dest is not None and self.tree is not None:
+            _write_obs(self.trace_dest, self.tree.jsonl())
+        if self.metrics_dest is not None:
+            _write_obs(self.metrics_dest, _render_metrics(self.metrics_dest))
+        if self.stats and exc_type is None:
+            self._print_registry_section()
+        return False
+
+    def _print_registry_section(self) -> None:
+        delta = diff_snapshots(self._before, REGISTRY.snapshot())
+        lines = _registry_lines(delta)
+        if lines:
+            print("registry:")
+            for line in lines:
+                print(f"  {line}")
+
+
+def _registry_lines(delta: dict) -> list[str]:
+    """Render a snapshot delta for ``--stats``: one line per moved series."""
+    lines: list[str] = []
+    for name in sorted(delta):
+        data = delta[name]
+        labelnames = data.get("labelnames", [])
+        for key in sorted(data.get("series", {})):
+            value = data["series"][key]
+            labels = ",".join(f"{k}={v}" for k, v in zip(labelnames, key))
+            suffix = f"{{{labels}}}" if labels else ""
+            if data["kind"] == "histogram":
+                count, total = value.get("count", 0), value.get("sum", 0.0)
+                lines.append(f"{name}{suffix} count={count} sum={total:.6f}s")
+            else:
+                rendered = int(value) if float(value).is_integer() else value
+                lines.append(f"{name}{suffix} {rendered}")
+    return lines
 
 
 def _describe(verdict) -> str:
@@ -220,6 +316,97 @@ def cmd_solve(args) -> int:
     return 0
 
 
+#: Small but non-trivial mapping for the ``repro stats`` self-test batch:
+#: routes through cons-automata and the rigidity analysis, exercising the
+#: compilation cache, certify and (with --jobs > 1) the worker plumbing.
+_SELFTEST_MAPPING = """\
+source:
+    f -> item*
+    item(sku)
+target:
+    w -> product*
+    product(sku)
+std: f[item(s)] -> w[product(s)]
+"""
+
+#: Series the ``repro stats`` smoke requires after its self-test batch.
+_REQUIRED_SERIES = (
+    "repro_solves_total",
+    "repro_solve_latency_seconds_bucket",
+    "repro_solve_latency_seconds_count",
+    "repro_cache_misses_total",
+    "repro_certify_total",
+    "repro_batch_problems_total",
+)
+
+_REQUIRED_PARALLEL_SERIES = (
+    "repro_queue_wait_seconds_count",
+    "repro_worker_chunks_total",
+)
+
+
+def cmd_stats(args) -> int:
+    """Self-checking exporter smoke: solve a built-in batch, validate the
+    Prometheus export and the merged trace; exit 1 on any regression."""
+    import json as json_module
+
+    from repro.engine import certify
+
+    mapping = parse_mapping(_SELFTEST_MAPPING)
+    problems = []
+    for _ in range(max(2, args.jobs)):
+        problems.append(ConsistencyProblem(mapping))
+        problems.append(AbsoluteConsistencyProblem(mapping))
+    with collecting("stats-selftest") as tree:
+        batch = solve_many(problems, jobs=args.jobs, context=_batch_context(args))
+        for verdict in batch:
+            if not verdict.is_unknown:
+                certify(verdict)
+    report = batch.report
+    print(
+        f"self-test: {report.problems} problems over {report.jobs} jobs "
+        f"in {report.elapsed:.3f}s"
+    )
+
+    failures: list[str] = []
+    text = REGISTRY.render_prometheus()
+    try:
+        series = parse_prometheus(text)
+    except ValueError as error:
+        series = {}
+        failures.append(f"prometheus export does not parse: {error}")
+    names = {key.split("{", 1)[0] for key in series}
+    required = list(_REQUIRED_SERIES)
+    if args.jobs > 1:
+        required += list(_REQUIRED_PARALLEL_SERIES)
+    for name in required:
+        if name not in names:
+            failures.append(f"required series missing from export: {name}")
+    try:
+        json_module.loads(REGISTRY.render_json())
+    except ValueError as error:
+        failures.append(f"json export does not parse: {error}")
+
+    trace_dict = tree.to_dict()
+    from repro.obs import walk as walk_spans
+
+    solves = sum(1 for span in walk_spans(trace_dict) if span["name"] == "solve")
+    if report.trace is None:
+        failures.append("batch report carries no merged trace")
+    if solves < report.problems:
+        failures.append(
+            f"trace covers {solves} solve spans for {report.problems} problems"
+        )
+    print(f"prometheus export: {len(series)} series")
+    print(f"trace: {solves} solve spans over {report.chunks} chunks")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("stats: OK")
+    return 0
+
+
 def cmd_compose(args) -> int:
     first = parse_mapping(_read(args.first))
     second = parse_mapping(_read(args.second))
@@ -261,6 +448,17 @@ def build_parser() -> argparse.ArgumentParser:
                              help="in-memory compilation-cache capacity "
                              "(default: $REPRO_CACHE_SIZE or 256)")
 
+    def add_obs_options(command) -> None:
+        command.add_argument("--trace", nargs="?", const="-", default=None,
+                             metavar="FILE",
+                             help="write a JSONL span log of the run "
+                             "(merged across --jobs workers; default stdout)")
+        command.add_argument("--metrics", nargs="?", const="-", default=None,
+                             metavar="FILE",
+                             help="write a metrics-registry export: .json "
+                             "files get JSON, everything else Prometheus "
+                             "text (default stdout)")
+
     check = commands.add_parser("check", help="static analysis of mappings")
     check.add_argument("mappings", nargs="+",
                        help="one or more mapping files; the exit code is the "
@@ -269,6 +467,7 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--stats", action="store_true",
                        help="print the engine's algorithm/cost accounting")
     add_batch_options(check)
+    add_obs_options(check)
     check.set_defaults(handler=cmd_check)
 
     member = commands.add_parser("member", help="is (source, target) in [[M]]?")
@@ -281,13 +480,26 @@ def build_parser() -> argparse.ArgumentParser:
     member.add_argument("--stats", action="store_true",
                         help="print the engine's algorithm/cost accounting")
     add_batch_options(member)
+    add_obs_options(member)
     member.set_defaults(handler=cmd_member)
 
     solve_cmd = commands.add_parser("solve", help="canonical solution for a source")
     solve_cmd.add_argument("mapping")
     solve_cmd.add_argument("source")
     solve_cmd.add_argument("--output")
+    add_obs_options(solve_cmd)
     solve_cmd.set_defaults(handler=cmd_solve)
+
+    stats = commands.add_parser(
+        "stats", help="self-checking exporter smoke test (CI gate)"
+    )
+    stats.add_argument("--jobs", type=int, default=2, metavar="N",
+                       help="fan the self-test batch over N workers "
+                       "(default 2, so the cross-process plumbing is checked)")
+    stats.add_argument("--cache-dir", default=None, metavar="DIR")
+    stats.add_argument("--cache-size", type=int, default=None, metavar="N")
+    add_obs_options(stats)
+    stats.set_defaults(handler=cmd_stats)
 
     compose = commands.add_parser("compose", help="compose two mappings (Thm 8.2)")
     compose.add_argument("first")
@@ -300,7 +512,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
-        return args.handler(args)
+        with _Observer(args):
+            return args.handler(args)
     except (XsmError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 3

@@ -24,7 +24,8 @@ to the process-wide :data:`DEFAULT_CACHE`.
 from __future__ import annotations
 
 import os
-from collections import OrderedDict
+import time
+from collections import Counter, OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Hashable, Iterable
 
@@ -32,9 +33,51 @@ from repro.automata.dtd_automaton import DTDAutomaton
 from repro.automata.duta import ProductAutomaton, reachable_states
 from repro.automata.pattern_automaton import PatternClosureAutomaton
 from repro.engine.diskcache import MISS, DiskCacheTier
+from repro.obs import REGISTRY, trace
 from repro.patterns.ast import Pattern
 from repro.xmlmodel.dtd import DTD
 from repro.xmlmodel.tree import TreeNode
+
+#: Per-kind cache traffic in the global registry (kind = key[0]: the
+#: artifact family — "closure", "dtd-automaton", "regex-dfa", ...).
+_CACHE_HITS = REGISTRY.counter(
+    "repro_cache_hits_total",
+    "Compilation-cache memory hits by artifact kind",
+    ("kind",),
+)
+_CACHE_MISSES = REGISTRY.counter(
+    "repro_cache_misses_total",
+    "Compilation-cache builds (memory+disk misses) by artifact kind",
+    ("kind",),
+)
+_CACHE_EVICTIONS = REGISTRY.counter(
+    "repro_cache_evictions_total",
+    "LRU evictions from the in-memory compilation cache",
+)
+_COMPILE_SECONDS = REGISTRY.histogram(
+    "repro_compile_seconds",
+    "Wall-clock seconds spent building one compiled artifact, by kind",
+    ("kind",),
+)
+_DISK_LOAD_SECONDS = REGISTRY.histogram(
+    "repro_cache_disk_load_seconds",
+    "Wall-clock seconds per disk-tier read (hit or miss)",
+)
+_DISK_HITS = REGISTRY.counter(
+    "repro_cache_disk_hits_total",
+    "Disk-tier hits (artifact loaded instead of rebuilt)",
+)
+_DISK_STORES = REGISTRY.counter(
+    "repro_cache_disk_stores_total",
+    "Artifacts written back to the disk tier",
+)
+
+
+def cache_kind(key: Hashable) -> str:
+    """The artifact family of a cache key (its leading tag string)."""
+    if isinstance(key, tuple) and key and isinstance(key[0], str):
+        return key[0]
+    return "other"
 
 #: Environment overrides for the default cache configuration.
 CACHE_SIZE_ENV = "REPRO_CACHE_SIZE"
@@ -75,25 +118,40 @@ class CompilationCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.hits_by_kind: Counter[str] = Counter()
+        self.misses_by_kind: Counter[str] = Counter()
         self._entries: OrderedDict[Hashable, object] = OrderedDict()
 
     def lookup(self, key: Hashable, build: Callable[[], object]) -> object:
         """The cached artifact under *key*, building (and storing) on miss."""
+        kind = cache_kind(key)
         if self.enabled and key in self._entries:
             self.hits += 1
+            self.hits_by_kind[kind] += 1
+            _CACHE_HITS.labels(kind=kind).inc()
             self._entries.move_to_end(key)
             return self._entries[key]
         if self.enabled and self.disk is not None:
+            started = time.perf_counter()
             value = self.disk.get(key)
+            _DISK_LOAD_SECONDS.observe(time.perf_counter() - started)
             if value is not MISS:
+                _DISK_HITS.inc()
                 self._store(key, value)
                 return value
         self.misses += 1
-        value = build()
+        self.misses_by_kind[kind] += 1
+        _CACHE_MISSES.labels(kind=kind).inc()
+        with trace("compile", kind=kind):
+            started = time.perf_counter()
+            value = build()
+            build_seconds = time.perf_counter() - started
+        _COMPILE_SECONDS.labels(kind=kind).observe(build_seconds)
         if self.enabled:
             self._store(key, value)
             if self.disk is not None:
-                self.disk.put(key, value)
+                if self.disk.put(key, value):
+                    _DISK_STORES.inc()
         return value
 
     def _store(self, key: Hashable, value: object) -> None:
@@ -101,6 +159,7 @@ class CompilationCache:
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self.evictions += 1
+            _CACHE_EVICTIONS.inc()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -115,6 +174,22 @@ class CompilationCache:
         if self.disk is not None:
             stats.update(self.disk.stats())
         return stats
+
+    def stats_by_kind(self) -> dict[str, dict[str, int]]:
+        """Hit/miss counts broken down by artifact kind (this instance).
+
+        The process-global registry carries the same breakdown summed
+        over every cache instance; this is the per-instance view the
+        ``--stats`` accounting reads.
+        """
+        kinds = sorted(set(self.hits_by_kind) | set(self.misses_by_kind))
+        return {
+            kind: {
+                "hits": self.hits_by_kind.get(kind, 0),
+                "misses": self.misses_by_kind.get(kind, 0),
+            }
+            for kind in kinds
+        }
 
     def clear(self) -> None:
         self._entries.clear()

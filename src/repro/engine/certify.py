@@ -17,6 +17,8 @@ which carry nothing to certify, and for certificate/problem mismatches).
 
 from __future__ import annotations
 
+import time
+
 from repro.engine.verdicts import (
     AnalysisCertificate,
     ConformanceFailure,
@@ -35,6 +37,18 @@ from repro.engine.verdicts import (
     WitnessPair,
 )
 from repro.errors import XsmError
+from repro.obs import REGISTRY, trace
+
+#: Proof-checking cost, kept separable from search cost (its own span too).
+_CERTIFY = REGISTRY.counter(
+    "repro_certify_total",
+    "Certificate re-validations by certificate type and outcome",
+    ("certificate", "outcome"),
+)
+_CERTIFY_LATENCY = REGISTRY.histogram(
+    "repro_certify_latency_seconds",
+    "Wall-clock seconds per certificate re-validation",
+)
 
 
 class CertificationError(XsmError):
@@ -353,7 +367,28 @@ def certify(verdict: Verdict, problem=None) -> bool:
     produced by calling a solver module directly need it passed
     explicitly.  Raises :class:`CertificationError` when the certificate
     does not hold (or the verdict is ``Unknown``/bare).
+
+    Records its own ``certify`` span and ``repro_certify_*`` metrics so
+    proof-checking cost stays separable from search cost.
     """
+    certificate = getattr(verdict, "certificate", None)
+    kind = type(certificate).__name__ if certificate is not None else "none"
+    started = time.perf_counter()
+    with trace("certify", certificate=kind) as span:
+        try:
+            ok = _certify_dispatch(verdict, problem)
+        except CertificationError:
+            span.annotate(outcome="failed")
+            _CERTIFY.labels(certificate=kind, outcome="failed").inc()
+            _CERTIFY_LATENCY.observe(time.perf_counter() - started)
+            raise
+        span.annotate(outcome="ok")
+    _CERTIFY.labels(certificate=kind, outcome="ok").inc()
+    _CERTIFY_LATENCY.observe(time.perf_counter() - started)
+    return ok
+
+
+def _certify_dispatch(verdict: Verdict, problem) -> bool:
     if problem is None:
         problem = verdict.problem
     if problem is None:

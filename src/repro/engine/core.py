@@ -35,6 +35,24 @@ from repro.engine.problems import (
 from repro.engine.report import SolveReport
 from repro.engine.verdicts import Unknown, Verdict
 from repro.errors import BoundExceededError, SignatureError, XsmError
+from repro.obs import REGISTRY, maybe_profile, trace
+
+#: Always-on operational series (pre-bound families; cheap label lookups).
+_SOLVES = REGISTRY.counter(
+    "repro_solves_total",
+    "Solves by problem type, selected algorithm and verdict outcome",
+    ("problem", "algorithm", "outcome"),
+)
+_SOLVE_LATENCY = REGISTRY.histogram(
+    "repro_solve_latency_seconds",
+    "Wall-clock seconds per solve, by selected algorithm",
+    ("algorithm",),
+)
+_EXPANSIONS = REGISTRY.counter(
+    "repro_expansions_total",
+    "Budget-charged search expansions, by selected algorithm",
+    ("algorithm",),
+)
 
 
 # ---------------------------------------------------------------------------
@@ -270,23 +288,33 @@ def solve(problem, context: ExecutionContext | None = None) -> Verdict:
         context = current_context()
     if context is None:
         context = ExecutionContext()
-    info = {"algorithm": type(problem).__name__, "reason": ""}
+    problem_name = type(problem).__name__
+    info = {"algorithm": problem_name, "reason": ""}
     cache_before = context.cache.stats()
     expansions_before = context.expansions
     started = time.perf_counter()
     context.start_clock()
-    try:
-        with context.activate():
-            verdict = route(problem, context, info)
-    except BoundExceededError as exc:
-        verdict = Unknown(str(exc), bound_exhausted=True)
+    with maybe_profile(f"solve-{problem_name}"):
+        with context.activate(), trace("solve", problem=problem_name) as span:
+            try:
+                verdict = route(problem, context, info)
+            except BoundExceededError as exc:
+                verdict = Unknown(str(exc), bound_exhausted=True)
+            outcome = (
+                "proved" if verdict.is_proved
+                else "refuted" if verdict.is_refuted
+                else "unknown"
+            )
+            span.annotate(algorithm=info["algorithm"], outcome=outcome)
+    elapsed = time.perf_counter() - started
+    expansions = context.expansions - expansions_before
     cache_after = context.cache.stats()
     verdict.report = SolveReport(
-        problem=type(problem).__name__,
+        problem=problem_name,
         algorithm=info["algorithm"],
         reason=info["reason"],
-        elapsed=time.perf_counter() - started,
-        expansions=context.expansions - expansions_before,
+        elapsed=elapsed,
+        expansions=expansions,
         cache={
             "hits": cache_after["hits"] - cache_before["hits"],
             "misses": cache_after["misses"] - cache_before["misses"],
@@ -294,6 +322,13 @@ def solve(problem, context: ExecutionContext | None = None) -> Verdict:
             "entries": cache_after["entries"],
         },
         budget=context.budget,
+        trace=None if span.is_noop else span.to_dict(),
     )
     verdict.problem = problem
+    _SOLVES.labels(
+        problem=problem_name, algorithm=info["algorithm"], outcome=outcome
+    ).inc()
+    _SOLVE_LATENCY.labels(algorithm=info["algorithm"]).observe(elapsed)
+    if expansions:
+        _EXPANSIONS.labels(algorithm=info["algorithm"]).inc(expansions)
     return verdict

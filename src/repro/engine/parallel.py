@@ -44,12 +44,38 @@ from typing import Iterable, Sequence
 from repro.engine.budget import Budget, ExecutionContext, resolve_context
 from repro.engine.cache import CompilationCache
 from repro.engine.diskcache import DiskCacheTier
-from repro.engine.report import BatchReport
+from repro.engine.report import BatchReport, SolveReport
 from repro.engine.verdicts import Unknown, Verdict
+from repro.obs import REGISTRY, collecting, trace, tracing_active, truncated_span
+from repro.obs.metrics import diff_snapshots
 
 #: ``Unknown.reason`` prefixes for results the pool had to synthesize.
 WORKER_TIMEOUT = "worker-timeout"
 WORKER_CRASH = "worker-crash"
+
+#: Pool-level operational series (driver side unless noted).
+_QUEUE_WAIT = REGISTRY.histogram(
+    "repro_queue_wait_seconds",
+    "Seconds a chunk waited between driver submission and worker pickup",
+)
+_WORKER_CHUNKS = REGISTRY.counter(
+    "repro_worker_chunks_total",
+    "Chunks completed per worker process (the work-stealing spread)",
+    ("worker",),
+)
+_WORKER_FAILURES = REGISTRY.counter(
+    "repro_worker_failures_total",
+    "Tasks lost to worker failures, by kind (timeout / crash / error)",
+    ("kind",),
+)
+_BATCH_PROBLEMS = REGISTRY.counter(
+    "repro_batch_problems_total",
+    "Problems submitted through solve_many",
+)
+_BATCH_RETRIES = REGISTRY.counter(
+    "repro_batch_retries_total",
+    "Innocent-bystander chunks requeued after a pool failure",
+)
 
 #: How often the driver wakes up to collect results and check deadlines.
 _POLL_SECONDS = 0.05
@@ -62,6 +88,7 @@ _TIMEOUT_GRACE = 1.0
 # ---------------------------------------------------------------------------
 
 _WORKER_CONTEXT: ExecutionContext | None = None
+_WORKER_TRACE = False
 
 
 def _effective_budget(budget: Budget, task_timeout: float | None) -> Budget:
@@ -77,37 +104,66 @@ def _effective_budget(budget: Budget, task_timeout: float | None) -> Budget:
 
 
 def _init_worker(
-    budget: Budget, cache_size: int, cache_dir: str | None, enabled: bool
+    budget: Budget,
+    cache_size: int,
+    cache_dir: str | None,
+    enabled: bool,
+    trace_enabled: bool = False,
 ) -> None:
     """Build the process-global context a worker reuses across chunks."""
-    global _WORKER_CONTEXT
+    global _WORKER_CONTEXT, _WORKER_TRACE
     disk = DiskCacheTier(cache_dir) if cache_dir else None
     _WORKER_CONTEXT = ExecutionContext(
         budget, cache=CompilationCache(max_entries=cache_size, enabled=enabled, disk=disk)
     )
+    _WORKER_TRACE = trace_enabled
 
 
-def _run_chunk(tasks: list[tuple[int, object]]) -> tuple[list, dict[str, int]]:
-    """Solve one chunk; returns (``[(index, verdict)]``, cache-stat delta)."""
+def _run_chunk(
+    tasks: list[tuple[int, object]],
+) -> tuple[list, dict[str, int], dict, dict]:
+    """Solve one chunk in a worker.
+
+    Returns ``([(index, verdict)], cache-stat delta, metrics snapshot
+    delta, meta)``.  When the driver was tracing, each verdict carries
+    its serialized solve span in ``verdict.report.trace`` (spans pickle
+    as plain dicts); *meta* records the worker pid, the wall-clock
+    pickup time (for queue-wait attribution) and the chunk's elapsed
+    seconds.
+    """
     from repro.engine.core import solve
 
+    meta = {"pid": os.getpid(), "picked_up_wall": time.time()}
+    started = time.perf_counter()
     context = _WORKER_CONTEXT if _WORKER_CONTEXT is not None else ExecutionContext()
+    metrics_before = REGISTRY.snapshot()
     before = context.cache.stats()
     results = []
-    for index, problem in tasks:
-        try:
-            verdict = solve(problem, context)
-        except Exception as exc:  # a solver bug must not lose the batch
-            verdict = Unknown(f"worker-error: {exc!r}")
-            verdict.problem = problem
-        results.append((index, verdict))
+
+    def run_all() -> None:
+        for index, problem in tasks:
+            try:
+                verdict = solve(problem, context)
+            except Exception as exc:  # a solver bug must not lose the batch
+                verdict = Unknown(f"worker-error: {exc!r}")
+                verdict.problem = problem
+                _WORKER_FAILURES.labels(kind="error").inc()
+            results.append((index, verdict))
+
+    if _WORKER_TRACE:
+        with collecting("worker-chunk", worker=os.getpid()):
+            run_all()
+    else:
+        run_all()
     after = context.cache.stats()
     delta = {
         key: after.get(key, 0) - before.get(key, 0)
         for key in after
         if key != "entries"
     }
-    return results, delta
+    meta["elapsed"] = time.perf_counter() - started
+    metrics_delta = diff_snapshots(metrics_before, REGISTRY.snapshot())
+    return results, delta, metrics_delta, meta
 
 
 # ---------------------------------------------------------------------------
@@ -116,11 +172,12 @@ def _run_chunk(tasks: list[tuple[int, object]]) -> tuple[list, dict[str, int]]:
 
 
 class _Chunk:
-    __slots__ = ("tasks", "submitted")
+    __slots__ = ("tasks", "submitted", "submitted_wall")
 
     def __init__(self, tasks: list[tuple[int, object]]):
         self.tasks = tasks
         self.submitted = 0.0
+        self.submitted_wall = 0.0
 
     def deadline(self, task_timeout: float) -> float:
         """Chunks solve serially, so the wall budget is the per-task sum."""
@@ -153,9 +210,33 @@ class BatchResult(Sequence):
         )
 
 
-def _synthetic(reason: str, detail: str, problem: object) -> Unknown:
+def _synthetic(
+    reason: str, detail: str, problem: object, elapsed: float = 0.0
+) -> Unknown:
+    """An ``Unknown`` standing in for a lost worker result.
+
+    Failures must not drop observability: the verdict carries a
+    :class:`SolveReport` with a *truncated* trace span (the worker's real
+    spans died with it) and the failure is counted in
+    ``repro_worker_failures_total``.
+    """
     verdict = Unknown(f"{reason}: {detail}" if detail else reason)
     verdict.problem = problem
+    kind = "timeout" if reason == WORKER_TIMEOUT else "crash"
+    _WORKER_FAILURES.labels(kind=kind).inc()
+    verdict.report = SolveReport(
+        problem=type(problem).__name__,
+        algorithm=reason,
+        reason=detail,
+        elapsed=elapsed,
+        trace=truncated_span(
+            "solve",
+            duration=elapsed,
+            problem=type(problem).__name__,
+            outcome=reason,
+            detail=detail,
+        ),
+    )
     return verdict
 
 
@@ -213,14 +294,21 @@ def solve_many(
     jobs = max(1, jobs)
 
     report = BatchReport(problems=len(problems), jobs=jobs)
+    _BATCH_PROBLEMS.inc(len(problems))
     started = time.perf_counter()
-    if jobs == 1 or len(problems) <= 1:
-        verdicts = _solve_serial(problems, resolved, task_timeout, cache_dir, report)
-    else:
-        verdicts = _solve_pooled(
-            problems, jobs, resolved, task_timeout, chunk_size, cache_dir, report
-        )
+    with trace("solve_many", problems=len(problems), jobs=jobs) as batch_span:
+        if jobs == 1 or len(problems) <= 1:
+            verdicts = _solve_serial(
+                problems, resolved, task_timeout, cache_dir, report
+            )
+        else:
+            verdicts = _solve_pooled(
+                problems, jobs, resolved, task_timeout, chunk_size, cache_dir,
+                report, batch_span,
+            )
     report.elapsed = time.perf_counter() - started
+    if not batch_span.is_noop:
+        report.trace = batch_span.to_dict()
     for verdict in verdicts:
         if verdict.is_proved:
             report.outcomes["proved"] += 1
@@ -268,6 +356,42 @@ def _solve_serial(
     return verdicts
 
 
+def _absorb_chunk(
+    chunk: _Chunk, stats, metrics_delta, meta, report: BatchReport, batch_span
+) -> None:
+    """Fold one completed chunk's accounting into the driver's registry,
+    batch report and (when tracing) the merged cross-process trace."""
+    report.merge_cache(stats)
+    REGISTRY.merge(metrics_delta)
+    wait = max(0.0, meta["picked_up_wall"] - chunk.submitted_wall)
+    _QUEUE_WAIT.observe(wait)
+    report.queue_wait_seconds += wait
+    _WORKER_CHUNKS.labels(worker=str(meta["pid"])).inc()
+
+
+def _chunk_span(chunk: _Chunk, pairs, meta) -> dict:
+    """The serialized chunk span wrapping the worker-captured solve spans."""
+    children = [
+        verdict.report.trace
+        for __, verdict in pairs
+        if getattr(verdict, "report", None) is not None
+        and verdict.report.trace is not None
+    ]
+    return {
+        "name": "chunk",
+        "attrs": {
+            "worker": meta["pid"],
+            "tasks": len(chunk.tasks),
+            "queue_wait": max(0.0, meta["picked_up_wall"] - chunk.submitted_wall),
+        },
+        "wall": meta["picked_up_wall"],
+        "duration": meta["elapsed"],
+        "expansions": 0,
+        "cache": {},
+        "children": children,
+    }
+
+
 def _solve_pooled(
     problems: list,
     jobs: int,
@@ -276,6 +400,7 @@ def _solve_pooled(
     chunk_size: int | None,
     cache_dir,
     report: BatchReport,
+    batch_span,
 ) -> list[Verdict]:
     budget = _effective_budget(context.budget, task_timeout)
     cache_dir = os.fspath(cache_dir) if cache_dir is not None else None
@@ -284,6 +409,7 @@ def _solve_pooled(
         context.cache.max_entries,
         cache_dir,
         context.cache.enabled,
+        tracing_active(),
     )
 
     if chunk_size is None:
@@ -318,6 +444,7 @@ def _solve_pooled(
                     executor = make_executor()
                     continue
                 chunk.submitted = time.monotonic()
+                chunk.submitted_wall = time.time()
                 inflight[future] = chunk
             done, __ = wait(
                 set(inflight), timeout=_POLL_SECONDS, return_when=FIRST_COMPLETED
@@ -326,7 +453,7 @@ def _solve_pooled(
             for future in done:
                 chunk = inflight.pop(future)
                 try:
-                    pairs, stats = future.result()
+                    pairs, stats, metrics_delta, meta = future.result()
                 except Exception:
                     # BrokenProcessPool, or an unpicklable problem or
                     # verdict; isolate to attribute the failure to the
@@ -336,13 +463,18 @@ def _solve_pooled(
                 else:
                     for index, verdict in pairs:
                         results[index] = verdict
-                    report.merge_cache(stats)
+                    _absorb_chunk(
+                        chunk, stats, metrics_delta, meta, report, batch_span
+                    )
+                    if not batch_span.is_noop:
+                        batch_span.adopt(_chunk_span(chunk, pairs, meta))
             if pool_broken:
                 # the pool died under every other in-flight chunk too;
                 # re-run the innocent bystanders, isolate the casualties
                 for chunk in inflight.values():
                     queue.appendleft(chunk)
                     report.retries += 1
+                    _BATCH_RETRIES.inc()
                 inflight.clear()
                 _kill_executor(executor)
                 executor = make_executor()
@@ -363,6 +495,7 @@ def _solve_pooled(
                     for chunk in inflight.values():
                         queue.appendleft(chunk)
                         report.retries += 1
+                        _BATCH_RETRIES.inc()
                     inflight.clear()
                     _kill_executor(executor)
                     executor = make_executor()
@@ -370,7 +503,9 @@ def _solve_pooled(
         _kill_executor(executor)
 
     if quarantine:
-        _solve_isolated(quarantine, initargs, task_timeout, results, report)
+        _solve_isolated(
+            quarantine, initargs, task_timeout, results, report, batch_span
+        )
 
     return [results[index] for index in range(len(problems))]
 
@@ -381,6 +516,7 @@ def _solve_isolated(
     task_timeout: float | None,
     results: dict[int, Verdict],
     report: BatchReport,
+    batch_span,
 ) -> None:
     """Re-run suspect tasks one per single-worker pool, for exact blame.
 
@@ -393,28 +529,39 @@ def _solve_isolated(
     for index, problem in tasks:
         if index in results:
             continue
+        chunk = _Chunk([(index, problem)])
         executor = ProcessPoolExecutor(
             max_workers=1, initializer=_init_worker, initargs=initargs
         )
         try:
-            future = executor.submit(_run_chunk, [(index, problem)])
+            future = executor.submit(_run_chunk, chunk.tasks)
+            chunk.submitted_wall = time.time()
+            synthetic = None
             try:
-                pairs, stats = future.result(timeout=deadline)
+                pairs, stats, metrics_delta, meta = future.result(timeout=deadline)
             except FuturesTimeoutError:
-                results[index] = _synthetic(
+                synthetic = _synthetic(
                     WORKER_TIMEOUT,
                     f"no result within {task_timeout}s (worker killed)",
                     problem,
+                    elapsed=0.0 if deadline is None else deadline,
                 )
             except BrokenProcessPool:
-                results[index] = _synthetic(
+                synthetic = _synthetic(
                     WORKER_CRASH, "worker process died mid-solve", problem
                 )
             except Exception as exc:
-                results[index] = _synthetic(WORKER_CRASH, repr(exc), problem)
+                synthetic = _synthetic(WORKER_CRASH, repr(exc), problem)
+            if synthetic is not None:
+                results[index] = synthetic
+                batch_span.adopt(synthetic.report.trace)
             else:
                 for i, verdict in pairs:
                     results[i] = verdict
-                report.merge_cache(stats)
+                _absorb_chunk(
+                    chunk, stats, metrics_delta, meta, report, batch_span
+                )
+                if not batch_span.is_noop:
+                    batch_span.adopt(_chunk_span(chunk, pairs, meta))
         finally:
             _kill_executor(executor)

@@ -16,7 +16,10 @@ class SolveReport:
     ``reason`` the routing rationale (fragment facts), ``elapsed`` the
     wall-clock seconds, ``expansions`` the charged search steps, and
     ``cache`` the hit/miss/eviction deltas of the compilation cache over
-    this solve.
+    this solve.  When the solve ran under a trace collector
+    (:func:`repro.obs.collecting`), ``trace`` holds the serialized span
+    tree of the solve — plain picklable data, so it survives the trip
+    back from a ``solve_many`` worker process.
     """
 
     problem: str
@@ -26,6 +29,7 @@ class SolveReport:
     expansions: int = 0
     cache: dict[str, int] = field(default_factory=dict)
     budget: Budget = field(default_factory=Budget.default)
+    trace: dict | None = field(default=None, repr=False)
 
     def lines(self) -> list[str]:
         """Render for ``--stats`` output."""
@@ -49,6 +53,13 @@ class BatchReport:
     with a ``worker-timeout`` / ``worker-crash`` reason, and ``retries``
     counts chunks that were re-run after a pool failure took out
     innocent bystanders.
+
+    Under a trace collector, ``trace`` is the merged cross-process span
+    tree: a ``solve_many`` root whose children are per-chunk spans
+    (annotated with the worker pid and queue wait) wrapping the solve
+    spans each worker captured and pickled back with its results.
+    ``queue_wait_seconds`` sums the time chunks spent waiting between
+    driver submission and worker pickup.
     """
 
     problems: int = 0
@@ -60,6 +71,8 @@ class BatchReport:
     timeouts: int = 0
     crashes: int = 0
     retries: int = 0
+    queue_wait_seconds: float = 0.0
+    trace: dict | None = field(default=None, repr=False)
 
     def merge_cache(self, stats: dict[str, int]) -> None:
         self.cache.update(stats)
@@ -81,4 +94,5 @@ class BatchReport:
             f"cache: {cache}",
             f"recovery: timeouts={self.timeouts}  crashes={self.crashes}  "
             f"retries={self.retries}",
+            f"queue-wait: {self.queue_wait_seconds:.6f}s total",
         ]

@@ -1,0 +1,70 @@
+"""Observability for the solver engine: spans, metrics, profiling.
+
+Three orthogonal, zero-dependency tools (see DESIGN.md §Observability):
+
+* :mod:`repro.obs.spans` — hierarchical trace spans.  Install a
+  collector with :func:`collecting`, record regions with :func:`trace`;
+  spans capture monotonic timings, budget charges and compilation-cache
+  deltas, serialize to plain dicts, and merge across the process
+  boundary of ``solve_many`` workers.  Off by default, near-free when
+  off.
+* :mod:`repro.obs.metrics` — the process-global :data:`REGISTRY` of
+  ``repro_*`` counters/gauges/histograms with Prometheus-text and JSON
+  exporters, thread-safe and snapshot/merge-able across processes.
+* :mod:`repro.obs.profile` — :func:`maybe_profile`, the per-solve
+  cProfile wrapper gated behind ``REPRO_PROFILE=1``.
+
+The CLI surfaces all three: ``--trace[=FILE]`` writes a JSONL span log,
+``--metrics[=FILE]`` a registry export, ``--stats`` a registry-derived
+summary, and ``repro stats`` is the self-checking exporter smoke test.
+"""
+
+from repro.obs.metrics import (
+    REGISTRY,
+    MetricError,
+    MetricsRegistry,
+    diff_snapshots,
+    get_registry,
+    parse_prometheus,
+)
+from repro.obs.profile import (
+    PROFILE_ENV,
+    maybe_profile,
+    profiling_enabled,
+)
+from repro.obs.spans import (
+    NOOP_SPAN,
+    Span,
+    TraceTree,
+    collecting,
+    current_span,
+    jsonl,
+    span_breakdown,
+    trace,
+    tracing_active,
+    truncated_span,
+    walk,
+)
+
+__all__ = [
+    "REGISTRY",
+    "MetricError",
+    "MetricsRegistry",
+    "diff_snapshots",
+    "get_registry",
+    "parse_prometheus",
+    "PROFILE_ENV",
+    "maybe_profile",
+    "profiling_enabled",
+    "NOOP_SPAN",
+    "Span",
+    "TraceTree",
+    "collecting",
+    "current_span",
+    "jsonl",
+    "span_breakdown",
+    "trace",
+    "tracing_active",
+    "truncated_span",
+    "walk",
+]

@@ -1,0 +1,66 @@
+"""Opt-in cProfile hooks around individual solves.
+
+Tracing says *which* phase a solve spent its time in; profiling says
+*which functions*.  Because a cProfile run slows the interpreter down
+globally, it is gated behind the ``REPRO_PROFILE=1`` environment
+variable and scoped per solve: :func:`maybe_profile` wraps one region,
+writes a ``pstats`` dump per invocation into ``REPRO_PROFILE_DIR``
+(default: the working directory) and prints a one-line pointer to
+stderr.  With the variable unset the hook is a boolean check.
+
+Worker processes of :func:`repro.engine.parallel.solve_many` inherit the
+environment, so ``REPRO_PROFILE=1 repro check --jobs 4 ...`` leaves one
+profile per worker-side solve, distinguishable by pid.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import sys
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+PROFILE_ENV = "REPRO_PROFILE"
+PROFILE_DIR_ENV = "REPRO_PROFILE_DIR"
+
+_counter = itertools.count()
+
+
+def profiling_enabled() -> bool:
+    """Is ``REPRO_PROFILE`` set to something truthy?"""
+    return os.environ.get(PROFILE_ENV, "") not in ("", "0", "false", "no")
+
+
+def profile_dir() -> Path:
+    return Path(os.environ.get(PROFILE_DIR_ENV, "") or ".")
+
+
+@contextmanager
+def maybe_profile(name: str) -> Iterator[object]:
+    """Profile the block when ``REPRO_PROFILE=1``; otherwise do nothing.
+
+    Yields the :class:`cProfile.Profile` (or None when disabled).  The
+    dump lands at ``<REPRO_PROFILE_DIR>/<name>-<pid>-<n>.prof`` and is
+    readable with ``python -m pstats`` or snakeviz-style viewers.
+    """
+    if not profiling_enabled():
+        yield None
+        return
+    import cProfile
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        safe = "".join(c if c.isalnum() or c in "-_." else "-" for c in name)
+        path = profile_dir() / f"{safe}-{os.getpid()}-{next(_counter)}.prof"
+        try:
+            profile_dir().mkdir(parents=True, exist_ok=True)
+            profiler.dump_stats(path)
+            print(f"[repro] profile written: {path}", file=sys.stderr)
+        except OSError as error:  # profiling must never break a solve
+            print(f"[repro] profile dump failed: {error}", file=sys.stderr)

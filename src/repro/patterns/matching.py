@@ -33,11 +33,33 @@ data-complexity results in spirit.
 
 from __future__ import annotations
 
+import time
+
 from repro.errors import XsmError
+from repro.obs import REGISTRY, trace
 from repro.patterns.ast import WILDCARD, Descendant, Pattern, Sequence, _term_vars
 from repro.patterns.index import EngineStats, TreeIndex
 from repro.values import Const, SkolemTerm, Var
 from repro.xmlmodel.tree import TreeNode
+
+#: Pre-bound children: these sit on hot paths, so label lookups are paid once.
+_ENGINE_BUILDS = REGISTRY.counter(
+    "repro_pattern_engines_total",
+    "Pattern engines built (one per distinct tree root queried)",
+)
+_ENGINE_BUILD_SECONDS = REGISTRY.histogram(
+    "repro_pattern_engine_build_seconds",
+    "Wall-clock seconds to index a tree and build its pattern engine",
+)
+_QUERIES = REGISTRY.counter(
+    "repro_pattern_queries_total",
+    "Pattern queries through the public matching entry points",
+    ("entry",),
+)
+_Q_FIND = _QUERIES.labels(entry="find_matches")
+_Q_FIND_ANYWHERE = _QUERIES.labels(entry="find_matches_anywhere")
+_Q_EXISTS_ANYWHERE = _QUERIES.labels(entry="matches_anywhere")
+_Q_AT_ROOT = _QUERIES.labels(entry="matches_at_root")
 
 #: A valuation is stored as a frozenset of (Var, value) pairs so sets of
 #: valuations can be deduplicated; the public API converts them to dicts.
@@ -374,7 +396,11 @@ def engine_for(root: TreeNode) -> PatternEngine:
     """
     engine = getattr(root, "_engine", None)
     if engine is None:
-        engine = PatternEngine(root)
+        started = time.perf_counter()
+        with trace("pattern-engine-build"):
+            engine = PatternEngine(root)
+        _ENGINE_BUILDS.inc()
+        _ENGINE_BUILD_SECONDS.observe(time.perf_counter() - started)
         root._engine = engine
     return engine
 
@@ -384,21 +410,25 @@ def find_matches(pattern: Pattern, root: TreeNode) -> list[dict[Var, object]]:
 
     Every returned dict assigns all of ``pattern.variables()``.
     """
+    _Q_FIND.inc()
     return engine_for(root).find_matches(pattern)
 
 
 def find_matches_anywhere(pattern: Pattern, root: TreeNode) -> list[dict[Var, object]]:
     """All valuations matching *pattern* at the root or any descendant."""
+    _Q_FIND_ANYWHERE.inc()
     return [dict(v) for v in engine_for(root).match_anywhere(pattern)]
 
 
 def matches_anywhere(pattern: Pattern, root: TreeNode) -> bool:
     """Does *pattern* match at the root or any descendant? (Boolean mode.)"""
+    _Q_EXISTS_ANYWHERE.inc()
     return engine_for(root).exists_anywhere(pattern)
 
 
 def matches_at_root(pattern: Pattern, root: TreeNode) -> bool:
     """``T |= pi`` for some valuation (Boolean satisfaction at the root)."""
+    _Q_AT_ROOT.inc()
     return engine_for(root).exists_at_root(pattern)
 
 

@@ -103,8 +103,37 @@ def test_emit_json_merges_experiments(monkeypatch, tmp_path):
     import json
 
     data = json.loads(path.read_text())
-    assert set(data) == {"F1.1", "F1.2"}
+    assert set(data) == {"F1.1", "F1.2", "_meta"}
     # corrupt trajectory files are rebuilt, not fatal
     path.write_text("{broken")
     emit_json("fig1", "F1.3", {"claim": "c"})
-    assert set(json.loads(path.read_text())) == {"F1.3"}
+    assert set(json.loads(path.read_text())) == {"F1.3", "_meta"}
+
+
+def test_emit_json_stamps_schema_and_environment(monkeypatch, tmp_path):
+    monkeypatch.setattr(harness, "REPO_ROOT", tmp_path)
+    path = emit_json("fig2", "F2.1", {"claim": "a", "jobs": 4})
+    import json
+
+    meta = json.loads(path.read_text())["_meta"]
+    assert meta["schema_version"] == harness.SCHEMA_VERSION
+    environment = meta["environment"]
+    assert environment["python"].count(".") == 2
+    assert environment["cpu_count"] >= 1
+    assert environment["jobs"] == 4  # taken from the record when present
+    assert "platform" in environment
+
+
+def test_series_payload_journals_span_breakdown():
+    class FakeReport:
+        trace = {
+            "name": "solve_many", "duration": 1.0,
+            "children": [{"name": "solve", "duration": 0.25, "children": []}],
+        }
+
+    class FakeBatch:
+        report = FakeReport()
+
+    payload = series_payload([harness.SweepPoint(2, 0.5, FakeBatch(), 1)])
+    breakdown = payload["points"][0]["span_breakdown"]
+    assert breakdown == {"solve": 0.25, "solve_many": 1.0}
