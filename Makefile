@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke bench-smoke stats-smoke lint bench baseline ci
+.PHONY: test smoke bench-smoke stats-smoke lint lint-smoke bench baseline ci
 
 # tier-1: the full unit/property suite
 test:
@@ -14,12 +14,14 @@ smoke:
 
 # benchmark smoke gates: the matching-engine regression check, the
 # solve_many correctness gate (parallel verdicts == serial; no timing
-# assertions, so it is safe on loaded single-core runners), and the
+# assertions, so it is safe on loaded single-core runners), the
 # observability gate (idle-instrumentation overhead within tolerance,
-# plus the BENCH_trace_smoke.jsonl trace artifact CI uploads)
+# plus the BENCH_trace_smoke.jsonl trace artifact CI uploads), and the
+# linter latency gate (aggregate lint >= 10x below cold solve)
 bench-smoke: smoke
 	$(PYTHON) benchmarks/bench_fig1_parallel.py --smoke
 	$(PYTHON) benchmarks/bench_obs.py --smoke
+	$(PYTHON) benchmarks/bench_lint.py --smoke
 
 # self-checking metrics-exporter gate: solves a built-in batch over two
 # workers and fails on any Prometheus/JSON exporter or trace-merge regression
@@ -34,12 +36,26 @@ bench:
 baseline:
 	$(PYTHON) benchmarks/bench_matching_engine.py --update-baseline
 
-# style gate; skips with a notice when ruff is not on PATH
+# style + type gates.  Each tool skips with a notice when absent locally
+# (the dev container ships neither); CI installs both, and a tool that IS
+# present and reports findings fails the build — never a silent skip.
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
-		ruff check src tests benchmarks examples; \
+		echo "ruff check"; \
+		ruff check src tests benchmarks examples || exit 1; \
 	else \
-		echo "ruff not installed; skipping lint"; \
+		echo "ruff not installed; skipping style lint"; \
+	fi
+	@if command -v mypy >/dev/null 2>&1; then \
+		echo "mypy (config in pyproject.toml)"; \
+		mypy || exit 1; \
+	else \
+		echo "mypy not installed; skipping type check"; \
 	fi
 
-ci: lint test bench-smoke stats-smoke
+# mapping-linter gate: repro lint over every example mapping, diagnostic
+# codes compared against the committed examples/expected_lint.json
+lint-smoke:
+	$(PYTHON) examples/lint_gate.py
+
+ci: lint test bench-smoke lint-smoke stats-smoke

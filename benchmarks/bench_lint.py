@@ -1,0 +1,173 @@
+"""Mapping-linter latency guard: lint must be cheap next to solving.
+
+The linter's value proposition is a zero-solver pre-flight check, so it
+has to stay an order of magnitude faster than actually deciding the
+problem.  For each Figure 1 consistency family this guard times
+``repro.analysis.lint_mapping`` (full pass set, fresh context) against a
+*cold* ``solve()`` of the same mapping (fresh :class:`ExecutionContext`
+with the compilation cache disabled, so every solve pays compilation)
+and journals the per-family numbers into ``BENCH_lint.json``.  The
+acceptance bar is the **aggregate** ratio across the families: total
+cold-solve time must exceed ``SPEEDUP_BAR`` (10x) the total lint time.
+Per-family ratios are journaled but not individually gated — in the
+PTIME cells (F1.2) solving is genuinely cheap and lint rightly costs
+about the same; the EXPTIME cells are where the pre-flight check pays.
+
+``--smoke`` runs fewer repeats for the CI gate; run directly for the
+full series.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Callable
+
+if True:  # make both `pytest benchmarks` and direct execution work
+    _here = Path(__file__).resolve().parent
+    for entry in (_here, _here.parent / "src"):
+        if str(entry) not in sys.path:
+            sys.path.insert(0, str(entry))
+
+from harness import emit_json
+
+from repro.analysis import lint_mapping
+from repro.engine import CompilationCache, ExecutionContext, solve
+from repro.engine.problems import ConsistencyProblem
+from repro.workloads.families import (
+    cons_arbitrary_family,
+    cons_nested_family,
+    cons_next_sibling_family,
+)
+
+#: Aggregate lint time must be at least this many times below aggregate
+#: cold-solve time across the F1 families.
+SPEEDUP_BAR = 10.0
+
+#: (label, claim, family constructor, size)
+WORKLOADS: list[tuple[str, str, Callable, int]] = [
+    (
+        "F1.1-family",
+        "CONS(⇓) arbitrary DTDs (EXPTIME cell)",
+        cons_arbitrary_family,
+        5,
+    ),
+    (
+        "F1.2-family",
+        "CONS(⇓) nested-relational DTDs (PTIME cell)",
+        cons_nested_family,
+        16,
+    ),
+    (
+        "F1.3-family",
+        "CONS(⇓,⇒) next-sibling chains (EXPTIME cell)",
+        cons_next_sibling_family,
+        8,
+    ),
+]
+
+
+def _mean_seconds(run: Callable[[], object], repeats: int) -> float:
+    total = 0.0
+    for _ in range(repeats):
+        started = time.perf_counter()
+        run()
+        total += time.perf_counter() - started
+    return total / repeats
+
+
+def measure_family(
+    label: str, claim: str, family: Callable, n: int, repeats: int
+) -> dict:
+    """Lint vs cold-solve timings for one family (no assertion here)."""
+    mapping = family(n)
+    problem = ConsistencyProblem(mapping)
+
+    def lint_once() -> object:
+        return lint_mapping(mapping, name=label)
+
+    def solve_cold() -> object:
+        context = ExecutionContext(cache=CompilationCache(enabled=False))
+        return solve(problem, context)
+
+    lint_once()  # warm lazy imports out of the timings
+    solve_cold()
+    lint_seconds = _mean_seconds(lint_once, repeats)
+    solve_seconds = _mean_seconds(solve_cold, repeats)
+    report = lint_once()
+    record = {
+        "claim": claim,
+        "n": n,
+        "lint_seconds": lint_seconds,
+        "cold_solve_seconds": solve_seconds,
+        "speedup": solve_seconds / max(lint_seconds, 1e-9),
+        "repeats": repeats,
+        "diagnostics": list(report.codes()),
+        "fragment": report.fragment,
+    }
+    print(
+        f"[{label}] lint {lint_seconds:.6f}s vs cold solve "
+        f"{solve_seconds:.6f}s -> {record['speedup']:.1f}x (n={n})"
+    )
+    return record
+
+
+def run_guard(smoke: bool = False, emit: bool = True, attempts: int = 3) -> int:
+    repeats = 3 if smoke else 5
+    aggregate = 0.0
+    records: dict[str, dict] = {}
+    for attempt in range(attempts):
+        records = {
+            label: measure_family(label, claim, family, n, repeats)
+            for label, claim, family, n in WORKLOADS
+        }
+        lint_total = sum(r["lint_seconds"] for r in records.values())
+        solve_total = sum(r["cold_solve_seconds"] for r in records.values())
+        aggregate = solve_total / max(lint_total, 1e-9)
+        print(
+            f"[lint-bench] aggregate: lint {lint_total:.6f}s vs cold solve "
+            f"{solve_total:.6f}s -> {aggregate:.1f}x (bar {SPEEDUP_BAR:.0f}x, "
+            f"attempt {attempt + 1}/{attempts})"
+        )
+        if aggregate >= SPEEDUP_BAR:
+            break
+    if emit:
+        for label, record in records.items():
+            emit_json("lint", label, record)
+        emit_json("lint", "aggregate", {
+            "claim": "lint is a >= 10x cheaper pre-flight check than "
+            "cold solving across the F1 families",
+            "speedup": aggregate,
+            "speedup_bar": SPEEDUP_BAR,
+            "families": sorted(records),
+        })
+    assert aggregate >= SPEEDUP_BAR, (
+        f"aggregate lint speedup {aggregate:.1f}x below the "
+        f"{SPEEDUP_BAR:.0f}x bar"
+    )
+    return 0
+
+
+# -- pytest entry point --------------------------------------------------------
+
+
+def test_lint_faster_than_cold_solve():
+    run_guard(smoke=True, emit=False)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="fewer repeats for the CI gate")
+    args = parser.parse_args(argv)
+    try:
+        return run_guard(smoke=args.smoke)
+    except AssertionError as error:
+        print(f"FAIL: {error}")
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

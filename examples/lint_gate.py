@@ -1,0 +1,99 @@
+"""CI gate: ``repro lint`` over every mapping in ``examples/mappings/``.
+
+Two assertions per mapping:
+
+1. no error-severity diagnostics at all — in particular zero ``SM0xx``
+   or ``SM2xx`` errors (the intentionally-undecidable demo inputs are
+   *warnings*, never errors);
+2. the emitted diagnostic-code multiset matches the committed snapshot
+   ``examples/expected_lint.json``, so a routing or pass change that
+   silently alters the diagnostics fails CI instead of drifting.
+
+Run directly (``make lint-smoke``); pass ``--update`` after an
+intentional diagnostics change to refresh the snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis import Severity, lint_mapping
+from repro.mappings.io import parse_mapping
+
+EXAMPLES = Path(__file__).resolve().parent
+SNAPSHOT = EXAMPLES / "expected_lint.json"
+MAPPINGS = EXAMPLES / "mappings"
+
+
+def main(argv: list[str]) -> int:
+    update = "--update" in argv
+    paths = sorted(MAPPINGS.glob("*.xsm"))
+    if not paths:
+        print("FAIL: no .xsm mappings under examples/mappings/", file=sys.stderr)
+        return 1
+    reports = {
+        path.name: lint_mapping(parse_mapping(path.read_text()), name=path.name)
+        for path in paths
+    }
+    if update:
+        SNAPSHOT.write_text(
+            json.dumps(
+                {name: list(report.codes()) for name, report in reports.items()},
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        print(f"snapshot updated: {SNAPSHOT}")
+        return 0
+
+    failures: list[str] = []
+    for name, report in reports.items():
+        for diagnostic in report.errors:
+            failures.append(f"{name}: unexpected error {diagnostic.render()}")
+        noisy = [
+            d
+            for d in report.by_family("SM0", "SM2")
+            if d.severity is Severity.ERROR
+        ]
+        for diagnostic in noisy:
+            failures.append(
+                f"{name}: SM0xx/SM2xx error in shipped example: "
+                f"{diagnostic.render()}"
+            )
+
+    expected = json.loads(SNAPSHOT.read_text()) if SNAPSHOT.exists() else None
+    if expected is None:
+        failures.append(f"missing snapshot {SNAPSHOT}; run with --update")
+    else:
+        for name, report in reports.items():
+            want = expected.get(name)
+            got = list(report.codes())
+            if want is None:
+                failures.append(f"{name}: not in the snapshot; run with --update")
+            elif got != want:
+                failures.append(
+                    f"{name}: diagnostic codes drifted\n"
+                    f"  expected: {want}\n  got:      {got}"
+                )
+        for name in sorted(set(expected) - set(reports)):
+            failures.append(f"{name}: in the snapshot but not on disk")
+
+    for name, report in reports.items():
+        counts = report.counts()
+        print(
+            f"{name}: {counts['error']} error(s), {counts['warning']} "
+            f"warning(s), {counts['info']} info(s)"
+        )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"lint gate: OK ({len(reports)} mappings)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,63 @@
+"""Static analysis of schema mappings (the ``repro lint`` subsystem).
+
+Zero-solver diagnostics over mappings and DTDs: fragment classification
+and Figure 1–2 complexity-cell prediction (:mod:`.fragment`), the
+diagnostic model and code catalogue (:mod:`.diagnostics`), the analysis
+passes (:mod:`.passes`) and the orchestrator (:mod:`.lint`).
+"""
+
+from repro.analysis.diagnostics import (
+    CATALOG,
+    FAMILIES,
+    CatalogEntry,
+    Diagnostic,
+    LintReport,
+    Severity,
+    SourceLocation,
+    family_of,
+    merge_reports,
+)
+from repro.analysis.fragment import (
+    CellPrediction,
+    predict_abscons,
+    predict_composition_consistency,
+    predict_composition_membership,
+    predict_consistency,
+    predict_for_problem,
+    predict_membership,
+)
+from repro.analysis.lint import lint_mapping
+from repro.analysis.passes import (
+    PASSES,
+    composition_pass,
+    diagnostics_for_problem,
+    dtd_pass,
+    fragment_pass,
+    hygiene_pass,
+)
+
+__all__ = [
+    "CATALOG",
+    "FAMILIES",
+    "PASSES",
+    "CatalogEntry",
+    "CellPrediction",
+    "Diagnostic",
+    "LintReport",
+    "Severity",
+    "SourceLocation",
+    "composition_pass",
+    "diagnostics_for_problem",
+    "dtd_pass",
+    "family_of",
+    "fragment_pass",
+    "hygiene_pass",
+    "lint_mapping",
+    "merge_reports",
+    "predict_abscons",
+    "predict_composition_consistency",
+    "predict_composition_membership",
+    "predict_consistency",
+    "predict_for_problem",
+    "predict_membership",
+]

@@ -1,0 +1,347 @@
+"""The diagnostic model of the mapping linter.
+
+A :class:`Diagnostic` is one finding of the static analysis: a stable
+code, a severity, a human message and a :class:`SourceLocation` inside
+the mapping (std index, side, pattern path).  Codes are grouped by
+family:
+
+* ``SM0xx`` — fragment classification and predicted Figure 1–2
+  complexity cells,
+* ``SM1xx`` — DTD-class facts (nested-relational, strictly
+  nested-relational, recursion, satisfiability),
+* ``SM2xx`` — pattern hygiene (dead or unsafe stds, alphabet and arity
+  mismatches, variable hygiene),
+* ``SM3xx`` — composition closure (Theorem 8.2 preconditions).
+
+:class:`LintReport` aggregates the diagnostics of one mapping and
+renders them as human text or JSON; its :meth:`LintReport.exit_code`
+implements the CLI convention (0 clean, 1 errors, 2 warnings under
+``--strict``; operational failures exit 3 elsewhere).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity; the integer order is the escalation order."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """Where in the mapping a diagnostic points.
+
+    ``std_index`` indexes ``mapping.stds`` (None = the whole mapping),
+    ``side`` is ``"source"`` / ``"target"`` (None = both / not
+    applicable) and ``path`` is a ``/``-separated label path from the
+    pattern root to the offending node.
+    """
+
+    std_index: int | None = None
+    side: str | None = None
+    path: str | None = None
+
+    def __str__(self) -> str:
+        if self.std_index is None:
+            return "mapping"
+        parts = [f"std {self.std_index}"]
+        if self.side:
+            parts.append(self.side)
+        if self.path:
+            parts.append(f"at {self.path}")
+        return ", ".join(parts)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "std_index": self.std_index,
+            "side": self.side,
+            "path": self.path,
+        }
+
+
+#: The whole-mapping location singleton.
+MAPPING_LOCATION = SourceLocation()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: stable code, severity, message, location.
+
+    ``data`` carries machine-readable detail (e.g. the predicted
+    algorithm, the offending label) as a tuple of key/value pairs so the
+    diagnostic stays hashable and picklable; :meth:`to_dict` re-exposes
+    it as a mapping.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    location: SourceLocation = MAPPING_LOCATION
+    data: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.code not in CATALOG:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+
+    @property
+    def title(self) -> str:
+        """The catalogue title of this diagnostic's code."""
+        return CATALOG[self.code].title
+
+    def get(self, key: str, default: object = None) -> object:
+        for name, value in self.data:
+            if name == key:
+                return value
+        return default
+
+    def render(self) -> str:
+        """One human-readable line: ``error SM201 [std 0, source]: ...``."""
+        return f"{self.severity} {self.code} [{self.location}]: {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "code": self.code,
+            "title": self.title,
+            "severity": str(self.severity),
+            "message": self.message,
+            "location": self.location.to_dict(),
+            "data": {key: _jsonable(value) for key, value in self.data},
+        }
+
+
+def _jsonable(value: object) -> object:
+    """Best-effort JSON projection of a data value."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(item) for item in sorted(value, key=str)]
+    return str(value)
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """Catalogue row for one stable code: default severity and title."""
+
+    code: str
+    severity: Severity
+    title: str
+    summary: str
+
+
+def _entry(code: str, severity: Severity, title: str, summary: str) -> tuple[str, CatalogEntry]:
+    return code, CatalogEntry(code, severity, title, summary)
+
+
+#: The stable diagnostic-code catalogue (DESIGN.md §6 renders this table).
+CATALOG: Mapping[str, CatalogEntry] = dict(
+    [
+        # -- SM0xx: fragment classification / complexity-cell prediction --
+        _entry("SM001", Severity.INFO, "fragment",
+               "the mapping's SM(σ) fragment (axes, wildcard, comparisons)"),
+        _entry("SM002", Severity.INFO, "cons-cell",
+               "predicted Figure 1 cell for CONS (algorithm + complexity)"),
+        _entry("SM003", Severity.INFO, "abscons-cell",
+               "predicted Figure 1 cell for ABSCONS"),
+        _entry("SM004", Severity.INFO, "membership-cell",
+               "predicted Figure 2 cell for mapping membership"),
+        _entry("SM005", Severity.INFO, "composition-cell",
+               "predicted Figure 2 cell for composition problems"),
+        _entry("SM010", Severity.WARNING, "cons-undecidable",
+               "CONS has no exact algorithm in this fragment: only a sound "
+               "bounded witness search applies"),
+        _entry("SM011", Severity.WARNING, "abscons-inexact",
+               "ABSCONS falls outside every exact class: bounded refutation "
+               "only (Theorem 6.2's general algorithm is unpublished)"),
+        _entry("SM012", Severity.WARNING, "composition-inexact",
+               "composition problems leave the exact classes: bounded "
+               "searches only (undecidable with ∼, Theorem 7.1(2))"),
+        # -- SM1xx: DTD classification --
+        _entry("SM101", Severity.INFO, "source-dtd-class",
+               "classification of the source DTD"),
+        _entry("SM102", Severity.INFO, "target-dtd-class",
+               "classification of the target DTD"),
+        _entry("SM110", Severity.ERROR, "source-dtd-unsatisfiable",
+               "no tree conforms to the source DTD: every std is dead and "
+               "the mapping is vacuously consistent"),
+        _entry("SM111", Severity.ERROR, "target-dtd-unsatisfiable",
+               "no tree conforms to the target DTD: no source tree can "
+               "have a solution"),
+        # -- SM2xx: pattern hygiene --
+        _entry("SM201", Severity.ERROR, "unknown-label",
+               "a pattern uses a label outside the DTD's alphabet"),
+        _entry("SM202", Severity.ERROR, "arity-mismatch",
+               "a pattern constrains an attribute tuple of the wrong arity"),
+        _entry("SM203", Severity.ERROR, "root-conflict",
+               "a pattern's root label differs from the DTD root"),
+        _entry("SM204", Severity.ERROR, "dead-std",
+               "the source pattern is unsatisfiable under the source DTD: "
+               "the std can never fire"),
+        _entry("SM205", Severity.ERROR, "unsafe-std",
+               "the target pattern is unsatisfiable under the target DTD: "
+               "once the std fires, no target tree can satisfy it"),
+        _entry("SM206", Severity.WARNING, "unused-variable",
+               "a source variable is bound but never used in the target "
+               "side or any comparison"),
+        _entry("SM207", Severity.ERROR, "unbound-source-comparison",
+               "a source-side comparison mentions a variable the source "
+               "pattern never binds"),
+        _entry("SM208", Severity.ERROR, "unbound-target-comparison",
+               "a target-side comparison mentions a variable bound on "
+               "neither side"),
+        _entry("SM209", Severity.INFO, "existential-target-variables",
+               "the std introduces target-only (existential) variables"),
+        _entry("SM210", Severity.WARNING, "statically-false-comparison",
+               "a comparison is false under every assignment (the std is "
+               "dead or unsatisfiable)"),
+        # -- SM3xx: composition closure (Theorem 8.2) --
+        _entry("SM301", Severity.WARNING, "closure-breaking-std",
+               "an std is not fully specified (grammar (5)): wildcard, "
+               "descendant or sibling order breaks composition closure"),
+        _entry("SM302", Severity.WARNING, "closure-breaking-dtd",
+               "a DTD is not strictly nested-relational, breaking "
+               "composition closure"),
+        _entry("SM303", Severity.WARNING, "closure-breaking-inequality",
+               "inequalities are outside the composition-closed class"),
+        _entry("SM304", Severity.INFO, "composition-closed",
+               "the mapping satisfies every Theorem 8.2 precondition: "
+               "compositions stay in the class"),
+        _entry("SM305", Severity.INFO, "skolem-functions",
+               "the stds use Skolem functions (Section 8 semantics)"),
+    ]
+)
+
+#: Code families, for family-level filters (the CI lint gate uses these).
+FAMILIES: Mapping[str, str] = {
+    "SM0": "fragment/complexity",
+    "SM1": "DTD class",
+    "SM2": "pattern hygiene",
+    "SM3": "composition closure",
+}
+
+
+def family_of(code: str) -> str:
+    """The family prefix (``SM0`` ... ``SM3``) of a code."""
+    return code[:3]
+
+
+@dataclass
+class LintReport:
+    """All diagnostics of one linted mapping, plus rendering helpers."""
+
+    fragment: str = ""
+    diagnostics: tuple[Diagnostic, ...] = ()
+    name: str = ""
+    elapsed: float = 0.0
+    passes: tuple[str, ...] = ()
+    predictions: dict[str, object] = field(default_factory=dict, repr=False)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    # -- selection ----------------------------------------------------------
+
+    def by_severity(self, severity: Severity) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity is severity)
+
+    def by_code(self, code: str) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.code == code)
+
+    def by_family(self, *families: str) -> tuple[Diagnostic, ...]:
+        wanted = set(families)
+        return tuple(d for d in self.diagnostics if family_of(d.code) in wanted)
+
+    def codes(self) -> tuple[str, ...]:
+        """The sorted multiset of codes (the snapshot format of the CI gate)."""
+        return tuple(sorted(d.code for d in self.diagnostics))
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def infos(self) -> tuple[Diagnostic, ...]:
+        return self.by_severity(Severity.INFO)
+
+    def counts(self) -> dict[str, int]:
+        return {
+            "error": len(self.errors),
+            "warning": len(self.warnings),
+            "info": len(self.infos),
+        }
+
+    # -- outcomes -----------------------------------------------------------
+
+    def max_severity(self) -> Severity | None:
+        if not self.diagnostics:
+            return None
+        return max(d.severity for d in self.diagnostics)
+
+    def exit_code(self, strict: bool = False) -> int:
+        """The CLI convention: 0 clean, 1 errors, 2 warnings under --strict."""
+        if self.errors:
+            return 1
+        if strict and self.warnings:
+            return 2
+        return 0
+
+    # -- rendering ----------------------------------------------------------
+
+    def render_text(self, *, min_severity: Severity = Severity.INFO) -> str:
+        """Human rendering: fragment line, one line per diagnostic, summary."""
+        lines = [f"fragment: {self.fragment}"] if self.fragment else []
+        for diagnostic in self.diagnostics:
+            if diagnostic.severity >= min_severity:
+                lines.append(diagnostic.render())
+        counts = self.counts()
+        lines.append(
+            f"{counts['error']} error(s), {counts['warning']} warning(s), "
+            f"{counts['info']} info(s)"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "fragment": self.fragment,
+            "passes": list(self.passes),
+            "elapsed": self.elapsed,
+            "counts": self.counts(),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+def merge_reports(reports: Iterable[LintReport]) -> dict[str, object]:
+    """The multi-file JSON envelope of ``repro lint`` (one entry per input)."""
+    rows: list[dict[str, object]] = []
+    worst: Severity | None = None
+    for report in reports:
+        rows.append(report.to_dict())
+        severity = report.max_severity()
+        if severity is not None and (worst is None or severity > worst):
+            worst = severity
+    return {
+        "version": 1,
+        "reports": rows,
+        "max_severity": str(worst) if worst is not None else None,
+    }

@@ -6,6 +6,8 @@ Commands
 validate   check that an XML document conforms to a DTD
 match      evaluate a tree pattern against an XML document
 check      static analysis of a mapping file (consistency, absolute consistency)
+lint       zero-solver diagnostics: fragment, predicted complexity cells,
+           DTD class, pattern hygiene, composition closure
 member     is (source.xml, target.xml) in [[M]]?
 solve      build the canonical solution for a source document
 compose    compose two mapping files (Theorem 8.2) and print the result
@@ -22,6 +24,11 @@ when it is inconsistent and 2 when every applicable procedure came back
 Errors (parse failures, missing labels, ...) exit 3.  ``--stats`` prints
 the engine's per-solve accounting: selected algorithm, routing reason,
 wall clock, charged expansions and compilation-cache hits/misses.
+
+``lint`` runs the static analyser only (`repro.analysis`): exit 0 when
+clean, 1 on errors (``SM1xx``/``SM2xx`` severities), 2 with ``--strict``
+when there are warnings, 3 on operational failures; ``--json`` emits the
+machine-readable envelope, ``--quiet`` hides info-level diagnostics.
 
 ``check`` and ``member`` accept *batches* — several mapping files, or
 several target documents — and the exit code is the maximum over the
@@ -407,6 +414,30 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Static diagnostics for one or more mapping files (no solver runs)."""
+    from repro.analysis import Severity, lint_mapping, merge_reports
+
+    context = _batch_context(args)
+    reports = [
+        lint_mapping(parse_mapping(_read(path)), context, name=path)
+        for path in args.mappings
+    ]
+    if args.json:
+        import json as json_module
+
+        print(json_module.dumps(merge_reports(reports), indent=2, sort_keys=True))
+    else:
+        min_severity = Severity.WARNING if args.quiet else Severity.INFO
+        for position, (path, report) in enumerate(zip(args.mappings, reports)):
+            if len(args.mappings) > 1:
+                if position:
+                    print()
+                print(f"== {path}")
+            print(report.render_text(min_severity=min_severity))
+    return max(report.exit_code(strict=args.strict) for report in reports)
+
+
 def cmd_compose(args) -> int:
     first = parse_mapping(_read(args.first))
     second = parse_mapping(_read(args.second))
@@ -500,6 +531,27 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--cache-size", type=int, default=None, metavar="N")
     add_obs_options(stats)
     stats.set_defaults(handler=cmd_stats)
+
+    lint = commands.add_parser(
+        "lint", help="static diagnostics for mappings (no solver runs)"
+    )
+    lint.add_argument("mappings", nargs="+",
+                      help="one or more mapping files; the exit code is the "
+                      "maximum over the files")
+    lint.add_argument("--json", action="store_true",
+                      help="machine-readable report (one envelope for all files)")
+    lint.add_argument("--strict", action="store_true",
+                      help="exit 2 when there are warnings (errors still exit 1)")
+    lint.add_argument("--quiet", action="store_true",
+                      help="hide info-level diagnostics in text output")
+    lint.add_argument("--cache-dir", default=None, metavar="DIR",
+                      help="persistent on-disk compilation cache "
+                      "(default: $REPRO_CACHE_DIR)")
+    lint.add_argument("--cache-size", type=int, default=None, metavar="N",
+                      help="in-memory compilation-cache capacity "
+                      "(default: $REPRO_CACHE_SIZE or 256)")
+    add_obs_options(lint)
+    lint.set_defaults(handler=cmd_lint)
 
     compose = commands.add_parser("compose", help="compose two mappings (Thm 8.2)")
     compose.add_argument("first")

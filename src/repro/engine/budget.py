@@ -22,9 +22,12 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.errors import BoundExceededError
+
+if TYPE_CHECKING:
+    from repro.engine.cache import CompilationCache
 
 
 class BudgetExceeded(BoundExceededError):
@@ -63,7 +66,7 @@ class Budget:
         """The library-wide default bounds (one place, not five modules)."""
         return _DEFAULT_BUDGET
 
-    def with_(self, **overrides) -> "Budget":
+    def with_(self, **overrides: int) -> "Budget":
         """A copy with some limits replaced."""
         return replace(self, **overrides)
 
@@ -80,7 +83,8 @@ class ExecutionContext:
     reachability) can charge it without widening every signature.
     """
 
-    def __init__(self, budget: Budget | None = None, cache=None):
+    def __init__(self, budget: Budget | None = None,
+                 cache: "CompilationCache | None" = None):
         from repro.engine.cache import DEFAULT_CACHE
 
         self.budget = budget if budget is not None else Budget.default()

@@ -27,12 +27,15 @@ import os
 import time
 from collections import Counter, OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Hashable, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Hashable, Iterable
 
 from repro.automata.dtd_automaton import DTDAutomaton
 from repro.automata.duta import ProductAutomaton, reachable_states
 from repro.automata.pattern_automaton import PatternClosureAutomaton
 from repro.engine.diskcache import MISS, DiskCacheTier
+
+if TYPE_CHECKING:
+    from repro.engine.budget import ExecutionContext
 from repro.obs import REGISTRY, trace
 from repro.patterns.ast import Pattern
 from repro.xmlmodel.dtd import DTD
@@ -206,7 +209,7 @@ def cache_from_env() -> CompilationCache:
 DEFAULT_CACHE = cache_from_env()
 
 
-def resolve_cache(context=None) -> CompilationCache:
+def resolve_cache(context: "ExecutionContext | None" = None) -> CompilationCache:
     """The cache of the (explicit or ambient) context, or the default."""
     from repro.engine.budget import resolve_context
 
@@ -251,7 +254,9 @@ class DTDClassification:
     strictly_nested_relational: bool
 
 
-def dtd_classification(dtd: DTD, context=None) -> DTDClassification:
+def dtd_classification(
+    dtd: DTD, context: "ExecutionContext | None" = None
+) -> DTDClassification:
     """Cached recursive / nested-relational classification of a DTD."""
     cache = resolve_cache(context)
     return cache.lookup(
@@ -264,7 +269,10 @@ def dtd_classification(dtd: DTD, context=None) -> DTDClassification:
     )
 
 
-def regex_dfa(dtd: DTD, label: str, alphabet: frozenset[str], context=None):
+def regex_dfa(
+    dtd: DTD, label: str, alphabet: frozenset[str],
+    context: "ExecutionContext | None" = None,
+) -> Any:
     """The determinized production DFA of *label*, total over *alphabet*."""
     cache = resolve_cache(context)
     return cache.lookup(
@@ -283,7 +291,8 @@ class CompiledDTDAutomaton(DTDAutomaton):
     are unchanged.
     """
 
-    def __init__(self, dtd: DTD, extra_labels: Iterable[str] = (), context=None):
+    def __init__(self, dtd: DTD, extra_labels: Iterable[str] = (),
+                 context: "ExecutionContext | None" = None):
         super().__init__(dtd, extra_labels)
         alphabet = self._labels
         self._dfas = {
@@ -291,13 +300,13 @@ class CompiledDTDAutomaton(DTDAutomaton):
             for label in dtd.productions
         }
 
-    def initial_horizontal(self, label: str):
+    def initial_horizontal(self, label: str) -> Any:
         dfa = self._dfas.get(label)
         if dfa is None:
             return None  # unknown label: sink
         return (dfa.initial, True)
 
-    def step_horizontal(self, label: str, hstate, child_state):
+    def step_horizontal(self, label: str, hstate: Any, child_state: Any) -> Any:
         if hstate is None:
             return None
         subset, children_ok = hstate
@@ -307,7 +316,7 @@ class CompiledDTDAutomaton(DTDAutomaton):
             children_ok and child_ok,
         )
 
-    def finish(self, label: str, hstate):
+    def finish(self, label: str, hstate: Any) -> tuple[str, bool]:
         if hstate is None:
             return (label, False)
         subset, children_ok = hstate
@@ -315,7 +324,8 @@ class CompiledDTDAutomaton(DTDAutomaton):
 
 
 def dtd_automaton(
-    dtd: DTD, extra_labels: frozenset[str] = frozenset(), context=None
+    dtd: DTD, extra_labels: frozenset[str] = frozenset(),
+    context: "ExecutionContext | None" = None,
 ) -> DTDAutomaton:
     """A cached conformance automaton for *dtd* over its labels + extras."""
     cache = resolve_cache(context)
@@ -330,7 +340,7 @@ def closure_automaton(
     dtd: DTD,
     extra_labels: frozenset[str] = frozenset(),
     with_arity: bool = True,
-    context=None,
+    context: "ExecutionContext | None" = None,
 ) -> PatternClosureAutomaton:
     """A cached pattern closure automaton over *dtd*'s label alphabet."""
     cache = resolve_cache(context)
@@ -350,7 +360,7 @@ def achievable_sets(
     patterns: Iterable[Pattern],
     extra_labels: frozenset[str] = frozenset(),
     with_arity: bool = True,
-    context=None,
+    context: "ExecutionContext | None" = None,
 ) -> dict[frozenset[int], TreeNode]:
     """All achievable ``{satisfied pattern indices}`` with a witness each.
 

@@ -17,6 +17,8 @@ which carry nothing to certify, and for certificate/problem mismatches).
 
 from __future__ import annotations
 
+from typing import Any
+
 import time
 
 from repro.engine.verdicts import (
@@ -59,7 +61,7 @@ def _fail(message: str) -> bool:
     raise CertificationError(message)
 
 
-def _membership_holds(mapping, source_tree, target_tree) -> bool:
+def _membership_holds(mapping: Any, source_tree: Any, target_tree: Any) -> bool:
     """Boolean membership through the checker layer (conformance included)."""
     from repro.engine.core import uses_skolem_functions
     from repro.mappings.membership import SolutionChecker
@@ -78,7 +80,7 @@ def _membership_holds(mapping, source_tree, target_tree) -> bool:
 # ---------------------------------------------------------------------------
 
 
-def _certify_witness_pair(certificate: WitnessPair, problem) -> bool:
+def _certify_witness_pair(certificate: WitnessPair, problem: Any) -> bool:
     mapping = problem.mapping
     if not mapping.source_dtd.conforms(certificate.source):
         return _fail("witness source tree does not conform to the source DTD")
@@ -89,7 +91,7 @@ def _certify_witness_pair(certificate: WitnessPair, problem) -> bool:
     return True
 
 
-def _certify_witness_chain(certificate: WitnessChain, problem) -> bool:
+def _certify_witness_chain(certificate: WitnessChain, problem: Any) -> bool:
     mappings = list(problem.mappings)
     trees = certificate.trees
     if len(trees) != len(mappings) + 1:
@@ -108,7 +110,7 @@ def _certify_witness_chain(certificate: WitnessChain, problem) -> bool:
     return True
 
 
-def _certify_middle_tree(certificate: MiddleTree, problem) -> bool:
+def _certify_middle_tree(certificate: MiddleTree, problem: Any) -> bool:
     middle = certificate.middle
     if not problem.m12.target_dtd.conforms(middle):
         return _fail("middle tree does not conform to the intermediate DTD")
@@ -119,7 +121,7 @@ def _certify_middle_tree(certificate: MiddleTree, problem) -> bool:
     return True
 
 
-def _certify_satisfying_tree(certificate: SatisfyingTree, problem) -> bool:
+def _certify_satisfying_tree(certificate: SatisfyingTree, problem: Any) -> bool:
     from repro.patterns.matching import matches_at_root
 
     if not problem.dtd.conforms(certificate.tree):
@@ -129,7 +131,7 @@ def _certify_satisfying_tree(certificate: SatisfyingTree, problem) -> bool:
     return True
 
 
-def _certify_separating_tree(certificate: SeparatingTree, problem) -> bool:
+def _certify_separating_tree(certificate: SeparatingTree, problem: Any) -> bool:
     from repro.patterns.matching import matches_at_root
 
     tree = certificate.tree
@@ -144,7 +146,7 @@ def _certify_separating_tree(certificate: SeparatingTree, problem) -> bool:
     return True
 
 
-def _certify_counterexample(certificate: Counterexample, problem) -> bool:
+def _certify_counterexample(certificate: Counterexample, problem: Any) -> bool:
     from repro.consistency.bounded import default_value_domain
     from repro.engine.budget import resolve_budget
     from repro.verification.oracle import oracle_has_solution
@@ -162,7 +164,7 @@ def _certify_counterexample(certificate: Counterexample, problem) -> bool:
     return True
 
 
-def _certify_trigger_refutation(certificate: TriggerRefutation, problem) -> bool:
+def _certify_trigger_refutation(certificate: TriggerRefutation, problem: Any) -> bool:
     from repro.patterns.matching import engine_for
 
     mapping = problem.mapping
@@ -181,7 +183,7 @@ def _certify_trigger_refutation(certificate: TriggerRefutation, problem) -> bool
     return True
 
 
-def _certify_obligations_met(certificate: ObligationsMet, problem) -> bool:
+def _certify_obligations_met(certificate: ObligationsMet, problem: Any) -> bool:
     from repro.engine.problems import MembershipProblem
 
     if isinstance(problem, MembershipProblem):
@@ -203,7 +205,7 @@ def _certify_obligations_met(certificate: ObligationsMet, problem) -> bool:
     return True
 
 
-def _certify_violation_witness(certificate: ViolationWitness, problem) -> bool:
+def _certify_violation_witness(certificate: ViolationWitness, problem: Any) -> bool:
     mapping = problem.mapping
     if certificate.std_index < 0 or certificate.std_index >= len(mapping.stds):
         return _fail("violation names a non-existent std")
@@ -218,7 +220,7 @@ def _certify_violation_witness(certificate: ViolationWitness, problem) -> bool:
     return True
 
 
-def _certify_conformance_failure(certificate: ConformanceFailure, problem) -> bool:
+def _certify_conformance_failure(certificate: ConformanceFailure, problem: Any) -> bool:
     sides = _conformance_sides(problem)
     checker = sides.get(certificate.side)
     if checker is None:
@@ -229,7 +231,7 @@ def _certify_conformance_failure(certificate: ConformanceFailure, problem) -> bo
     return True
 
 
-def _conformance_sides(problem) -> dict:
+def _conformance_sides(problem: Any) -> dict:
     from repro.engine.problems import (
         CompositionMembershipProblem,
         MembershipProblem,
@@ -248,7 +250,7 @@ def _conformance_sides(problem) -> dict:
     return {}
 
 
-def _certify_rigidity(certificate: RigidityExplanation, problem) -> bool:
+def _certify_rigidity(certificate: RigidityExplanation, problem: Any) -> bool:
     from repro.consistency.abscons import abscons_ptime_analysis
     from repro.consistency.expansion import expand_mapping_sources
     from repro.errors import SignatureError
@@ -264,7 +266,9 @@ def _certify_rigidity(certificate: RigidityExplanation, problem) -> bool:
     return True
 
 
-def _certify_analysis(certificate: AnalysisCertificate, verdict, problem) -> bool:
+def _certify_analysis(
+    certificate: AnalysisCertificate, verdict: Verdict, problem: Any
+) -> bool:
     """Deterministic second run of the named analysis."""
     rerun = _ANALYSIS_RERUNS.get(certificate.algorithm)
     if rerun is None:
@@ -276,7 +280,7 @@ def _certify_analysis(certificate: AnalysisCertificate, verdict, problem) -> boo
     return True
 
 
-def _rerun_cons_nested(verdict, problem) -> bool:
+def _rerun_cons_nested(verdict: Verdict, problem: Any) -> bool:
     # the Proved case: the PTIME analysis must produce a checkable witness
     from repro.consistency.cons_nested import nested_consistency_witness
 
@@ -291,24 +295,24 @@ def _rerun_cons_nested(verdict, problem) -> bool:
     )
 
 
-def _rerun_cons_automata(verdict, problem) -> bool:
+def _rerun_cons_automata(verdict: Verdict, problem: Any) -> bool:
     # the Refuted unsatisfiable-source-DTD case
     return not problem.mapping.source_dtd.is_satisfiable()
 
 
-def _rerun_abscons_sm0(verdict, problem) -> bool:
+def _rerun_abscons_sm0(verdict: Verdict, problem: Any) -> bool:
     from repro.consistency.abscons import sm0_counterexample
 
     return (sm0_counterexample(problem.mapping) is None) == verdict.is_proved
 
 
-def _rerun_abscons_ptime(verdict, problem) -> bool:
+def _rerun_abscons_ptime(verdict: Verdict, problem: Any) -> bool:
     from repro.consistency.abscons import abscons_ptime_analysis
 
     return (not abscons_ptime_analysis(problem.mapping)) == verdict.is_proved
 
 
-def _rerun_abscons_expansion(verdict, problem) -> bool:
+def _rerun_abscons_expansion(verdict: Verdict, problem: Any) -> bool:
     from repro.consistency.abscons import abscons_ptime_analysis
     from repro.consistency.expansion import expand_mapping_sources
 
@@ -316,13 +320,13 @@ def _rerun_abscons_expansion(verdict, problem) -> bool:
     return (not abscons_ptime_analysis(expanded)) == verdict.is_proved
 
 
-def _rerun_conscomp(verdict, problem) -> bool:
+def _rerun_conscomp(verdict: Verdict, problem: Any) -> bool:
     from repro.composition.conscomp import is_composition_consistent
 
     return is_composition_consistent(list(problem.mappings)) == verdict
 
 
-def _rerun_pattern_sat(verdict, problem) -> bool:
+def _rerun_pattern_sat(verdict: Verdict, problem: Any) -> bool:
     from repro.patterns.satisfiability import satisfying_tree
 
     return (satisfying_tree(problem.dtd, problem.pattern) is not None) == (
@@ -330,7 +334,7 @@ def _rerun_pattern_sat(verdict, problem) -> bool:
     )
 
 
-def _rerun_separation(verdict, problem) -> bool:
+def _rerun_separation(verdict: Verdict, problem: Any) -> bool:
     from repro.patterns.separation import find_separating_tree
 
     # an AnalysisCertificate for separation always asserts "no separator"
@@ -340,7 +344,7 @@ def _rerun_separation(verdict, problem) -> bool:
     )
 
 
-def _rerun_skolem_membership(verdict, problem) -> bool:
+def _rerun_skolem_membership(verdict: Verdict, problem: Any) -> bool:
     return (
         _membership_holds(problem.mapping, problem.source_tree, problem.target_tree)
         == verdict.is_proved
@@ -360,7 +364,7 @@ _ANALYSIS_RERUNS = {
 }
 
 
-def certify(verdict: Verdict, problem=None) -> bool:
+def certify(verdict: Verdict, problem: Any = None) -> bool:
     """Re-validate a verdict's certificate against independent checkers.
 
     *problem* defaults to the instance ``engine.solve`` attached; verdicts
@@ -388,7 +392,7 @@ def certify(verdict: Verdict, problem=None) -> bool:
     return ok
 
 
-def _certify_dispatch(verdict: Verdict, problem) -> bool:
+def _certify_dispatch(verdict: Verdict, problem: Any) -> bool:
     if problem is None:
         problem = verdict.problem
     if problem is None:

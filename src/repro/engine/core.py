@@ -21,6 +21,7 @@ level, so importing them from here at module level would be circular.
 from __future__ import annotations
 
 import time
+from typing import Any, Callable
 
 from repro.engine.budget import ExecutionContext, current_context
 from repro.engine.problems import (
@@ -58,43 +59,37 @@ _EXPANSIONS = REGISTRY.counter(
 # ---------------------------------------------------------------------------
 # fragment predicates (Figure 1's row labels)
 # ---------------------------------------------------------------------------
+# The predicates themselves live in ``repro.analysis.fragment`` (the
+# static classifier, which the linter and this router share so their
+# answers cannot drift); re-exported here for compatibility.
 
 
-def uses_constants(mapping) -> bool:
+def uses_constants(mapping: Any) -> bool:
     """Does any pattern of the mapping mention a constant?"""
-    from repro.values import Const
+    from repro.analysis.fragment import uses_constants as predicate
 
-    return any(
-        isinstance(term, Const)
-        for std in mapping.stds
-        for pattern in (std.source, std.target)
-        for term in pattern.terms()
-    )
+    return predicate(mapping)
 
 
-def uses_skolem_functions(mapping) -> bool:
+def uses_skolem_functions(mapping: Any) -> bool:
     """Does any std use Skolem functions (Section 8 semantics)?"""
-    return any(std.skolem_functions() for std in mapping.stds)
+    from repro.analysis.fragment import uses_skolem_functions as predicate
+
+    return predicate(mapping)
 
 
-def nested_ptime_applicable(mapping, context: ExecutionContext | None = None) -> bool:
+def nested_ptime_applicable(
+    mapping: Any, context: ExecutionContext | None = None
+) -> bool:
     """Is the Fact-5.1 PTIME consistency route applicable?
 
     Requires ``SM(⇓)`` (no horizontal axes, comparisons or constants) over
     nested-relational DTDs; the DTD classification is read through the
     compilation cache.
     """
-    from repro.engine.cache import dtd_classification
-    from repro.patterns.features import HORIZONTAL
+    from repro.analysis.fragment import nested_ptime_applicable as predicate
 
-    if mapping.uses_data_comparisons() or uses_constants(mapping):
-        return False
-    if mapping.signature().features & HORIZONTAL:
-        return False
-    return (
-        dtd_classification(mapping.source_dtd, context).nested_relational
-        and dtd_classification(mapping.target_dtd, context).nested_relational
-    )
+    return predicate(mapping, context)
 
 
 # ---------------------------------------------------------------------------
@@ -102,129 +97,118 @@ def nested_ptime_applicable(mapping, context: ExecutionContext | None = None) ->
 # ---------------------------------------------------------------------------
 
 
-def _solve_consistency(problem, context, info) -> Verdict:
+def _solve_consistency(
+    problem: Any, context: ExecutionContext, info: dict[str, str]
+) -> Verdict:
+    from repro.analysis.fragment import predict_consistency
     from repro.consistency.bounded import is_consistent_bounded
     from repro.consistency.cons_automata import is_consistent_automata
     from repro.consistency.cons_nested import is_consistent_nested
 
     mapping = problem.mapping
-    if not mapping.uses_data_comparisons() and not uses_constants(mapping):
-        if nested_ptime_applicable(mapping, context):
-            info.update(
-                algorithm="cons-nested",
-                reason="SM(⇓) over nested-relational DTDs: PTIME via the "
-                "minimal tree (Fact 5.1)",
-            )
-            return is_consistent_nested(mapping, context)
-        info.update(
-            algorithm="cons-automata",
-            reason="no data comparisons or constants: exact trigger-set "
-            "automata (Theorem 5.2, EXPTIME)",
-        )
+    prediction = predict_consistency(mapping, context)
+    info.update(algorithm=prediction.algorithm, reason=prediction.reason)
+    if prediction.algorithm == "cons-nested":
+        return is_consistent_nested(mapping, context)
+    if prediction.algorithm == "cons-automata":
         return is_consistent_automata(mapping, context)
-    info.update(
-        algorithm="cons-bounded",
-        reason="data comparisons or constants: sound bounded witness search "
-        "only (Theorems 5.4/5.5)",
-    )
     return is_consistent_bounded(mapping, context=context)
 
 
-def _solve_abscons(problem, context, info) -> Verdict:
+def _solve_abscons(
+    problem: Any, context: ExecutionContext, info: dict[str, str]
+) -> Verdict:
+    from repro.analysis.fragment import predict_abscons
     from repro.consistency.abscons import decide_absolute_consistency
 
-    reasons = {
-        "abscons-sm0": "value-free SM° mapping: exact trigger-set coverage "
-        "(Proposition 6.1)",
-        "abscons-ptime": "nested-relational + fully specified: exact rigidity "
-        "analysis (Theorem 6.3, PTIME)",
-        "abscons-expansion": "⇓-sources over non-recursive DTDs: exact via "
-        "source expansion + rigidity analysis",
-        "abscons-bounded": "outside every exact class: sound bounded "
-        "refutation (Theorem 6.2 gives EXPSPACE, construction unpublished)",
-    }
+    prediction = predict_abscons(problem.mapping, context)
     verdict, algorithm = decide_absolute_consistency(problem.mapping, context)
-    info.update(algorithm=algorithm, reason=reasons.get(algorithm, ""))
+    if algorithm == prediction.algorithm:
+        reason = prediction.reason
+    else:
+        # the one static-dynamic divergence: a predicted-exact route
+        # (source expansion) overflowed its budget mid-run
+        reason = (
+            f"predicted {prediction.algorithm} exceeded its budget: "
+            "sound bounded refutation instead"
+        )
+    info.update(algorithm=algorithm, reason=reason)
     return verdict
 
 
-def _solve_membership(problem, context, info) -> Verdict:
+def _solve_membership(
+    problem: Any, context: ExecutionContext, info: dict[str, str]
+) -> Verdict:
+    from repro.analysis.fragment import predict_membership
     from repro.mappings.membership import is_solution
     from repro.mappings.skolem import is_skolem_solution
 
-    if uses_skolem_functions(problem.mapping):
-        info.update(
-            algorithm="membership-skolem",
-            reason="Skolem stds: backtracking valuation of the shared "
-            "unknowns (Section 8)",
-        )
+    prediction = predict_membership(problem.mapping)
+    info.update(algorithm=prediction.algorithm, reason=prediction.reason)
+    if prediction.algorithm == "membership-skolem":
         return is_skolem_solution(
             problem.mapping, problem.source_tree, problem.target_tree
         )
-    info.update(
-        algorithm="membership",
-        reason="plain stds: conformance plus per-obligation semi-joins "
-        "(Definition 3.2)",
-    )
     return is_solution(problem.mapping, problem.source_tree, problem.target_tree)
 
 
-def _solve_composition_membership(problem, context, info) -> Verdict:
+def _solve_composition_membership(
+    problem: Any, context: ExecutionContext, info: dict[str, str]
+) -> Verdict:
+    from repro.analysis.fragment import predict_composition_membership
     from repro.composition.semantics import (
         composition_contains,
         composition_contains_exact,
     )
     from repro.errors import NotInClassError
 
-    try:
-        verdict = composition_contains_exact(
-            problem.m12, problem.m23, problem.source_tree, problem.final_tree
-        )
-    except (NotInClassError, SignatureError):
-        info.update(
-            algorithm="composition-bounded",
-            reason="outside the Theorem 8.2 class: bounded intermediate-tree "
-            "search with the finite value abstraction (Section 7.2)",
-        )
-        return composition_contains(
-            problem.m12,
-            problem.m23,
-            problem.source_tree,
-            problem.final_tree,
-            context=context,
-        )
+    prediction = predict_composition_membership(problem.m12, problem.m23)
+    if prediction.algorithm == "composition-exact":
+        try:
+            verdict = composition_contains_exact(
+                problem.m12, problem.m23, problem.source_tree, problem.final_tree
+            )
+        except (NotInClassError, SignatureError):
+            # defensive: the executor found a class violation the static
+            # predicates missed — fall through to the bounded search
+            pass
+        else:
+            info.update(algorithm=prediction.algorithm, reason=prediction.reason)
+            return verdict
     info.update(
-        algorithm="composition-exact",
-        reason="Theorem 8.2 class: membership via the composed Skolem mapping",
+        algorithm="composition-bounded",
+        reason="outside the Theorem 8.2 class: bounded intermediate-tree "
+        "search with the finite value abstraction (Section 7.2)",
     )
-    return verdict
+    return composition_contains(
+        problem.m12,
+        problem.m23,
+        problem.source_tree,
+        problem.final_tree,
+        context=context,
+    )
 
 
-def _solve_composition_consistency(problem, context, info) -> Verdict:
+def _solve_composition_consistency(
+    problem: Any, context: ExecutionContext, info: dict[str, str]
+) -> Verdict:
+    from repro.analysis.fragment import predict_composition_consistency
     from repro.composition.conscomp import (
         is_composition_consistent,
         is_composition_consistent_bounded,
     )
 
     mappings = list(problem.mappings)
-    try:
-        verdict = is_composition_consistent(mappings, context)
-    except SignatureError:
-        info.update(
-            algorithm="conscomp-bounded",
-            reason="comparisons or constants in the chain: sound bounded "
-            "witness-chain search (the problem is undecidable, Theorem 7.1(2))",
-        )
-        return is_composition_consistent_bounded(mappings, context=context)
-    info.update(
-        algorithm="conscomp-automata",
-        reason="comparison-free chain: exact staged trigger-set chaining "
-        "(Theorem 7.1(1), EXPTIME)",
-    )
-    return verdict
+    prediction = predict_composition_consistency(tuple(mappings))
+    info.update(algorithm=prediction.algorithm, reason=prediction.reason)
+    if prediction.algorithm == "conscomp-automata":
+        return is_composition_consistent(mappings, context)
+    return is_composition_consistent_bounded(mappings, context=context)
 
 
-def _solve_satisfiability(problem, context, info) -> Verdict:
+def _solve_satisfiability(
+    problem: Any, context: ExecutionContext, info: dict[str, str]
+) -> Verdict:
     from repro.patterns.satisfiability import is_satisfiable
 
     info.update(
@@ -234,7 +218,9 @@ def _solve_satisfiability(problem, context, info) -> Verdict:
     return is_satisfiable(problem.dtd, problem.pattern, context)
 
 
-def _solve_separation(problem, context, info) -> Verdict:
+def _solve_separation(
+    problem: Any, context: ExecutionContext, info: dict[str, str]
+) -> Verdict:
     from repro.patterns.separation import separation_verdict
 
     info.update(
@@ -258,7 +244,10 @@ _ROUTES = {
 }
 
 
-def register_route(problem_type: type, route) -> None:
+def register_route(
+    problem_type: type,
+    route: Callable[[Any, ExecutionContext, dict[str, str]], Verdict],
+) -> None:
     """Register a routing function for an out-of-tree problem type.
 
     *route* is called as ``route(problem, context, info)`` and must return
@@ -270,7 +259,7 @@ def register_route(problem_type: type, route) -> None:
     _ROUTES[problem_type] = route
 
 
-def solve(problem, context: ExecutionContext | None = None) -> Verdict:
+def solve(problem: Any, context: ExecutionContext | None = None) -> Verdict:
     """Decide *problem* with the strongest applicable algorithm.
 
     The returned verdict carries ``.report`` (algorithm, routing reason,
@@ -278,6 +267,8 @@ def solve(problem, context: ExecutionContext | None = None) -> Verdict:
     exhaustion inside any route surfaces as ``Unknown``, never as a
     :class:`~repro.errors.BoundExceededError`.
     """
+    from repro.analysis.passes import diagnostics_for_problem
+
     route = _ROUTES.get(type(problem))
     if route is None:
         raise XsmError(
@@ -323,6 +314,7 @@ def solve(problem, context: ExecutionContext | None = None) -> Verdict:
         },
         budget=context.budget,
         trace=None if span.is_noop else span.to_dict(),
+        diagnostics=diagnostics_for_problem(problem, context),
     )
     verdict.problem = problem
     _SOLVES.labels(

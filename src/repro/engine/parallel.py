@@ -39,7 +39,7 @@ from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 from repro.engine.budget import Budget, ExecutionContext, resolve_context
 from repro.engine.cache import CompilationCache
@@ -194,7 +194,7 @@ class BatchResult(Sequence):
     def __len__(self) -> int:
         return len(self.verdicts)
 
-    def __getitem__(self, index):
+    def __getitem__(self, index: Any) -> Any:
         return self.verdicts[index]
 
     def decisions(self) -> list[bool | None]:
@@ -328,7 +328,7 @@ def _solve_serial(
     problems: list,
     context: ExecutionContext,
     task_timeout: float | None,
-    cache_dir,
+    cache_dir: str | None,
     report: BatchReport,
 ) -> list[Verdict]:
     from repro.engine.core import solve
@@ -357,7 +357,8 @@ def _solve_serial(
 
 
 def _absorb_chunk(
-    chunk: _Chunk, stats, metrics_delta, meta, report: BatchReport, batch_span
+    chunk: _Chunk, stats: dict, metrics_delta: dict, meta: dict,
+    report: BatchReport, batch_span: Any,
 ) -> None:
     """Fold one completed chunk's accounting into the driver's registry,
     batch report and (when tracing) the merged cross-process trace."""
@@ -369,7 +370,7 @@ def _absorb_chunk(
     _WORKER_CHUNKS.labels(worker=str(meta["pid"])).inc()
 
 
-def _chunk_span(chunk: _Chunk, pairs, meta) -> dict:
+def _chunk_span(chunk: _Chunk, pairs: list, meta: dict) -> dict:
     """The serialized chunk span wrapping the worker-captured solve spans."""
     children = [
         verdict.report.trace
@@ -398,9 +399,9 @@ def _solve_pooled(
     context: ExecutionContext,
     task_timeout: float | None,
     chunk_size: int | None,
-    cache_dir,
+    cache_dir: str | os.PathLike | None,
     report: BatchReport,
-    batch_span,
+    batch_span: Any,
 ) -> list[Verdict]:
     budget = _effective_budget(context.budget, task_timeout)
     cache_dir = os.fspath(cache_dir) if cache_dir is not None else None
@@ -516,7 +517,7 @@ def _solve_isolated(
     task_timeout: float | None,
     results: dict[int, Verdict],
     report: BatchReport,
-    batch_span,
+    batch_span: Any,
 ) -> None:
     """Re-run suspect tasks one per single-worker pool, for exact blame.
 

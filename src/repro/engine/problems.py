@@ -62,7 +62,7 @@ class CompositionConsistencyProblem:
 
     mappings: tuple["SchemaMapping", ...]
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         self.mappings = tuple(self.mappings)
 
 
@@ -83,7 +83,7 @@ class SeparationProblem:
     positives: tuple["Pattern", ...] = field(default_factory=tuple)
     negatives: tuple["Pattern", ...] = field(default_factory=tuple)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         self.positives = tuple(self.positives)
         self.negatives = tuple(self.negatives)
 

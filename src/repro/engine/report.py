@@ -20,6 +20,11 @@ class SolveReport:
     (:func:`repro.obs.collecting`), ``trace`` holds the serialized span
     tree of the solve — plain picklable data, so it survives the trip
     back from a ``solve_many`` worker process.
+
+    ``diagnostics`` carries the static classifier's fragment-level
+    findings (:func:`repro.analysis.diagnostics_for_problem`):
+    immutable :class:`~repro.analysis.Diagnostic` tuples, picklable for
+    the same worker round trip.
     """
 
     problem: str
@@ -30,16 +35,21 @@ class SolveReport:
     cache: dict[str, int] = field(default_factory=dict)
     budget: Budget = field(default_factory=Budget.default)
     trace: dict | None = field(default=None, repr=False)
+    diagnostics: tuple = ()
 
     def lines(self) -> list[str]:
         """Render for ``--stats`` output."""
         cache = self.cache or {}
-        return [
+        rendered = [
             f"algorithm: {self.algorithm} ({self.reason})",
             f"elapsed: {self.elapsed:.6f}s  expansions: {self.expansions}",
             "cache: "
             + "  ".join(f"{k}={cache.get(k, 0)}" for k in ("hits", "misses", "evictions")),
         ]
+        for diagnostic in self.diagnostics:
+            if diagnostic.severity:  # warnings and errors only in --stats
+                rendered.append(diagnostic.render())
+        return rendered
 
 
 @dataclass

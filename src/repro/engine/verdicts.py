@@ -191,7 +191,7 @@ class Verdict:
             )
         return decision
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if isinstance(other, Verdict):
             return self.decision() == other.decision()
         if isinstance(other, bool):

@@ -96,7 +96,12 @@ class SchemaMapping:
     # -- classification -------------------------------------------------------
 
     def signature(self) -> Signature:
-        """The feature set actually used by the stds."""
+        """The feature set actually used by the stds (memoized — the std
+        tuple is fixed at construction, and routing, prediction and the
+        linter all re-ask)."""
+        cached: Signature | None = self.__dict__.get("_signature")
+        if cached is not None:
+            return cached
         features: set[str] = {CHILD}
         for std in self.stds:
             for pattern in (std.source, std.target):
@@ -113,7 +118,9 @@ class SchemaMapping:
                 features.add(EQUALITY)
             for comparison in std.source_conditions + std.target_conditions:
                 features.add(EQUALITY if comparison.op == "=" else INEQUALITY)
-        return Signature(frozenset(features))
+        signature = Signature(frozenset(features))
+        self.__dict__["_signature"] = signature
+        return signature
 
     def check_signature(self, allowed: Iterable[str]) -> None:
         """Raise :class:`SignatureError` if features outside *allowed* are used."""

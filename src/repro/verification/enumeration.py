@@ -14,8 +14,13 @@ from repro.xmlmodel.dtd import DTD
 from repro.xmlmodel.tree import TreeNode
 
 
-class _LabelTreeEnumerator:
-    """Enumerates label-only trees (no attribute values) of bounded size."""
+class LabelTreeEnumerator:
+    """Enumerates label-only trees (no attribute values) of bounded size.
+
+    Public so callers that need size-by-size control (the linter's
+    bounded witness probe) can drive :meth:`trees_of` directly instead of
+    going through :func:`enumerate_label_trees`.
+    """
 
     def __init__(self, dtd: DTD):
         self.dtd = dtd
@@ -62,7 +67,7 @@ def _compositions(total: int, parts: int) -> Iterator[tuple[int, ...]]:
 
 def enumerate_label_trees(dtd: DTD, max_size: int) -> Iterator[TreeNode]:
     """All label-trees conforming to *dtd* with at most *max_size* nodes."""
-    enumerator = _LabelTreeEnumerator(dtd)
+    enumerator = LabelTreeEnumerator(dtd)
     for size in range(1, max_size + 1):
         yield from enumerator.trees_of(dtd.root, size)
 

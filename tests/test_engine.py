@@ -356,6 +356,53 @@ class TestRouting:
         assert any("cache:" in line for line in lines)
 
 
+class TestLintAgreesWithRouting:
+    """The linter's static cell prediction is the routing oracle.
+
+    ``repro.analysis.fragment`` and ``solve()`` consult the same
+    predicates, so over the full routing matrix the predicted algorithm
+    must be the one the engine actually selects, and a prediction of
+    "exact" must never be contradicted by an Unknown verdict.  The one
+    tolerated divergence is dynamic: a route that starts exact may
+    overflow its run-time budget and fall back to a bounded search
+    (``abscons-expansion`` -> ``abscons-bounded``), which no static
+    analysis can foresee.
+    """
+
+    @pytest.mark.parametrize(
+        "problem, algorithm",
+        _routing_cases(),
+        ids=lambda value: value if isinstance(value, str) else "",
+    )
+    def test_predicted_cell_matches_selected_algorithm(self, problem, algorithm):
+        from repro.analysis.fragment import predict_for_problem
+
+        context = ExecutionContext(
+            Budget.default().with_(max_source_size=3, max_target_size=4),
+            cache=CompilationCache(),
+        )
+        prediction = predict_for_problem(problem, context)
+        verdict = solve(problem, context)
+        selected = verdict.report.algorithm
+        dynamic_fallback = (
+            prediction.algorithm == "abscons-expansion"
+            and selected == "abscons-bounded"
+        )
+        assert prediction.algorithm == selected or dynamic_fallback
+        assert prediction.decidable is prediction.exact
+        if prediction.exact and not dynamic_fallback:
+            # lint-predicted decidability never contradicts the verdict
+            assert verdict.is_proved or verdict.is_refuted
+        if not prediction.exact:
+            assert "bounded" in prediction.algorithm
+
+    def test_prediction_rejects_unknown_problems(self):
+        from repro.analysis.fragment import predict_for_problem
+
+        with pytest.raises(TypeError):
+            predict_for_problem(object())
+
+
 # ---------------------------------------------------------------------------
 # certification
 # ---------------------------------------------------------------------------

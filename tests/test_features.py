@@ -64,3 +64,62 @@ def test_uses_only_child_axis_allows_wildcard():
     assert uses_only_child_axis(parse_pattern("_[a[_]]"))
     assert not uses_only_child_axis(parse_pattern("r//a"))
     assert not uses_only_child_axis(parse_pattern("r[a -> b]"))
+
+
+def test_axes_or_merges_every_flag():
+    flags = ("descendant", "next_sibling", "following_sibling", "wildcard")
+    for flag in flags:
+        merged = Axes() | Axes(**{flag: True})
+        assert getattr(merged, flag) is True
+        for other in flags:
+            if other != flag:
+                assert getattr(merged, other) is False
+    everything = Axes(True, False, True, False) | Axes(False, True, False, True)
+    assert everything == Axes(True, True, True, True)
+
+
+def test_axes_or_identity_and_commutativity():
+    a = Axes(descendant=True, wildcard=True)
+    b = Axes(next_sibling=True)
+    assert a | Axes() == a
+    assert Axes() | a == a
+    assert a | a == a
+    assert a | b == b | a
+
+
+def test_as_signature_stable_and_hashable():
+    axes = axes_of(parse_pattern("r[//a[_ -> b]]"))
+    first = axes.as_signature()
+    assert first == axes.as_signature()  # repeated calls agree
+    assert first == frozenset(
+        {CHILD, DESCENDANT, NEXT_SIBLING, WILDCARD_FEATURE}
+    )
+    # frozen dataclass: usable as a dict key next to an equal instance
+    assert {axes: 1}[Axes(descendant=True, next_sibling=True, wildcard=True)] == 1
+
+
+def test_as_signature_full_axes():
+    signature = Axes(True, True, True, True).as_signature()
+    assert signature == frozenset(
+        {CHILD, DESCENDANT, NEXT_SIBLING, FOLLOWING_SIBLING, WILDCARD_FEATURE}
+    )
+
+
+def test_wildcard_only_pattern():
+    axes = axes_of(parse_pattern("_"))
+    assert axes == Axes(wildcard=True)
+    assert uses_only_child_axis(parse_pattern("_"))
+    assert not is_fully_specified(parse_pattern("_"))
+
+
+def test_fully_specified_rejects_following_sibling_with_attributes():
+    # attribute terms never rescue a pattern that orders its siblings
+    assert not is_fully_specified(parse_pattern("r[a(x) ->* b(y)]"))
+    assert not is_fully_specified(parse_pattern("r[a(x) -> b(x)]"))
+
+
+def test_fully_specified_allows_attribute_comparisons():
+    # repeated variables (implicit =) are a data feature, not an axis:
+    # grammar (5) only restricts navigation
+    assert is_fully_specified(parse_pattern("r[a(x), b(x)]"))
+    assert is_fully_specified(parse_pattern("r[a(x)[b(y, x)], c(y)]"))
