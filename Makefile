@@ -16,12 +16,15 @@ smoke:
 # solve_many correctness gate (parallel verdicts == serial; no timing
 # assertions, so it is safe on loaded single-core runners), the
 # observability gate (idle-instrumentation overhead within tolerance,
-# plus the BENCH_trace_smoke.jsonl trace artifact CI uploads), and the
-# linter latency gate (aggregate lint >= 10x below cold solve)
+# plus the BENCH_trace_smoke.jsonl trace artifact CI uploads), the
+# linter latency gate (aggregate lint >= 2x below the bitset-accelerated
+# cold solve), and the
+# kernel-equivalence gate (pure vs bitset verdicts must be identical)
 bench-smoke: smoke
 	$(PYTHON) benchmarks/bench_fig1_parallel.py --smoke
 	$(PYTHON) benchmarks/bench_obs.py --smoke
 	$(PYTHON) benchmarks/bench_lint.py --smoke
+	$(PYTHON) benchmarks/bench_scale.py --smoke
 
 # self-checking metrics-exporter gate: solves a built-in batch over two
 # workers and fails on any Prometheus/JSON exporter or trace-merge regression

@@ -1,0 +1,318 @@
+"""Document-scale kernel ladder — ``BENCH_scale.json``.
+
+Two ladders, each run under **both** kernels (``pure`` and ``bitset``,
+pinned via :func:`repro.kernel.force_kernel` so the automatic size
+cutover does not blur the comparison):
+
+* **document ladder** — trees of 10^3..10^6 nodes; per size, one
+  mapping-membership decision (``is_solution`` over flat documents) and
+  one pattern-evaluation pass (fresh engine build + a selective
+  ``find_matches`` + a sequence-existence query);
+* **F1.1 ladder** — the EXPTIME consistency family ``n = 1..6`` with a
+  fresh compilation cache per kernel, journaling the bitset speedup at
+  the top of the ladder (acceptance bar: >= 5x at ``n = 6``).
+
+``--smoke`` runs a reduced ladder and doubles as the **kernel
+equivalence gate**: membership verdicts, match relations and
+consistency verdicts must be identical under both kernels, and the
+consistency witnesses must certify.  Exits non-zero on any mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+if True:  # make both `pytest benchmarks` and direct execution work
+    _here = Path(__file__).resolve().parent
+    for entry in (_here, _here.parent / "src"):
+        if str(entry) not in sys.path:
+            sys.path.insert(0, str(entry))
+
+from harness import emit_json, print_table, series_payload, sweep
+
+from repro.consistency import is_consistent_automata
+from repro.engine import CompilationCache, ExecutionContext
+from repro.kernel import BITSET, PURE, force_kernel
+from repro.mappings.membership import is_solution
+from repro.patterns.matching import engine_for
+from repro.patterns.parser import parse_pattern
+from repro.workloads.families import (
+    cons_arbitrary_family,
+    flat_document,
+    membership_mapping,
+    target_document,
+)
+from repro.xmlmodel.tree import TreeNode
+
+KERNELS = (PURE, BITSET)
+
+#: Document ladder (node counts, approximate: + root / group framing).
+FULL_SIZES = [1_000, 10_000, 100_000, 1_000_000]
+SMOKE_SIZES = [1_000, 10_000]
+
+#: F1.1 consistency ladder (number of disjunctive choices).
+FULL_CHOICES = range(1, 7)
+SMOKE_CHOICES = range(1, 4)
+
+#: Acceptance bar for the bitset kernel at the top of the F1.1 ladder.
+SPEEDUP_BAR = 5.0
+
+#: Selective pattern (constant access path) and sequence-existence
+#: pattern for the document ladder; see :func:`grouped_document`.
+FIND_PATTERN = 'r//group(g)[item(g,"7")]'
+EXISTS_PATTERN = "r//group(g)[item(g,x) -> item(g,y)]"
+
+
+def grouped_document(n_nodes: int, fanout: int = 100) -> TreeNode:
+    """A two-level document of about *n_nodes* nodes.
+
+    ``r`` over ``n/fanout`` groups of *fanout* items; every item carries
+    its group id plus a small cyclic payload, so patterns joining on the
+    group id have work to do at every size.
+    """
+    n_groups = max(1, n_nodes // (fanout + 1))
+    return TreeNode(
+        "r",
+        (),
+        tuple(
+            TreeNode(
+                "group",
+                (str(g),),
+                tuple(
+                    TreeNode("item", (str(g), str(i % 10)), ())
+                    for i in range(fanout)
+                ),
+            )
+            for g in range(n_groups)
+        ),
+    )
+
+
+def pattern_eval_rows(sizes, kernel: str):
+    """Fresh engine build + selective find + sequence existence, per size."""
+    find_pattern = parse_pattern(FIND_PATTERN)
+    exists_pattern = parse_pattern(EXISTS_PATTERN)
+
+    def make(n):
+        root = grouped_document(n)
+
+        def action():
+            root._engine = None  # fresh build: the index is part of the cost
+            with force_kernel(kernel):
+                engine = engine_for(root)
+            matches = engine.find_matches(find_pattern)
+            found = engine.exists_anywhere(exists_pattern)
+            return (type(engine).__name__, len(matches), found)
+
+        return action
+
+    return sweep(sizes, make)
+
+
+def membership_rows(sizes, kernel: str):
+    """One mapping-membership decision per document size."""
+    mapping = membership_mapping(1)
+
+    def make(n):
+        source, target = flat_document(n), target_document(n)
+
+        def action():
+            source._engine = None
+            target._engine = None
+            with force_kernel(kernel):
+                return is_solution(mapping, source, target)
+
+        return action
+
+    return sweep(sizes, make)
+
+
+def consistency_rows(choices, kernel: str):
+    """The F1.1 EXPTIME family, compiled fresh under *kernel*."""
+
+    def make(n):
+        mapping = cons_arbitrary_family(n)
+
+        def action():
+            context = ExecutionContext(cache=CompilationCache())
+            with force_kernel(kernel):
+                return is_consistent_automata(mapping, context)
+
+        return action
+
+    return sweep(choices, make)
+
+
+def run_ladders(sizes, choices) -> tuple[dict, float]:
+    """All ladders under both kernels; returns (records, f11_speedup)."""
+    records: dict[str, dict] = {}
+    f11_top: dict[str, float] = {}
+    for kernel in KERNELS:
+        rows = membership_rows(sizes, kernel)
+        print_table(
+            f"scale-membership[{kernel}]",
+            "mapping membership at document scale (DLOGSPACE data complexity)",
+            rows,
+            size_label="|T|",
+            note=f"kernel={kernel}; fresh pattern engines per sample",
+        )
+        records[f"membership/{kernel}"] = series_payload(
+            rows,
+            claim="mapping membership at document scale",
+            note="fresh pattern engines per sample",
+            kernel=kernel,
+            size_label="|T|",
+        )
+
+        rows = pattern_eval_rows(sizes, kernel)
+        print_table(
+            f"scale-pattern[{kernel}]",
+            "pattern evaluation at document scale (engine build + queries)",
+            rows,
+            size_label="nodes",
+            note=f"kernel={kernel}; selective find_matches + sequence existence",
+        )
+        records[f"pattern-eval/{kernel}"] = series_payload(
+            rows,
+            claim="pattern evaluation at document scale",
+            note="fresh engine build + selective find_matches + sequence existence",
+            kernel=kernel,
+            size_label="nodes",
+        )
+
+        rows = consistency_rows(choices, kernel)
+        print_table(
+            f"scale-F1.1[{kernel}]",
+            "CONS(⇓) arbitrary DTDs: EXPTIME-complete",
+            rows,
+            size_label="choices",
+            note=f"kernel={kernel}; fresh compilation cache per sample",
+        )
+        records[f"F1.1/{kernel}"] = series_payload(
+            rows,
+            claim="CONS(⇓) arbitrary DTDs under both kernels",
+            note="fresh compilation cache per sample",
+            kernel=kernel,
+            size_label="choices",
+        )
+        f11_top[kernel] = rows[-1].seconds
+
+    speedup = f11_top[PURE] / f11_top[BITSET] if f11_top[BITSET] > 0 else float("inf")
+    records["F1.1-speedup"] = {
+        "claim": f"bitset kernel >= {SPEEDUP_BAR}x on the F1.1 ladder top",
+        "n": max(choices),
+        "pure_seconds": f11_top[PURE],
+        "bitset_seconds": f11_top[BITSET],
+        "speedup": speedup,
+    }
+    print()
+    print(
+        f"[scale-F1.1] speedup at n={max(choices)}: {speedup:.2f}x "
+        f"(pure {f11_top[PURE]:.3f}s / bitset {f11_top[BITSET]:.3f}s)"
+    )
+    return records, speedup
+
+
+def equivalence_gate(sizes, choices) -> list[str]:
+    """Differential gate: both kernels must agree everywhere; returns errors."""
+    from repro.engine.certify import CertificationError, certify
+    from repro.engine.problems import ConsistencyProblem
+
+    errors: list[str] = []
+
+    mapping = membership_mapping(1)
+    for n in sizes:
+        source, target = flat_document(n), target_document(n)
+        verdicts = {}
+        for kernel in KERNELS:
+            source._engine = None
+            target._engine = None
+            with force_kernel(kernel):
+                verdicts[kernel] = is_solution(mapping, source, target)
+        if verdicts[PURE].is_proved != verdicts[BITSET].is_proved:
+            errors.append(f"membership verdict mismatch at |T|={n}: {verdicts}")
+
+    find_pattern = parse_pattern(FIND_PATTERN)
+    exists_pattern = parse_pattern(EXISTS_PATTERN)
+    for n in sizes:
+        root = grouped_document(n)
+        results = {}
+        for kernel in KERNELS:
+            root._engine = None
+            with force_kernel(kernel):
+                engine = engine_for(root)
+            results[kernel] = (
+                engine.relation_at_root(find_pattern),
+                engine.exists_anywhere(exists_pattern),
+            )
+        if results[PURE] != results[BITSET]:
+            errors.append(f"pattern evaluation mismatch at {n} nodes")
+
+    for n in choices:
+        for consistent in (True, False):
+            mapping = cons_arbitrary_family(n, consistent=consistent)
+            verdicts = {}
+            for kernel in KERNELS:
+                context = ExecutionContext(cache=CompilationCache())
+                with force_kernel(kernel):
+                    verdicts[kernel] = is_consistent_automata(mapping, context)
+            if verdicts[PURE].is_proved != verdicts[BITSET].is_proved:
+                errors.append(
+                    f"F1.1 verdict mismatch at n={n} consistent={consistent}"
+                )
+                continue
+            for kernel, verdict in verdicts.items():
+                if verdict.is_proved:
+                    try:
+                        with force_kernel(PURE):  # re-check on the oracle path
+                            certify(verdict, ConsistencyProblem(mapping))
+                    except CertificationError as exc:
+                        errors.append(
+                            f"F1.1 witness fails certification at n={n} "
+                            f"under {kernel}: {exc}"
+                        )
+    return errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced ladder plus the kernel-equivalence gate (CI)",
+    )
+    args = parser.parse_args(argv)
+
+    sizes = SMOKE_SIZES if args.smoke else FULL_SIZES
+    choices = SMOKE_CHOICES if args.smoke else FULL_CHOICES
+
+    started = time.perf_counter()
+    records, speedup = run_ladders(sizes, choices)
+    if not args.smoke:  # smoke gates only — never clobber the full ladder
+        for experiment, payload in records.items():
+            emit_json("scale", experiment, payload, meta={"kernels": list(KERNELS)})
+        print(f"\n[scale] journaled {len(records)} records to BENCH_scale.json "
+              f"in {time.perf_counter() - started:.1f}s")
+
+    if args.smoke:
+        errors = equivalence_gate(sizes, choices)
+        if errors:
+            for error in errors:
+                print(f"[scale] EQUIVALENCE FAILURE: {error}", file=sys.stderr)
+            return 1
+        print("[scale] kernel equivalence gate: OK")
+    elif speedup < SPEEDUP_BAR:
+        print(
+            f"[scale] FAILURE: F1.1 bitset speedup {speedup:.2f}x "
+            f"below the {SPEEDUP_BAR}x bar",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -66,13 +66,17 @@ def sweep(
     sizes: Iterable[int],
     make_action: Callable[[int], Callable[[], object]],
     min_repeat_seconds: float = 0.01,
+    min_samples: int = 3,
 ) -> list[SweepPoint]:
     """Run ``make_action(n)()`` per size; fast points are repeated and averaged.
 
     The first call pays one-time costs (lazy imports, caches warming up),
     so once a point proves fast enough to repeat, that cold sample is
-    *discarded* and only warm runs enter the average.  Slow points keep
-    their single cold measurement — it is the only sample there is.
+    *discarded* and only warm runs enter the average.  Slow points are
+    measured at least *min_samples* times and report the **minimum** —
+    for a deterministic computation the minimum is the least-noise
+    estimate (everything above it is scheduler/GC interference), whereas
+    a mean would smear interference into the curve.
     """
     rows: list[SweepPoint] = []
     for n in sizes:
@@ -91,7 +95,17 @@ def sweep(
                 repeats += more
             else:
                 elapsed, repeats, warm_only = batch, more, True
-        rows.append(SweepPoint(n, elapsed / repeats, result, repeats))
+        if not warm_only:
+            # slow point: min-of-K, never a lone cold sample
+            best = elapsed
+            while repeats < max(min_samples, 1):
+                seconds, result = time_once(action)
+                if seconds < best:
+                    best = seconds
+                repeats += 1
+            rows.append(SweepPoint(n, best, result, repeats))
+        else:
+            rows.append(SweepPoint(n, elapsed / repeats, result, repeats))
     return rows
 
 
@@ -193,7 +207,9 @@ def span_breakdown_of(result: object) -> dict[str, float] | None:
     }
 
 
-def emit_json(figure: str, experiment: str, payload: dict) -> Path:
+def emit_json(
+    figure: str, experiment: str, payload: dict, meta: dict | None = None
+) -> Path:
     """Merge one experiment's record into the repo-root trajectory file.
 
     ``figure`` is ``"fig1"`` or ``"fig2"``; the record lands under
@@ -202,7 +218,8 @@ def emit_json(figure: str, experiment: str, payload: dict) -> Path:
     an unreadable file is rebuilt from scratch rather than crashing the
     benchmark run.  Every write refreshes the ``_meta`` block
     (:data:`SCHEMA_VERSION` plus :func:`run_environment`), stamping the
-    file with the machine that produced the latest numbers.
+    file with the machine that produced the latest numbers; *meta*
+    entries (e.g. the kernel a ladder ran under) are merged on top.
     """
     path = REPO_ROOT / f"BENCH_{figure}.json"
     try:
@@ -216,6 +233,8 @@ def emit_json(figure: str, experiment: str, payload: dict) -> Path:
         "schema_version": SCHEMA_VERSION,
         "environment": run_environment(jobs=payload.get("jobs")),
     }
+    if meta:
+        data["_meta"].update(meta)
     path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
     return path
 

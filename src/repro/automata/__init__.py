@@ -18,6 +18,9 @@ exactly as the paper's EXPTIME bounds predict.
 * :mod:`repro.automata.pattern_automaton` — the *closure automaton* of a
   set of variable-free patterns: its state at a node records which
   subpatterns are satisfied at / strictly below the node.
+* :mod:`repro.automata.bitset` — integer-encoded twins of the two
+  automata above (the ``REPRO_KERNEL=bitset`` fast path), backed by the
+  interning tables of :mod:`repro.automata.interning`.
 """
 
 from repro.automata.duta import (
@@ -25,17 +28,25 @@ from repro.automata.duta import (
     TreeAutomaton,
     find_accepted,
     reachable_states,
+    reachable_states_naive,
     run,
 )
 from repro.automata.dtd_automaton import DTDAutomaton
 from repro.automata.pattern_automaton import PatternClosureAutomaton
+from repro.automata.bitset import BitsetClosureAutomaton, BitsetDTDAutomaton
+from repro.automata.interning import Interner, LabelTable
 
 __all__ = [
     "TreeAutomaton",
     "ProductAutomaton",
     "run",
     "reachable_states",
+    "reachable_states_naive",
     "find_accepted",
     "DTDAutomaton",
     "PatternClosureAutomaton",
+    "BitsetDTDAutomaton",
+    "BitsetClosureAutomaton",
+    "Interner",
+    "LabelTable",
 ]

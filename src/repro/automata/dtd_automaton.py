@@ -61,6 +61,14 @@ class DTDAutomaton(TreeAutomaton):
         label, ok = state
         return ok and label == self.dtd.root
 
+    def state_ok(self, state) -> bool:
+        """Does the vertical *state* record a conforming subtree?
+
+        Kernel-polymorphic accessor: prune hooks use it instead of
+        destructuring, so they work on bitset-encoded states too.
+        """
+        return state[1]
+
     def decorate(
         self, witness: TreeNode, value_factory: Callable[[str, str], object] | None = None
     ) -> TreeNode:

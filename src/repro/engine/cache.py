@@ -29,10 +29,12 @@ from collections import Counter, OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Hashable, Iterable
 
+from repro.automata.bitset import BitsetClosureAutomaton, BitsetDTDAutomaton
 from repro.automata.dtd_automaton import DTDAutomaton
 from repro.automata.duta import ProductAutomaton, reachable_states
 from repro.automata.pattern_automaton import PatternClosureAutomaton
 from repro.engine.diskcache import MISS, DiskCacheTier
+from repro.kernel import BITSET, PURE, select_kernel
 
 if TYPE_CHECKING:
     from repro.engine.budget import ExecutionContext
@@ -326,9 +328,22 @@ class CompiledDTDAutomaton(DTDAutomaton):
 def dtd_automaton(
     dtd: DTD, extra_labels: frozenset[str] = frozenset(),
     context: "ExecutionContext | None" = None,
+    kernel: str = PURE,
 ) -> DTDAutomaton:
-    """A cached conformance automaton for *dtd* over its labels + extras."""
+    """A cached conformance automaton for *dtd* over its labels + extras.
+
+    *kernel* selects the implementation: ``"pure"`` (the default — keys
+    and artifacts are byte-identical to the pre-kernel cache) or
+    ``"bitset"`` for the integer-encoded fast path.  The two kernels use
+    distinct artifact kinds, so a disk tier never serves one in place of
+    the other.
+    """
     cache = resolve_cache(context)
+    if kernel == BITSET:
+        return cache.lookup(
+            ("bitset-dtd-automaton", dtd_key(dtd), frozenset(extra_labels)),
+            lambda: BitsetDTDAutomaton(dtd, extra_labels),
+        )
     return cache.lookup(
         ("dtd-automaton", dtd_key(dtd), frozenset(extra_labels)),
         lambda: CompiledDTDAutomaton(dtd, extra_labels, context),
@@ -341,10 +356,29 @@ def closure_automaton(
     extra_labels: frozenset[str] = frozenset(),
     with_arity: bool = True,
     context: "ExecutionContext | None" = None,
+    kernel: str = PURE,
 ) -> PatternClosureAutomaton:
-    """A cached pattern closure automaton over *dtd*'s label alphabet."""
+    """A cached pattern closure automaton over *dtd*'s label alphabet.
+
+    See :func:`dtd_automaton` for the *kernel* contract.
+    """
     cache = resolve_cache(context)
     patterns = tuple(patterns)
+    if kernel == BITSET:
+        return cache.lookup(
+            (
+                "bitset-closure",
+                dtd_key(dtd),
+                patterns,
+                frozenset(extra_labels),
+                with_arity,
+            ),
+            lambda: BitsetClosureAutomaton(
+                patterns,
+                extra_labels=dtd.labels | frozenset(extra_labels),
+                arity_of=dtd.arity if with_arity else None,
+            ),
+        )
     return cache.lookup(
         ("closure", dtd_key(dtd), patterns, frozenset(extra_labels), with_arity),
         lambda: PatternClosureAutomaton(
@@ -353,6 +387,15 @@ def closure_automaton(
             arity_of=dtd.arity if with_arity else None,
         ),
     )
+
+
+def automata_size(dtd: DTD, patterns: Iterable[Pattern]) -> int:
+    """The kernel-selection size of an automata problem.
+
+    Subpattern count plus alphabet size — the quantities that scale the
+    closure-automaton state space and the per-step work.
+    """
+    return sum(p.size for p in patterns) + len(dtd.labels)
 
 
 def achievable_sets(
@@ -370,17 +413,24 @@ def achievable_sets(
     This table is what the Section-5/6/7 trigger-set algorithms consume;
     caching it is the big win on repeated-DTD sweeps, since the reachability
     pass *is* the exponential part.
+
+    The automata kernel (pure vs bitset, chosen by problem size or the
+    ``REPRO_KERNEL`` override) is part of the cache key: the table's
+    *content* is kernel-independent, but witnesses may legitimately
+    differ between kernels, so artifacts are never reused across them.
     """
     from repro.engine.budget import resolve_context
 
     cache = resolve_cache(context)
     patterns = tuple(patterns)
+    kernel = select_kernel("automata", automata_size(dtd, patterns))
     key = (
         "achievable",
         dtd_key(dtd),
         patterns,
         frozenset(extra_labels),
         with_arity,
+        kernel,
     )
     if cache.enabled and key in cache._entries:
         return cache.lookup(key, lambda: None)  # pure hit, no charging
@@ -389,12 +439,16 @@ def achievable_sets(
     charge = resolved.charge if resolved is not None else None
 
     def build() -> dict[frozenset[int], TreeNode]:
-        closure = closure_automaton(patterns, dtd, extra_labels, with_arity, context)
-        conformance = dtd_automaton(dtd, frozenset(extra_labels), context)
+        closure = closure_automaton(
+            patterns, dtd, extra_labels, with_arity, context, kernel=kernel
+        )
+        conformance = dtd_automaton(
+            dtd, frozenset(extra_labels), context, kernel=kernel
+        )
         product = ProductAutomaton([conformance, closure])
         realized = reachable_states(
             product,
-            prune=lambda state: not state[0][1],
+            prune=lambda state: not conformance.state_ok(state[0]),
             prune_horizontal=lambda label, h: conformance.horizontal_dead(h[0]),
             charge=charge,
         )

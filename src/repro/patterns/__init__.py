@@ -23,7 +23,8 @@ from repro.patterns.ast import (
     seq,
 )
 from repro.patterns.parser import parse_pattern
-from repro.patterns.index import EngineStats, TreeIndex
+from repro.patterns.index import CompactTreeIndex, EngineStats, TreeIndex
+from repro.patterns.compact import CompactPatternEngine
 from repro.patterns.matching import (
     PatternEngine,
     engine_for,
@@ -56,7 +57,9 @@ __all__ = [
     "parse_pattern",
     "EngineStats",
     "TreeIndex",
+    "CompactTreeIndex",
     "PatternEngine",
+    "CompactPatternEngine",
     "engine_for",
     "evaluate",
     "find_matches",

@@ -31,6 +31,7 @@ index-prune short-circuits).
 
 from __future__ import annotations
 
+from array import array
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, fields
 from typing import Iterable, Iterator
@@ -193,6 +194,169 @@ class TreeIndex:
         return self.end[id(node)] - self.pre[id(node)]
 
 
+class CompactTreeIndex:
+    """Array-backed structural index: the bitset kernel's tree layout.
+
+    The same access paths as :class:`TreeIndex`, but nodes are *preorder
+    positions* (dense ints) instead of ``TreeNode`` objects, and every
+    per-node table is a contiguous array indexed by position:
+
+    * ``label_id[p]`` / ``attrs[p]`` — interned label and attribute tuple;
+    * ``end[p]`` — inclusive end of the subtree's preorder span, so
+      "descendant of p" is the range ``p < q <= end[p]``;
+    * ``parent[p]`` / ``first_child[p]`` / ``next_sibling[p]`` — the
+      navigation arrays (``-1`` = absent), giving child enumeration
+      without touching node objects;
+    * ``by_label`` — document-ordered position arrays per label;
+    * ``mask_at_or_below[p]`` / ``mask_below[p]`` — subtree label
+      bitmasks, same pruning contract as :class:`TreeIndex`.
+
+    Built in one DFS plus one reverse sweep (children fold into parents
+    in reverse preorder, where every descendant has already finished).
+    The attribute-value access path is materialized lazily per label the
+    first time a fully-constant formula queries it.
+    """
+
+    __slots__ = (
+        "root",
+        "size",
+        "label_id",
+        "attrs",
+        "end",
+        "parent",
+        "first_child",
+        "next_sibling",
+        "by_label",
+        "label_bit",
+        "mask_at_or_below",
+        "mask_below",
+        "_attr_index",
+    )
+
+    def __init__(self, root: TreeNode):
+        self.root = root
+        label_ids: list[int] = []
+        attrs: list[tuple] = []
+        parents: list[int] = []
+        by_label: dict[str, list[int]] = {}
+        label_bit: dict[str, int] = {}
+        stack: list[tuple[TreeNode, int]] = [(root, -1)]
+        while stack:
+            node, parent_pos = stack.pop()
+            pos = len(label_ids)
+            bit = label_bit.setdefault(node.label, len(label_bit))
+            label_ids.append(bit)
+            attrs.append(node.attrs)
+            parents.append(parent_pos)
+            by_label.setdefault(node.label, []).append(pos)
+            for child in reversed(node.children):
+                stack.append((child, pos))
+        n = len(label_ids)
+        self.size = n
+        self.label_id = array("i", label_ids)
+        self.attrs = attrs
+        self.parent = array("i", parents)
+        self.label_bit = label_bit
+        self.by_label = {label: array("i", ps) for label, ps in by_label.items()}
+        end = array("i", range(n))
+        at_or_below = [1 << bit for bit in label_ids]
+        below = [0] * n
+        for pos in range(n - 1, 0, -1):
+            parent_pos = parents[pos]
+            if end[pos] > end[parent_pos]:
+                end[parent_pos] = end[pos]
+            at_or_below[parent_pos] |= at_or_below[pos]
+            below[parent_pos] |= at_or_below[pos]
+        self.end = end
+        self.mask_at_or_below = at_or_below
+        self.mask_below = below
+        first_child = array("i", [-1]) * n if n else array("i")
+        next_sibling = array("i", [-1]) * n if n else array("i")
+        for pos in range(n):
+            if end[pos] > pos:
+                first_child[pos] = pos + 1
+            parent_pos = parents[pos]
+            if parent_pos >= 0:
+                following = end[pos] + 1
+                if following <= end[parent_pos]:
+                    next_sibling[pos] = following
+        self.first_child = first_child
+        self.next_sibling = next_sibling
+        #: label -> {attrs tuple -> positions}, built on first use
+        self._attr_index: dict[str, dict[tuple, list[int]]] = {}
+
+    # -- label bitsets --------------------------------------------------------
+
+    def labels_mask(self, labels: Iterable[str]) -> int | None:
+        """Bitmask of *labels*, or None when some label is absent."""
+        mask = 0
+        for label in labels:
+            bit = self.label_bit.get(label)
+            if bit is None:
+                return None
+            mask |= 1 << bit
+        return mask
+
+    def subtree_covers(self, pos: int, mask: int) -> bool:
+        """Do all labels of *mask* occur at position *pos* or below it?"""
+        return mask & ~self.mask_at_or_below[pos] == 0
+
+    def below_covers(self, pos: int, mask: int) -> bool:
+        """Do all labels of *mask* occur strictly below position *pos*?"""
+        return mask & ~self.mask_below[pos] == 0
+
+    # -- navigation -----------------------------------------------------------
+
+    def children(self, pos: int) -> Iterator[int]:
+        """Child positions of *pos* in sibling order."""
+        child = self.first_child[pos]
+        while child >= 0:
+            yield child
+            child = self.next_sibling[child]
+
+    def descendant_count(self, pos: int) -> int:
+        return self.end[pos] - pos
+
+    # -- candidate enumeration ------------------------------------------------
+
+    def attr_positions(self, label: str, attrs: tuple) -> list[int]:
+        """Document-ordered positions of ``label``-nodes with exactly *attrs*."""
+        per_label = self._attr_index.get(label)
+        if per_label is None:
+            per_label = self._attr_index[label] = {}
+            all_attrs = self.attrs
+            for pos in self.by_label.get(label, ()):
+                per_label.setdefault(all_attrs[pos], []).append(pos)
+        return per_label.get(attrs, [])
+
+    def candidates(
+        self,
+        pos: int,
+        label: str | None = None,
+        attrs: tuple | None = None,
+        strict: bool = True,
+    ) -> Iterator[int]:
+        """Positions below *pos* that could match a node formula.
+
+        Same contract as :meth:`TreeIndex.candidates`, over positions.
+        """
+        first = pos + (1 if strict else 0)
+        last = self.end[pos]
+        if first > last:
+            return
+        if label is None:
+            yield from range(first, last + 1)
+            return
+        if attrs is not None:
+            positions: "Iterable[int]" = self.attr_positions(label, attrs)
+        else:
+            positions = self.by_label.get(label, ())
+        lo = bisect_left(positions, first)
+        hi = bisect_right(positions, last)
+        for i in range(lo, hi):
+            yield positions[i]
+
+
 def index_for(root: TreeNode) -> TreeIndex:
     """The cached :class:`TreeIndex` of *root* (built on first use).
 
@@ -202,6 +366,9 @@ def index_for(root: TreeNode) -> TreeIndex:
     index never goes stale.
     """
     engine = getattr(root, "_engine", None)
-    if engine is not None:
-        return engine.index
+    index = getattr(engine, "index", None)
+    if isinstance(index, TreeIndex):
+        return index
+    # no engine yet, or a compact engine whose index speaks positions —
+    # either way the caller asked for the node-object view
     return TreeIndex(root)

@@ -354,51 +354,102 @@ class PatternEngine:
         rhs: frozenset,
         rhs_vars: frozenset[Var],
     ) -> frozenset:
-        """Join two relations on their shared variables (hash join).
+        return hash_join(lhs, lhs_vars, rhs, rhs_vars, self.stats)
 
-        Every valuation of a relation binds exactly the relation's
-        variable set, so two valuations merge iff they agree on the
-        shared variables — the hash key.
-        """
-        if not lhs or not rhs:
-            return _EMPTY_REL
-        if not lhs_vars:
-            return rhs  # lhs is the true relation over zero variables
-        if not rhs_vars:
-            return lhs
-        shared = lhs_vars & rhs_vars
-        if not shared:
-            self.stats.join_pairs += len(lhs) * len(rhs)
-            return frozenset(a | b for a in lhs for b in rhs)
-        build, probe = (lhs, rhs) if len(lhs) <= len(rhs) else (rhs, lhs)
-        key_vars = tuple(sorted(shared, key=lambda v: v.name))
-        table: dict[tuple, list] = {}
-        for valuation in build:
-            values = dict(valuation)
-            key = tuple(values[v] for v in key_vars)
-            table.setdefault(key, []).append(valuation)
-        out: list = []
-        for valuation in probe:
-            values = dict(valuation)
-            bucket = table.get(tuple(values[v] for v in key_vars))
-            if bucket:
-                self.stats.join_pairs += len(bucket)
-                out.extend(other | valuation for other in bucket)
-        return frozenset(out)
+
+def hash_join(
+    lhs: frozenset,
+    lhs_vars: frozenset[Var],
+    rhs: frozenset,
+    rhs_vars: frozenset[Var],
+    stats: EngineStats,
+) -> frozenset:
+    """Join two relations on their shared variables (hash join).
+
+    Every valuation of a relation binds exactly the relation's
+    variable set, so two valuations merge iff they agree on the
+    shared variables — the hash key.  Shared by the object engine and
+    the compact engine (:mod:`repro.patterns.compact`), which differ in
+    how they reach nodes, not in how they combine valuations.
+    """
+    if not lhs or not rhs:
+        return _EMPTY_REL
+    if not lhs_vars:
+        return rhs  # lhs is the true relation over zero variables
+    if not rhs_vars:
+        return lhs
+    if len(lhs) == 1 and len(rhs) == 1:
+        # singleton x singleton: merge and check each var binds one value
+        (a,) = lhs
+        (b,) = rhs
+        merged = a | b
+        if len({pair[0] for pair in merged}) == len(merged):
+            stats.join_pairs += 1
+            return frozenset((merged,))
+        return _EMPTY_REL
+    shared = lhs_vars & rhs_vars
+    if not shared:
+        stats.join_pairs += len(lhs) * len(rhs)
+        return frozenset(a | b for a in lhs for b in rhs)
+    build, probe = (lhs, rhs) if len(lhs) <= len(rhs) else (rhs, lhs)
+    key_vars = tuple(sorted(shared, key=lambda v: v.name))
+    table: dict[tuple, list] = {}
+    for valuation in build:
+        values = dict(valuation)
+        key = tuple(values[v] for v in key_vars)
+        table.setdefault(key, []).append(valuation)
+    out: list = []
+    for valuation in probe:
+        values = dict(valuation)
+        bucket = table.get(tuple(values[v] for v in key_vars))
+        if bucket:
+            stats.join_pairs += len(bucket)
+            out.extend(other | valuation for other in bucket)
+    return frozenset(out)
+
+
+def _size_hint(root: TreeNode, limit: int) -> int:
+    """Node count of *root*, counted only far enough to clear *limit*.
+
+    Kernel selection needs "bigger than the threshold?", not the exact
+    size, so the walk stops as soon as the answer is known — tiny trees
+    pay a full (cheap) count, huge trees pay O(limit).
+    """
+    count = 0
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        count += 1
+        if count > limit:
+            return count
+        stack.extend(node.children)
+    return count
 
 
 def engine_for(root: TreeNode) -> PatternEngine:
-    """The cached :class:`PatternEngine` of *root* (built on first use).
+    """The cached pattern engine of *root* (built on first use).
 
     Stored on the root node itself: trees are immutable, so the engine's
     index and memo tables never go stale, and they are released together
-    with the tree object.
+    with the tree object.  Large documents get the array-backed
+    :class:`~repro.patterns.compact.CompactPatternEngine` (same public
+    surface, positional internals); the cutover — and the
+    ``REPRO_KERNEL`` override — lives in :mod:`repro.kernel`.
     """
+    from repro.kernel import AUTO_THRESHOLDS, BITSET, select_kernel
+
     engine = getattr(root, "_engine", None)
     if engine is None:
+        threshold = AUTO_THRESHOLDS["pattern-engine"]
+        kernel = select_kernel("pattern-engine", _size_hint(root, threshold))
         started = time.perf_counter()
         with trace("pattern-engine-build"):
-            engine = PatternEngine(root)
+            if kernel == BITSET:
+                from repro.patterns.compact import CompactPatternEngine
+
+                engine = CompactPatternEngine(root)
+            else:
+                engine = PatternEngine(root)
         _ENGINE_BUILDS.inc()
         _ENGINE_BUILD_SECONDS.observe(time.perf_counter() - started)
         root._engine = engine

@@ -56,11 +56,13 @@ def structural_witness(
     # depends on repro.patterns.ast, so top-level imports would be circular
     from repro.automata.duta import ProductAutomaton, find_accepted
     from repro.engine.budget import resolve_context
-    from repro.engine.cache import closure_automaton, dtd_automaton
+    from repro.engine.cache import automata_size, closure_automaton, dtd_automaton
+    from repro.kernel import select_kernel
 
     extra = frozenset(pattern.labels_used())
-    closure = closure_automaton([pattern], dtd, extra, context=context)
-    conformance = dtd_automaton(dtd, extra, context=context)
+    kernel = select_kernel("automata", automata_size(dtd, [pattern]))
+    closure = closure_automaton([pattern], dtd, extra, context=context, kernel=kernel)
+    conformance = dtd_automaton(dtd, extra, context=context, kernel=kernel)
     product = ProductAutomaton(
         [conformance, closure],
         predicate=lambda state: (
@@ -71,7 +73,7 @@ def structural_witness(
     resolved = resolve_context(context)
     found = find_accepted(
         product,
-        prune=lambda state: not state[0][1],
+        prune=lambda state: not conformance.state_ok(state[0]),
         charge=resolved.charge if resolved is not None else None,
     )
     if found is None:

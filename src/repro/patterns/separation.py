@@ -46,7 +46,8 @@ def find_separating_tree(
     # depends on repro.patterns.ast, so top-level imports would be circular
     from repro.automata.duta import ProductAutomaton, find_accepted
     from repro.engine.budget import resolve_context
-    from repro.engine.cache import closure_automaton, dtd_automaton
+    from repro.engine.cache import automata_size, closure_automaton, dtd_automaton
+    from repro.kernel import select_kernel
 
     positives = list(positives)
     negatives = list(negatives)
@@ -54,22 +55,23 @@ def find_separating_tree(
     extra = frozenset(
         label for pattern in patterns for label in pattern.labels_used()
     )
-    closure = closure_automaton(patterns, dtd, extra, context=context)
-    conformance = dtd_automaton(dtd, extra, context=context)
+    kernel = select_kernel("automata", automata_size(dtd, patterns))
+    closure = closure_automaton(patterns, dtd, extra, context=context, kernel=kernel)
+    conformance = dtd_automaton(dtd, extra, context=context, kernel=kernel)
 
     def separated(state) -> bool:
         if not conformance.is_accepting(state[0]):
             return False
-        sat = state[1][0]
-        return all(p in sat for p in positives) and not any(
-            p in sat for p in negatives
+        sat = state[1]
+        return all(closure.satisfies(sat, p) for p in positives) and not any(
+            closure.satisfies(sat, p) for p in negatives
         )
 
     product = ProductAutomaton([conformance, closure], predicate=separated)
     resolved = resolve_context(context)
     found = find_accepted(
         product,
-        prune=lambda state: not state[0][1],
+        prune=lambda state: not conformance.state_ok(state[0]),
         prune_horizontal=lambda label, h: conformance.horizontal_dead(h[0]),
         charge=resolved.charge if resolved is not None else None,
     )

@@ -245,6 +245,53 @@ class NFA:
         accepting = {s for s in states if s & self.accepting}
         return DFA(states, initial, transitions, accepting, sigma)
 
+    def to_bitset(
+        self,
+        symbol_ids: "dict | Callable[[Hashable], int | None]",
+        n_symbols: int | None = None,
+    ) -> "BitsetNFA":
+        """Encode this NFA over dense symbol ids as a :class:`BitsetNFA`.
+
+        *symbol_ids* maps alphabet symbols to dense ids (a dict or a
+        ``LabelTable.id_of``-style callable); symbols mapping to None are
+        dropped — they cannot occur in the encoded input.  *n_symbols*
+        widens the symbol range beyond the NFA's own alphabet (symbols
+        the NFA never mentions get all-dead rows), so the resulting
+        automaton is total over a shared label table.  NFA states are
+        assigned dense ids in sorted order, so the encoding depends only
+        on the NFA's content.
+        """
+        id_of = symbol_ids.get if isinstance(symbol_ids, dict) else symbol_ids
+        states = sorted(self.states, key=repr)
+        state_id = {state: index for index, state in enumerate(states)}
+        if n_symbols is None:
+            n_symbols = 1 + max(
+                (
+                    ident
+                    for ident in map(id_of, self.alphabet())
+                    if ident is not None
+                ),
+                default=-1,
+            )
+        rows = [[0] * len(states) for __ in range(n_symbols)]
+        for state, by_symbol in self.transitions.items():
+            source = state_id[state]
+            for symbol, targets in by_symbol.items():
+                ident = id_of(symbol)
+                if ident is None:
+                    continue
+                mask = 0
+                for target in targets:
+                    mask |= 1 << state_id[target]
+                rows[ident][source] |= mask
+        initial = 0
+        for state in self.initial:
+            initial |= 1 << state_id[state]
+        accepting = 0
+        for state in self.accepting:
+            accepting |= 1 << state_id[state]
+        return BitsetNFA(len(states), n_symbols, initial, accepting, rows)
+
     @staticmethod
     def from_regex(expr: Regex) -> "NFA":
         """Glushkov (position) construction; epsilon-free, n+1 states."""
@@ -300,6 +347,89 @@ class NFA:
             accepting.add(0)
         states = {0} | set(symbol_of)
         return NFA(states, [0], transitions, accepting)
+
+
+class BitsetNFA:
+    """An NFA over dense symbol ids with bitmask state sets.
+
+    A state *set* is one Python int (bit *s* = state *s* in the set), and
+    ``rows[symbol_id][state]`` is the successor mask of one state on one
+    symbol, so a parallel subset step is a few shifts and ORs — no
+    hashing, no frozenset churn.  This is the horizontal-language
+    encoding the bitset tree-automata kernel runs on.
+    """
+
+    __slots__ = ("n_states", "n_symbols", "initial", "accepting", "rows")
+
+    def __init__(
+        self,
+        n_states: int,
+        n_symbols: int,
+        initial: int,
+        accepting: int,
+        rows: list[list[int]],
+    ):
+        self.n_states = n_states
+        self.n_symbols = n_symbols
+        self.initial = initial
+        self.accepting = accepting
+        self.rows = rows
+
+    def step_mask(self, mask: int, symbol_id: int) -> int:
+        """One parallel step on *symbol_id* from the state set *mask*."""
+        row = self.rows[symbol_id]
+        out = 0
+        while mask:
+            low = mask & -mask
+            out |= row[low.bit_length() - 1]
+            mask ^= low
+        return out
+
+    def accepts(self, word: Sequence[int]) -> bool:
+        mask = self.initial
+        for symbol_id in word:
+            if not mask:
+                return False
+            mask = self.step_mask(mask, symbol_id)
+        return bool(mask & self.accepting)
+
+    def determinize(self) -> "BitsetDFA":
+        """Subset construction over masks; returns a :class:`BitsetDFA`.
+
+        The DFA is total over the dense symbol range, with the empty mask
+        interned first so its dead state is always id 0.
+        """
+        from array import array
+
+        from repro.regex.dfa import BitsetDFA
+
+        subset_id: dict[int, int] = {0: 0}
+        subsets: list[int] = [0]
+        rows: list[array] = [array("q", [0] * self.n_symbols)]
+        worklist: deque[int] = deque()
+
+        def intern(mask: int) -> int:
+            ident = subset_id.get(mask)
+            if ident is None:
+                ident = subset_id[mask] = len(subsets)
+                subsets.append(mask)
+                rows.append(array("q", [0] * self.n_symbols))
+                worklist.append(mask)
+            return ident
+
+        initial = intern(self.initial)
+        while worklist:
+            mask = worklist.popleft()
+            row = rows[subset_id[mask]]
+            for symbol_id in range(self.n_symbols):
+                row[symbol_id] = intern(self.step_mask(mask, symbol_id))
+        accepting_mask = 0
+        for mask, ident in subset_id.items():
+            if mask & self.accepting:
+                accepting_mask |= 1 << ident
+        return BitsetDFA(
+            len(subsets), self.n_symbols, initial, accepting_mask, rows
+        )
 
 
 class _Lin:

@@ -108,6 +108,110 @@ class TestReachability:
             reachable_states(DTDAutomaton(dtd), max_states=1)
 
 
+class TestReachabilityHooks:
+    """Direct contracts of the worklist ``reachable_states`` hooks."""
+
+    DTD = "r -> a, b\na -> c?\nb -> c*"
+
+    def automaton(self):
+        return DTDAutomaton(parse_dtd(self.DTD))
+
+    def test_stop_early_exit_includes_state_with_valid_witness(self):
+        automaton = self.automaton()
+        realized = reachable_states(automaton, stop=lambda s: s[0] == "b")
+        hits = [s for s in realized if s[0] == "b"]
+        assert len(hits) == 1
+        # the early exit must not skip recording the stop state's witness
+        witness = realized[hits[0]]
+        assert run(automaton, witness) == hits[0]
+        # and the search genuinely stopped: a full run realizes more
+        assert len(realized) < len(reachable_states(automaton))
+
+    def test_stop_on_accepting_state_yields_conforming_witness(self):
+        automaton = self.automaton()
+        realized = reachable_states(automaton, stop=automaton.is_accepting)
+        accepted = [s for s in realized if automaton.is_accepting(s)]
+        assert len(accepted) == 1
+        witness = realized[accepted[0]]
+        assert run(automaton, witness) == accepted[0]
+        assert parse_dtd(self.DTD).conforms(witness)
+
+    def test_stop_never_hit_returns_full_set(self):
+        automaton = self.automaton()
+        full = reachable_states(automaton)
+        stopped = reachable_states(automaton, stop=lambda s: False)
+        assert stopped.keys() == full.keys()
+
+    def test_prune_removes_state_and_everything_built_on_it(self):
+        automaton = self.automaton()
+        full = reachable_states(automaton)
+        # pruning every c-subtree state removes c, and with it any a/b
+        # state whose witness needed a c child — but a (c?) and b (c*)
+        # still realize through the empty word
+        pruned = reachable_states(
+            automaton, prune=lambda state: state[0] == "c"
+        )
+        assert all(state[0] != "c" for state in pruned)
+        assert set(pruned) < set(full)
+        for state, witness in pruned.items():
+            assert run(automaton, witness) == state
+            assert all(
+                node.label != "c" for node in _iter_nodes(witness)
+            )
+
+    def test_prune_horizontal_skips_whole_labels(self):
+        automaton = self.automaton()
+        # killing every horizontal state of "r" leaves r unrealizable
+        pruned = reachable_states(
+            automaton, prune_horizontal=lambda label, h: label == "r"
+        )
+        assert all(state[0] != "r" for state in pruned)
+        assert any(state[0] == "a" for state in pruned)
+
+    def test_charge_called_once_per_realized_state(self):
+        automaton = self.automaton()
+        calls = []
+        realized = reachable_states(automaton, charge=lambda: calls.append(1))
+        assert len(calls) == len(realized)
+
+    def test_charge_can_abort(self):
+        class Budget(Exception):
+            pass
+
+        def charge():
+            raise Budget
+
+        with pytest.raises(Budget):
+            reachable_states(self.automaton(), charge=charge)
+
+    def test_max_states_boundary_allows_exact_count(self):
+        automaton = self.automaton()
+        full = reachable_states(automaton)
+        assert reachable_states(automaton, max_states=len(full)).keys() == (
+            full.keys()
+        )
+        with pytest.raises(RuntimeError):
+            reachable_states(automaton, max_states=len(full) - 1)
+
+    def test_worklist_agrees_with_naive_saturation(self):
+        from repro.automata.duta import reachable_states_naive
+
+        automaton = self.automaton()
+        fast = reachable_states(automaton)
+        slow = reachable_states_naive(automaton)
+        assert fast.keys() == slow.keys()
+        for state, witness in fast.items():
+            assert run(automaton, witness) == state
+
+
+def _iter_nodes(root):
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(node.children)
+
+
 class TestProduct:
     def test_intersection_default(self):
         d1 = parse_dtd("r -> a*")

@@ -61,13 +61,23 @@ def test_sweep_discards_cold_first_sample(clock):
     assert samples > 1  # repeat-averaged, and the count is recorded
 
 
-def test_sweep_keeps_single_sample_for_slow_points(clock):
-    # a point over the repeat threshold is measured exactly once (cold)
-    action = make_action(clock, [], 0.02)
-    ((_, mean, __, samples),) = sweep([3], lambda n: action, min_repeat_seconds=0.01)
-    assert mean == pytest.approx(0.02)
-    assert action.calls["n"] == 1
-    assert samples == 1
+def test_sweep_takes_min_of_k_for_slow_points(clock):
+    # a point over the repeat threshold is sampled min_samples times and
+    # the minimum is reported — interference only ever adds time
+    action = make_action(clock, [0.03, 0.02], 0.025)
+    ((_, best, __, samples),) = sweep([3], lambda n: action, min_repeat_seconds=0.01)
+    assert best == pytest.approx(0.02)
+    assert action.calls["n"] == 3
+    assert samples == 3
+
+
+def test_sweep_min_samples_is_tunable(clock):
+    action = make_action(clock, [0.05, 0.04, 0.03, 0.02], 0.06)
+    ((_, best, __, samples),) = sweep(
+        [3], lambda n: action, min_repeat_seconds=0.01, min_samples=5
+    )
+    assert best == pytest.approx(0.02)
+    assert samples == 5
 
 
 def test_sweep_accumulates_warm_batches(clock):

@@ -1,0 +1,230 @@
+"""Differential tests: the bitset kernels against the pure oracle.
+
+The pure-Python path is the semantic reference (DESIGN.md §7).  These
+tests pin the bitset side to it on randomized instances:
+
+* consistency verdicts over random structural mappings must be
+  *identical* under ``force_kernel("pure")`` and
+  ``force_kernel("bitset")``, and both witnesses must certify;
+* satisfiability decisions and structural witnesses must agree;
+* the compact (array-backed) pattern engine must produce the same
+  relations as the object engine on random documents;
+* the worklist ``reachable_states`` must realize the same states as the
+  round-based ``reachable_states_naive`` it replaced.
+"""
+
+import random
+
+import pytest
+
+from repro.consistency import is_consistent_automata
+from repro.engine import CompilationCache, ExecutionContext
+from repro.errors import SignatureError
+from repro.kernel import BITSET, PURE, force_kernel, select_kernel
+from repro.mappings.mapping import SchemaMapping
+from repro.mappings.membership import is_solution
+from repro.mappings.std import STD
+from repro.patterns.compact import CompactPatternEngine
+from repro.patterns.matching import PatternEngine
+from repro.patterns.satisfiability import is_satisfiable, structural_witness
+from repro.workloads.random_instances import (
+    abstract_pattern_from_tree,
+    random_arbitrary_dtd,
+    random_tree_from_dtd,
+)
+
+
+def random_structural_mapping(rng: random.Random) -> SchemaMapping:
+    source_dtd = random_arbitrary_dtd(
+        rng, n_labels=4, max_arity=1, root="r", label_prefix="s"
+    )
+    target_dtd = random_arbitrary_dtd(
+        rng, n_labels=4, max_arity=1, root="t", label_prefix="t"
+    )
+    stds = []
+    for __ in range(rng.randint(1, 2)):
+        source_pattern = abstract_pattern_from_tree(
+            rng, random_tree_from_dtd(source_dtd, rng, max_nodes=5)
+        )
+        if rng.random() < 0.8:
+            target_pattern = abstract_pattern_from_tree(
+                rng, random_tree_from_dtd(target_dtd, rng, max_nodes=5)
+            )
+        else:
+            from repro.patterns.parser import parse_pattern
+
+            target_pattern = parse_pattern("t[zzz_nowhere]")
+        stds.append(STD(source_pattern, target_pattern))
+    return SchemaMapping(source_dtd, target_dtd, stds)
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_consistency_verdicts_agree_across_kernels(seed):
+    rng = random.Random(1000 + seed)
+    mapping = random_structural_mapping(rng)
+    results = {}
+    for kernel in (PURE, BITSET):
+        context = ExecutionContext(cache=CompilationCache())
+        try:
+            with force_kernel(kernel):
+                results[kernel] = is_consistent_automata(mapping, context)
+        except SignatureError:
+            return  # out of the structural fragment; both sides refuse alike
+    assert results[PURE].is_proved == results[BITSET].is_proved
+    # both witnesses (when present) must pass the pure-path re-check:
+    # the pair really is a solution of the mapping
+    for kernel, verdict in results.items():
+        if verdict.is_proved:
+            source, target = verdict.certificate.source, verdict.certificate.target
+            with force_kernel(PURE):
+                assert is_solution(mapping, source, target), (
+                    f"{kernel} witness rejected: {source!r} -> {target!r}"
+                )
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_satisfiability_agrees_across_kernels(seed):
+    rng = random.Random(2000 + seed)
+    dtd = random_arbitrary_dtd(rng)
+    pattern = abstract_pattern_from_tree(
+        rng, random_tree_from_dtd(dtd, rng, max_nodes=6)
+    )
+    answers = {}
+    witnesses = {}
+    for kernel in (PURE, BITSET):
+        with force_kernel(kernel):
+            answers[kernel] = is_satisfiable(
+                dtd, pattern, context=ExecutionContext(cache=CompilationCache())
+            )
+            witnesses[kernel] = structural_witness(
+                dtd, pattern, context=ExecutionContext(cache=CompilationCache())
+            )
+    # the pattern matches its own source tree, so both must prove it
+    assert answers[PURE].is_proved and answers[BITSET].is_proved
+    from repro.automata.dtd_automaton import DTDAutomaton
+
+    decorate = DTDAutomaton(dtd).decorate
+    for kernel, witness in witnesses.items():
+        assert witness is not None, f"{kernel} found no witness"
+        assert dtd.conforms(decorate(witness)), (
+            f"{kernel} witness does not conform"
+        )
+
+
+def random_document(rng: random.Random) -> "TreeNode":
+    from repro.xmlmodel.tree import TreeNode
+
+    labels = ["a", "b", "c", "d"]
+
+    def build(depth: int) -> TreeNode:
+        label = rng.choice(labels)
+        attrs = tuple(str(rng.randint(0, 3)) for __ in range(rng.randint(0, 2)))
+        children = ()
+        if depth > 0:
+            children = tuple(
+                build(depth - 1) for __ in range(rng.randint(0, 3))
+            )
+        return TreeNode(label, attrs, children)
+
+    return TreeNode(
+        "r", (), tuple(build(3) for __ in range(rng.randint(1, 4)))
+    )
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_compact_engine_matches_object_engine(seed):
+    from repro.patterns.parser import parse_pattern
+
+    rng = random.Random(3000 + seed)
+    root = random_document(rng)
+    object_engine = PatternEngine(root)
+    compact_engine = CompactPatternEngine(root)
+    sources = [
+        "r//a",
+        "r[a -> b]",
+        "r//a(x)[b(x)]",
+        "r//_(x,y)",
+        "r[a ->* c]//b(x)",
+        "r//a[b(x) -> c(x)]",
+        "r//a[//b(x,y)]",
+        'r//a("1",x)',
+    ]
+    patterns = [parse_pattern(s) for s in sources] + [
+        abstract_pattern_from_tree(rng, root) for __ in range(3)
+    ]
+    for pattern in patterns:
+        assert object_engine.relation_at_root(pattern) == (
+            compact_engine.relation_at_root(pattern)
+        ), f"relation mismatch for {pattern}"
+        assert object_engine.match_anywhere(pattern) == (
+            compact_engine.match_anywhere(pattern)
+        ), f"anywhere mismatch for {pattern}"
+        assert object_engine.exists_at_root(pattern) == (
+            compact_engine.exists_at_root(pattern)
+        )
+        assert object_engine.exists_anywhere(pattern) == (
+            compact_engine.exists_anywhere(pattern)
+        )
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_worklist_reachability_matches_naive(seed):
+    from repro.automata.dtd_automaton import DTDAutomaton
+    from repro.automata.duta import reachable_states, reachable_states_naive, run
+
+    rng = random.Random(4000 + seed)
+    automaton = DTDAutomaton(random_arbitrary_dtd(rng, n_labels=5))
+    fast = reachable_states(automaton)
+    slow = reachable_states_naive(automaton)
+    assert fast.keys() == slow.keys()
+    for state, witness in fast.items():
+        assert run(automaton, witness) == state
+
+
+def test_kernel_selection_thresholds():
+    from repro.kernel import AUTO_THRESHOLDS, FORCED_BITSET_FLOORS
+
+    threshold = AUTO_THRESHOLDS["automata"]
+    with force_kernel(None):  # forced-auto: mask any REPRO_KERNEL from CI
+        assert select_kernel("automata", threshold - 1) == PURE
+        assert select_kernel("automata", threshold) == BITSET
+    with force_kernel(PURE):
+        assert select_kernel("automata", threshold) == PURE
+    with force_kernel(BITSET):
+        assert select_kernel("automata", 1) == BITSET
+        # the pattern surface keeps tiny trees on the object engine
+        floor = FORCED_BITSET_FLOORS["pattern-engine"]
+        assert select_kernel("pattern-engine", floor - 1) == PURE
+        assert select_kernel("pattern-engine", floor) == BITSET
+
+
+def test_engine_for_selects_compact_above_threshold():
+    from repro.kernel import AUTO_THRESHOLDS
+    from repro.patterns.matching import engine_for
+    from repro.xmlmodel.tree import TreeNode
+
+    with force_kernel(None):  # forced-auto: mask any REPRO_KERNEL from CI
+        small = TreeNode("r", (), (TreeNode("a", (), ()),))
+        assert type(engine_for(small)) is PatternEngine
+
+        n = AUTO_THRESHOLDS["pattern-engine"]
+        big = TreeNode("r", (), tuple(TreeNode("a", (), ()) for __ in range(n)))
+        assert type(engine_for(big)) is CompactPatternEngine
+
+
+def test_cache_keys_do_not_cross_kernels():
+    """A compiled pure artifact must never serve a bitset request."""
+    from repro.engine.cache import achievable_sets, automata_size
+    from repro.workloads.families import cons_arbitrary_family
+
+    mapping = cons_arbitrary_family(2)
+    context = ExecutionContext(cache=CompilationCache())
+    dtd = mapping.source_dtd
+    patterns = tuple(std.source for std in mapping.stds)
+    with force_kernel(PURE):
+        pure_sets = achievable_sets(dtd, patterns, context=context)
+    misses_after_pure = context.cache.stats()["misses"]
+    with force_kernel(BITSET):
+        bitset_sets = achievable_sets(dtd, patterns, context=context)
+    assert context.cache.stats()["misses"] > misses_after_pure  # no reuse
+    assert pure_sets == bitset_sets  # but identical trigger sets
