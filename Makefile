@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke bench-smoke stats-smoke lint lint-smoke bench baseline ci
+.PHONY: test smoke bench-smoke stats-smoke serve-smoke lint lint-smoke bench baseline ci
 
 # tier-1: the full unit/property suite
 test:
@@ -30,6 +30,12 @@ bench-smoke: smoke
 # workers and fails on any Prometheus/JSON exporter or trace-merge regression
 stats-smoke:
 	$(PYTHON) -m repro stats --jobs 2
+
+# service-daemon gate: boots `repro serve` on an ephemeral port, round-trips
+# check/lint/metrics over HTTP, and probes admission control (a saturated
+# 1-slot daemon must answer 429 and bump repro_rejected_total)
+serve-smoke:
+	$(PYTHON) benchmarks/serve_smoke.py
 
 # full before/after series (slow; prints the speedup table)
 bench:
@@ -61,4 +67,4 @@ lint:
 lint-smoke:
 	$(PYTHON) examples/lint_gate.py
 
-ci: lint test bench-smoke lint-smoke stats-smoke
+ci: lint test bench-smoke lint-smoke stats-smoke serve-smoke

@@ -40,6 +40,7 @@ from repro.workloads.families import cons_nested_family
 from repro.xmlmodel.dtd import parse_dtd
 
 OVERHEAD_TOLERANCE = float(os.environ.get("REPRO_OBS_TOLERANCE", "0.05"))
+SESSION_TOLERANCE = float(os.environ.get("REPRO_SESSION_TOLERANCE", "0.10"))
 TRACE_ARTIFACT = REPO_ROOT / "BENCH_trace_smoke.jsonl"
 
 
@@ -115,6 +116,74 @@ def run_overhead_guard(
     return record
 
 
+def run_session_overhead_guard(
+    scale: int = 4, repeats: int = 5, attempts: int = 3, emit: bool = True
+) -> dict:
+    """Per-request service-session envelope vs direct ``solve()`` calls.
+
+    The service layer wraps every request in ID generation, ambient span
+    tags, a request span, metric observations and response-dict
+    building.  Both arms share one warm compilation cache and re-parse
+    the mapping text per request (the session's contract), so the
+    measured difference is exactly that envelope — it must stay within
+    ``SESSION_TOLERANCE`` (default 10%, override with
+    ``REPRO_SESSION_TOLERANCE``).
+    """
+    from repro.engine import AbsoluteConsistencyProblem
+    from repro.mappings.io import parse_mapping, render_mapping
+    from repro.service import EngineSession
+    from repro.workloads.families import cons_nested_family
+
+    texts = [render_mapping(cons_nested_family(n)) for n in range(2, 2 + scale)]
+    session = EngineSession()
+    cache = session.cache
+
+    def direct() -> None:
+        for text in texts:
+            mapping = parse_mapping(text)
+            context = ExecutionContext(cache=cache)
+            solve(ConsistencyProblem(mapping), context)
+            solve(AbsoluteConsistencyProblem(mapping), context)
+
+    def via_session() -> None:
+        for text in texts:
+            response = session.check({"mappings": [text]})
+            assert response["ok"], response.get("error")
+
+    direct()
+    via_session()  # warm the shared cache and lazy imports out of the timing
+    overhead = float("inf")
+    baseline = observed = 0.0
+    for _ in range(attempts):
+        baseline = _best_of(direct, repeats)
+        observed = _best_of(via_session, repeats)
+        overhead = observed / max(baseline, 1e-9) - 1.0
+        if overhead <= SESSION_TOLERANCE:
+            break
+    record = {
+        "claim": "per-request session envelope stays within "
+        f"{SESSION_TOLERANCE:.0%} of direct solve() calls",
+        "baseline_seconds": baseline,
+        "observed_seconds": observed,
+        "overhead": overhead,
+        "tolerance": SESSION_TOLERANCE,
+        "requests_per_run": len(texts),
+        "repeats": repeats,
+    }
+    print(
+        f"[obs-session] direct {baseline:.6f}s, session {observed:.6f}s "
+        f"-> overhead {overhead:+.2%} (tolerance {SESSION_TOLERANCE:.0%})"
+    )
+    if emit:
+        emit_json("obs", "session_overhead_guard", record)
+    assert overhead <= SESSION_TOLERANCE, (
+        f"per-request session overhead {overhead:+.2%} exceeds "
+        f"{SESSION_TOLERANCE:.0%} (direct {baseline:.6f}s, "
+        f"session {observed:.6f}s)"
+    )
+    return record
+
+
 def run_trace_smoke(jobs: int = 2) -> int:
     """Traced parallel batch: writes the JSONL artifact, checks the export."""
     problems = [ConsistencyProblem(cons_nested_family(n)) for n in range(2, 8)]
@@ -155,6 +224,10 @@ def test_obs_overhead_within_tolerance():
     run_overhead_guard(scale=2, repeats=3, emit=False)
 
 
+def test_session_overhead_within_tolerance():
+    run_session_overhead_guard(scale=2, repeats=3, emit=False)
+
+
 def test_obs_trace_smoke(tmp_path, monkeypatch):
     monkeypatch.setattr(
         sys.modules[__name__], "TRACE_ARTIFACT", tmp_path / "trace.jsonl"
@@ -170,8 +243,10 @@ def main(argv=None) -> int:
     try:
         if args.smoke:
             run_overhead_guard(scale=2, repeats=3)
+            run_session_overhead_guard(scale=2, repeats=3)
             return run_trace_smoke()
         run_overhead_guard()
+        run_session_overhead_guard()
         return run_trace_smoke()
     except AssertionError as error:
         print(f"FAIL: {error}")

@@ -1,0 +1,144 @@
+"""Service-layer acceptance benchmark: warm daemon vs cold CLI (DESIGN.md §8).
+
+The point of ``repro serve`` is amortization: a daemon keeps the
+compilation cache, worker pool and parsed artifacts warm across
+requests, while every CLI invocation pays interpreter boot, imports and
+cold compilation from scratch.  This benchmark measures the Figure-1
+example workload (``examples/mappings/university.xsm``) both ways:
+
+* **cold CLI** — ``python -m repro check examples/mappings/university.xsm``
+  as a fresh subprocess per run (min over several runs);
+* **warm HTTP** — a ``check`` round trip against an in-process
+  :class:`ServiceServer` whose session has already served the mapping
+  once (min over several runs).
+
+The acceptance bar: the warm HTTP round trip must be at least
+``SPEEDUP_BAR`` (default 5x, override with ``REPRO_SERVE_BAR``) faster
+than the cold CLI.  Results are journaled to ``BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+if True:  # make both `pytest benchmarks` and direct execution work
+    _here = Path(__file__).resolve().parent
+    for entry in (_here, _here.parent / "src"):
+        if str(entry) not in sys.path:
+            sys.path.insert(0, str(entry))
+
+from harness import REPO_ROOT, emit_json
+
+from repro.service import EngineSession, ServiceServer, call_service
+
+SPEEDUP_BAR = float(os.environ.get("REPRO_SERVE_BAR", "5.0"))
+MAPPING_FILE = REPO_ROOT / "examples" / "mappings" / "university.xsm"
+
+
+def _cold_cli_seconds(repeats: int) -> float:
+    """Min wall-clock of a full cold CLI invocation (interpreter + solve)."""
+    command = [sys.executable, "-m", "repro", "check", str(MAPPING_FILE)]
+    env = {**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")}
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = subprocess.run(
+            command, env=env, cwd=REPO_ROOT, capture_output=True, text=True
+        )
+        elapsed = time.perf_counter() - started
+        if result.returncode != 0:
+            raise RuntimeError(
+                f"cold CLI check failed (rc={result.returncode}): {result.stderr}"
+            )
+        best = min(best, elapsed)
+    return best
+
+
+def _warm_http_seconds(url: str, request: dict, repeats: int) -> float:
+    """Min wall-clock of a warm-cache HTTP check round trip."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        response = call_service(url, "check", request)
+        elapsed = time.perf_counter() - started
+        if not response.get("ok") or response.get("exit_code") != 0:
+            raise RuntimeError(f"warm HTTP check failed: {response.get('error')}")
+        best = min(best, elapsed)
+    return best
+
+
+def run_serve_benchmark(
+    cold_repeats: int = 5,
+    warm_repeats: int = 20,
+    attempts: int = 3,
+    emit: bool = True,
+) -> dict:
+    """Times both arms; asserts the warm/cold speedup clears the bar."""
+    request = {
+        "mappings": [{"name": MAPPING_FILE.name, "text": MAPPING_FILE.read_text()}]
+    }
+    speedup = 0.0
+    cold = warm = float("inf")
+    with ServiceServer(EngineSession()) as server:
+        warm_response = call_service(server.url, "check", request)
+        assert warm_response["ok"], warm_response.get("error")
+        for _ in range(attempts):
+            cold = _cold_cli_seconds(cold_repeats)
+            warm = _warm_http_seconds(server.url, request, warm_repeats)
+            speedup = cold / max(warm, 1e-9)
+            if speedup >= SPEEDUP_BAR:
+                break
+    record = {
+        "claim": "a warm-session HTTP check of the Figure-1 workload beats "
+        f"a cold CLI invocation by at least {SPEEDUP_BAR:g}x",
+        "workload": str(MAPPING_FILE.relative_to(REPO_ROOT)),
+        "cold_cli_seconds": cold,
+        "warm_http_seconds": warm,
+        "speedup": speedup,
+        "bar": SPEEDUP_BAR,
+        "cold_repeats": cold_repeats,
+        "warm_repeats": warm_repeats,
+    }
+    print(
+        f"[serve-bench] cold CLI {cold:.6f}s, warm HTTP {warm:.6f}s "
+        f"-> {speedup:.1f}x (bar {SPEEDUP_BAR:g}x)"
+    )
+    if emit:
+        emit_json("serve", "warm_http_vs_cold_cli", record)
+    assert speedup >= SPEEDUP_BAR, (
+        f"warm HTTP check is only {speedup:.1f}x faster than the cold CLI "
+        f"(bar {SPEEDUP_BAR:g}x; cold {cold:.6f}s, warm {warm:.6f}s)"
+    )
+    return record
+
+
+# -- pytest entry point --------------------------------------------------------
+
+
+def test_warm_service_beats_cold_cli():
+    run_serve_benchmark(cold_repeats=2, warm_repeats=5, emit=False)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced repeats, no BENCH_serve.json journal")
+    args = parser.parse_args(argv)
+    try:
+        if args.smoke:
+            run_serve_benchmark(cold_repeats=2, warm_repeats=5, emit=False)
+        else:
+            run_serve_benchmark()
+    except AssertionError as error:
+        print(f"FAIL: {error}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,171 @@
+"""CI smoke for ``repro serve``: boot, round-trip, saturate, verify.
+
+Boots the real daemon as a subprocess on an ephemeral port (``--port 0``,
+URL parsed from its startup line), then checks the full service surface:
+
+1. ``/healthz`` answers ``ok``;
+2. a ``check`` of the Figure-1 example mapping round-trips with exit
+   code 0, carrying a request ID;
+3. ``lint`` round-trips clean over HTTP;
+4. ``/metrics`` parses as Prometheus text and exposes the request
+   counters (``repro_requests_total``);
+5. a saturation probe against ``--max-inflight 1 --queue-depth 0``:
+   concurrent hard requests must produce at least one ``429``-rejected
+   response (``error.type == "Saturated"``), at least one served one,
+   and ``repro_rejected_total{reason="saturated"}`` must move.
+
+Exits non-zero on any failure.  No timing assertions — safe on loaded
+single-core CI runners.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+if True:  # make both `pytest benchmarks` and direct execution work
+    _here = Path(__file__).resolve().parent
+    for entry in (_here, _here.parent / "src"):
+        if str(entry) not in sys.path:
+            sys.path.insert(0, str(entry))
+
+from harness import REPO_ROOT
+
+from repro.mappings.io import render_mapping
+from repro.obs import parse_prometheus
+from repro.service import ServiceUnavailable, call_service, fetch_text
+from repro.workloads.families import cons_arbitrary_family
+
+MAPPING_FILE = REPO_ROOT / "examples" / "mappings" / "university.xsm"
+BOOT_PATTERN = re.compile(r"serving on (http://\S+)")
+
+
+def boot_daemon(*extra_args: str) -> tuple[subprocess.Popen, str]:
+    """Start ``repro serve --port 0``; returns (process, url)."""
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0", *extra_args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        cwd=REPO_ROOT,
+        env={**__import__("os").environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+    )
+    deadline = time.monotonic() + 30.0
+    line = ""
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line and process.poll() is not None:
+            raise RuntimeError(f"daemon exited during boot (rc={process.returncode})")
+        found = BOOT_PATTERN.search(line)
+        if found:
+            return process, found.group(1)
+    process.kill()
+    raise RuntimeError(f"daemon did not announce its URL (last line: {line!r})")
+
+
+def shut_down(process: subprocess.Popen) -> None:
+    process.terminate()
+    try:
+        process.wait(timeout=10)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        process.wait(timeout=10)
+
+
+def round_trips(url: str, failures: list[str]) -> None:
+    health = fetch_text(url, "healthz").strip()
+    if health != "ok":
+        failures.append(f"/healthz answered {health!r}")
+
+    mapping_text = MAPPING_FILE.read_text()
+    response = call_service(url, "check", {"mappings": [
+        {"name": MAPPING_FILE.name, "text": mapping_text},
+    ]})
+    if not response.get("ok") or response.get("exit_code") != 0:
+        failures.append(f"check round-trip failed: {response.get('error')}")
+    if not response.get("request_id"):
+        failures.append("check response carries no request ID")
+    print(f"[serve-smoke] check: exit {response.get('exit_code')} "
+          f"(request {response.get('request_id')})")
+
+    lint = call_service(url, "lint", {"mappings": [mapping_text]})
+    if not lint.get("ok") or lint.get("exit_code") != 0:
+        failures.append(f"lint round-trip failed: {lint.get('error')}")
+    print(f"[serve-smoke] lint: exit {lint.get('exit_code')}")
+
+    try:
+        series = parse_prometheus(fetch_text(url, "metrics"))
+    except ValueError as error:
+        failures.append(f"/metrics does not parse: {error}")
+        return
+    names = {key.split("{", 1)[0] for key in series}
+    for required in ("repro_requests_total", "repro_request_latency_seconds_count"):
+        if required not in names:
+            failures.append(f"/metrics misses {required}")
+    print(f"[serve-smoke] metrics: {len(series)} series")
+
+
+def saturation_probe(failures: list[str]) -> None:
+    """Concurrent hard requests against a 1-slot daemon must draw a 429."""
+    process, url = boot_daemon(
+        "--max-inflight", "1", "--queue-depth", "0", "--timeout", "60",
+    )
+    try:
+        # distinct hard mappings: no compilation-cache short-circuit, so
+        # each request genuinely occupies the single execution slot
+        bodies = [
+            {
+                "mappings": [render_mapping(cons_arbitrary_family(n))],
+                "budget": {"deadline_seconds": 15},
+            }
+            for n in (6, 7, 8, 9)
+        ]
+
+        def fire(body):
+            try:
+                return call_service(url, "check", body, timeout=120.0)
+            except ServiceUnavailable as error:
+                return {"error": {"type": "Unavailable", "message": str(error)}}
+
+        with ThreadPoolExecutor(max_workers=len(bodies)) as pool:
+            responses = list(pool.map(fire, bodies))
+        outcomes = [
+            (response.get("error") or {}).get("type", "served")
+            for response in responses
+        ]
+        print(f"[serve-smoke] saturation outcomes: {outcomes}")
+        if "Saturated" not in outcomes:
+            failures.append(f"no request drew a 429 under saturation: {outcomes}")
+        if "served" not in outcomes:
+            failures.append(f"no request was served under saturation: {outcomes}")
+        series = parse_prometheus(fetch_text(url, "metrics"))
+        rejected = series.get('repro_rejected_total{reason="saturated"}', 0.0)
+        if rejected <= 0:
+            failures.append("repro_rejected_total{reason=saturated} did not move")
+        print(f"[serve-smoke] rejected_total: {rejected:g}")
+    finally:
+        shut_down(process)
+
+
+def main(argv=None) -> int:
+    failures: list[str] = []
+    process, url = boot_daemon("--max-inflight", "4", "--queue-depth", "8")
+    print(f"[serve-smoke] daemon up at {url}")
+    try:
+        round_trips(url, failures)
+    finally:
+        shut_down(process)
+    saturation_probe(failures)
+    for failure in failures:
+        print(f"[serve-smoke] FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("[serve-smoke] OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,18 +12,27 @@ member     is (source.xml, target.xml) in [[M]]?
 solve      build the canonical solution for a source document
 compose    compose two mapping files (Theorem 8.2) and print the result
 stats      self-checking metrics-exporter smoke test (the CI gate)
+serve      run the JSON-over-HTTP daemon over one warm engine session
 
 Documents are plain XML (see :mod:`repro.xmlmodel.xml_io`), DTDs use the
 textual production syntax, mappings the ``.xsm`` format of
 :mod:`repro.mappings.io`.
 
-The analysis commands route through :func:`repro.engine.solve` and report
-certified verdicts.  ``check`` exits 0 when the mapping is consistent, 1
-when it is inconsistent and 2 when every applicable procedure came back
-``Unknown`` (bound exhausted); other commands keep 0 = yes / 1 = no.
-Errors (parse failures, missing labels, ...) exit 3.  ``--stats`` prints
-the engine's per-solve accounting: selected algorithm, routing reason,
-wall clock, charged expansions and compilation-cache hits/misses.
+The analysis commands are thin adapters over the service layer
+(:mod:`repro.service`): each invocation builds an
+:class:`~repro.service.EngineSession`, runs the matching request handler
+and renders the response dict — the *same* handler the ``repro serve``
+daemon exposes over HTTP, so CLI and service behaviour cannot drift.
+With ``--url http://host:port`` the request is POSTed to a running
+daemon instead (warm caches, no interpreter startup) and the response
+renders identically.
+
+``check`` exits 0 when the mapping is consistent, 1 when it is
+inconsistent and 2 when every applicable procedure came back ``Unknown``
+(bound exhausted); other commands keep 0 = yes / 1 = no.  Errors (parse
+failures, missing labels, unreachable daemon, ...) exit 3.  ``--stats``
+prints the engine's per-solve accounting: selected algorithm, routing
+reason, wall clock, charged expansions and compilation-cache hits/misses.
 
 ``lint`` runs the static analyser only (`repro.analysis`): exit 0 when
 clean, 1 on errors (``SM1xx``/``SM2xx`` severities), 2 with ``--strict``
@@ -56,40 +65,20 @@ import os
 import sys
 from pathlib import Path
 
-from repro.composition.compose import compose as compose_mappings
-from repro.consistency import consistency_witness
-from repro.engine import (
-    AbsoluteConsistencyProblem,
-    CompilationCache,
-    ConsistencyProblem,
-    Counterexample,
-    DiskCacheTier,
-    ExecutionContext,
-    MembershipProblem,
-    RigidityExplanation,
-    solve_many,
-)
+from repro.engine import CompilationCache, DiskCacheTier, ExecutionContext
 from repro.errors import XsmError
 from repro.exchange import canonical_solution
-from repro.mappings.io import parse_mapping, render_mapping
-from repro.mappings.membership import violations
-from repro.obs import REGISTRY, collecting, diff_snapshots, parse_prometheus
+from repro.mappings.io import parse_mapping
+from repro.obs import REGISTRY, collecting, diff_snapshots
 from repro.patterns.matching import find_matches
 from repro.patterns.parser import parse_pattern
+from repro.service import EngineSession, call_service
 from repro.xmlmodel.dtd import parse_dtd
 from repro.xmlmodel.xml_io import from_xml, to_xml
 
 
 def _read(path: str) -> str:
     return Path(path).read_text()
-
-
-def _print_stats(verdict) -> None:
-    report = getattr(verdict, "report", None)
-    if report is None:
-        return
-    for line in report.lines():
-        print(f"  {line}")
 
 
 # ---------------------------------------------------------------------------
@@ -177,10 +166,59 @@ def _registry_lines(delta: dict) -> list[str]:
     return lines
 
 
-def _describe(verdict) -> str:
-    if verdict.is_unknown:
-        return f"unknown ({verdict.reason})"
-    return str(verdict.decision())
+# ---------------------------------------------------------------------------
+# the service adapter: one code path for CLI and daemon
+# ---------------------------------------------------------------------------
+
+
+def _resolved_cache_dir(args) -> str | None:
+    return getattr(args, "cache_dir", None) or os.environ.get("REPRO_CACHE_DIR")
+
+
+def _batch_context(args) -> ExecutionContext:
+    """An execution context honouring ``--cache-size`` / ``--cache-dir``."""
+    cache_dir = _resolved_cache_dir(args)
+    disk = DiskCacheTier(cache_dir) if cache_dir else None
+    cache = CompilationCache(max_entries=getattr(args, "cache_size", None), disk=disk)
+    return ExecutionContext(cache=cache)
+
+
+def _session_from_args(args) -> EngineSession:
+    return EngineSession(
+        jobs=getattr(args, "jobs", 1) or 1,
+        cache_size=getattr(args, "cache_size", None),
+        cache_dir=_resolved_cache_dir(args),
+    )
+
+
+def _dispatch(args, command: str, request: dict) -> dict:
+    """Run *request* locally or, with ``--url``, against a daemon.
+
+    A response carrying an ``error`` envelope (parse failure on the
+    mapping, a rejected request, a saturated daemon) is re-raised as
+    :class:`XsmError`, so :func:`main` reports it exactly like the
+    pre-service-layer CLI did: ``error: <message>`` on stderr, exit 3.
+    """
+    url = getattr(args, "url", None)
+    if url:
+        response = call_service(url, command, request)
+    else:
+        response = _session_from_args(args).handle(command, request)
+    error = response.get("error")
+    if error:
+        raise XsmError(error.get("message", str(error)))
+    return response
+
+
+def _describe(payload: dict) -> str:
+    if payload["verdict"] == "unknown":
+        return f"unknown ({payload['reason']})"
+    return str(payload["decision"])
+
+
+def _print_report_lines(payload: dict) -> None:
+    for line in payload.get("report", {}).get("lines", ()):
+        print(f"  {line}")
 
 
 def cmd_validate(args) -> int:
@@ -209,103 +247,63 @@ def cmd_match(args) -> int:
     return 0
 
 
-def _batch_context(args) -> ExecutionContext:
-    """An execution context honouring ``--cache-size`` / ``--cache-dir``."""
-    cache_dir = getattr(args, "cache_dir", None) or os.environ.get("REPRO_CACHE_DIR")
-    disk = DiskCacheTier(cache_dir) if cache_dir else None
-    cache = CompilationCache(max_entries=getattr(args, "cache_size", None), disk=disk)
-    return ExecutionContext(cache=cache)
-
-
-def _check_one(args, mapping, consistency, absolute) -> int:
-    """Report one mapping's analysis; returns its exit code."""
-    print(f"class: {mapping.signature()}")
-    print(f"consistent: {_describe(consistency)}")
+def _render_check_entry(args, entry: dict) -> None:
+    """One mapping's section of ``repro check`` output, from the response."""
+    print(f"class: {entry['class']}")
+    print(f"consistent: {_describe(entry['consistent'])}")
     if args.stats:
-        _print_stats(consistency)
-    if consistency.is_proved and args.witness:
-        pair = consistency_witness(mapping)
-        if pair:
-            print(f"  witness source: {to_xml(pair[0], mapping.source_dtd).strip()}")
-            print(f"  witness target: {to_xml(pair[1], mapping.target_dtd).strip()}")
-
-    print(f"absolutely consistent: {_describe(absolute)}")
-    if absolute.is_refuted:
-        certificate = absolute.certificate
-        if isinstance(certificate, RigidityExplanation):
-            for problem in certificate.problems:
-                print(f"  why: {problem}")
-        elif isinstance(certificate, Counterexample):
-            print("  unmappable document:")
-            print("  " + to_xml(certificate.source, mapping.source_dtd).strip()
-                  .replace("\n", "\n  "))
+        _print_report_lines(entry["consistent"])
+    witness = entry.get("witness")
+    if witness:
+        print(f"  witness source: {witness['source']}")
+        print(f"  witness target: {witness['target']}")
+    print(f"absolutely consistent: {_describe(entry['absolutely_consistent'])}")
+    for why in entry.get("why", ()):
+        print(f"  why: {why}")
+    if "counterexample" in entry:
+        print("  unmappable document:")
+        print("  " + entry["counterexample"].replace("\n", "\n  "))
     if args.stats:
-        _print_stats(absolute)
-
-    # the consistency verdict drives the exit code; when it is decided,
-    # a failed (or undecided) absolute-consistency check still flags 1 (or 2)
-    if consistency.is_refuted:
-        return 1
-    if consistency.is_unknown:
-        return 2
-    if absolute.is_refuted:
-        return 1
-    if absolute.is_unknown:
-        return 2
-    return 0
+        _print_report_lines(entry["absolutely_consistent"])
 
 
 def cmd_check(args) -> int:
-    mappings = [parse_mapping(_read(path)) for path in args.mappings]
-    problems = []
-    for mapping in mappings:
-        problems.append(ConsistencyProblem(mapping))
-        problems.append(AbsoluteConsistencyProblem(mapping))
-    batch = solve_many(
-        problems,
-        jobs=args.jobs,
-        context=_batch_context(args),
-        cache_dir=args.cache_dir,
-    )
-    exit_code = 0
-    for position, (path, mapping) in enumerate(zip(args.mappings, mappings)):
+    request = {
+        "mappings": [{"name": path, "text": _read(path)} for path in args.mappings],
+        "jobs": args.jobs,
+        "witness": args.witness,
+    }
+    response = _dispatch(args, "check", request)
+    for position, entry in enumerate(response["results"]):
         if len(args.mappings) > 1:
             if position:
                 print()
-            print(f"== {path}")
-        code = _check_one(
-            args, mapping, batch[2 * position], batch[2 * position + 1]
-        )
-        exit_code = max(exit_code, code)
+            print(f"== {entry['name']}")
+        _render_check_entry(args, entry)
     if args.stats and len(args.mappings) > 1:
-        for line in batch.report.lines():
+        for line in response["batch"]["lines"]:
             print(f"  {line}")
-    return exit_code
+    return response["exit_code"]
 
 
 def cmd_member(args) -> int:
-    mapping = parse_mapping(_read(args.mapping))
-    source = from_xml(_read(args.source), mapping.source_dtd)
-    targets = [from_xml(_read(path), mapping.target_dtd) for path in args.targets]
-    batch = solve_many(
-        [MembershipProblem(mapping, source, target) for target in targets],
-        jobs=args.jobs,
-        context=_batch_context(args),
-        cache_dir=args.cache_dir,
-    )
-    exit_code = 0
-    for path, target, verdict in zip(args.targets, targets, batch):
-        answer = "YES" if verdict.is_proved else "NO"
-        print(answer if len(args.targets) == 1 else f"{path}: {answer}")
+    request = {
+        "mapping": _read(args.mapping),
+        "source": _read(args.source),
+        "targets": [{"name": path, "text": _read(path)} for path in args.targets],
+        "jobs": args.jobs,
+        "explain": args.explain,
+    }
+    response = _dispatch(args, "member", request)
+    for entry in response["results"]:
+        answer = entry["answer"]
+        print(answer if len(args.targets) == 1 else f"{entry['name']}: {answer}")
         if args.stats:
-            _print_stats(verdict)
-        if verdict.is_refuted and args.explain and not mapping.uses_skolem_functions():
-            for std, valuation in violations(mapping, source, target):
-                values = {v.name: value for v, value in valuation.items()}
-                print(f"  violated: {std}")
-                print(f"    with {values}")
-        exit_code = max(exit_code, 0 if verdict.is_proved else 1)
-    return exit_code
+            _print_report_lines(entry["result"])
+        for violation in entry.get("violations", ()):
+            print(f"  violated: {violation['std']}")
+            print(f"    with {violation['values']}")
+    return response["exit_code"]
 
 
 def cmd_solve(args) -> int:
@@ -323,130 +321,76 @@ def cmd_solve(args) -> int:
     return 0
 
 
-#: Small but non-trivial mapping for the ``repro stats`` self-test batch:
-#: routes through cons-automata and the rigidity analysis, exercising the
-#: compilation cache, certify and (with --jobs > 1) the worker plumbing.
-_SELFTEST_MAPPING = """\
-source:
-    f -> item*
-    item(sku)
-target:
-    w -> product*
-    product(sku)
-std: f[item(s)] -> w[product(s)]
-"""
-
-#: Series the ``repro stats`` smoke requires after its self-test batch.
-_REQUIRED_SERIES = (
-    "repro_solves_total",
-    "repro_solve_latency_seconds_bucket",
-    "repro_solve_latency_seconds_count",
-    "repro_cache_misses_total",
-    "repro_certify_total",
-    "repro_batch_problems_total",
-)
-
-_REQUIRED_PARALLEL_SERIES = (
-    "repro_queue_wait_seconds_count",
-    "repro_worker_chunks_total",
-)
-
-
 def cmd_stats(args) -> int:
     """Self-checking exporter smoke: solve a built-in batch, validate the
     Prometheus export and the merged trace; exit 1 on any regression."""
-    import json as json_module
-
-    from repro.engine import certify
-
-    mapping = parse_mapping(_SELFTEST_MAPPING)
-    problems = []
-    for _ in range(max(2, args.jobs)):
-        problems.append(ConsistencyProblem(mapping))
-        problems.append(AbsoluteConsistencyProblem(mapping))
-    with collecting("stats-selftest") as tree:
-        batch = solve_many(problems, jobs=args.jobs, context=_batch_context(args))
-        for verdict in batch:
-            if not verdict.is_unknown:
-                certify(verdict)
-    report = batch.report
-    print(
-        f"self-test: {report.problems} problems over {report.jobs} jobs "
-        f"in {report.elapsed:.3f}s"
-    )
-
-    failures: list[str] = []
-    text = REGISTRY.render_prometheus()
-    try:
-        series = parse_prometheus(text)
-    except ValueError as error:
-        series = {}
-        failures.append(f"prometheus export does not parse: {error}")
-    names = {key.split("{", 1)[0] for key in series}
-    required = list(_REQUIRED_SERIES)
-    if args.jobs > 1:
-        required += list(_REQUIRED_PARALLEL_SERIES)
-    for name in required:
-        if name not in names:
-            failures.append(f"required series missing from export: {name}")
-    try:
-        json_module.loads(REGISTRY.render_json())
-    except ValueError as error:
-        failures.append(f"json export does not parse: {error}")
-
-    trace_dict = tree.to_dict()
-    from repro.obs import walk as walk_spans
-
-    solves = sum(1 for span in walk_spans(trace_dict) if span["name"] == "solve")
-    if report.trace is None:
-        failures.append("batch report carries no merged trace")
-    if solves < report.problems:
-        failures.append(
-            f"trace covers {solves} solve spans for {report.problems} problems"
-        )
-    print(f"prometheus export: {len(series)} series")
-    print(f"trace: {solves} solve spans over {report.chunks} chunks")
-    if failures:
-        for failure in failures:
+    response = _dispatch(args, "selftest", {"jobs": args.jobs})
+    for line in response["lines"]:
+        print(line)
+    if response["failures"]:
+        for failure in response["failures"]:
             print(f"FAIL: {failure}", file=sys.stderr)
-        return 1
+        return response["exit_code"]
     print("stats: OK")
     return 0
 
 
 def cmd_lint(args) -> int:
     """Static diagnostics for one or more mapping files (no solver runs)."""
-    from repro.analysis import Severity, lint_mapping, merge_reports
-
-    context = _batch_context(args)
-    reports = [
-        lint_mapping(parse_mapping(_read(path)), context, name=path)
-        for path in args.mappings
-    ]
+    request = {
+        "mappings": [{"name": path, "text": _read(path)} for path in args.mappings],
+        "strict": args.strict,
+        "quiet": args.quiet,
+    }
+    response = _dispatch(args, "lint", request)
     if args.json:
         import json as json_module
 
-        print(json_module.dumps(merge_reports(reports), indent=2, sort_keys=True))
+        print(json_module.dumps(response["report"], indent=2, sort_keys=True))
     else:
-        min_severity = Severity.WARNING if args.quiet else Severity.INFO
-        for position, (path, report) in enumerate(zip(args.mappings, reports)):
+        for position, entry in enumerate(response["rendered"]):
             if len(args.mappings) > 1:
                 if position:
                     print()
-                print(f"== {path}")
-            print(report.render_text(min_severity=min_severity))
-    return max(report.exit_code(strict=args.strict) for report in reports)
+                print(f"== {entry['name']}")
+            print(entry["text"])
+    return response["exit_code"]
 
 
 def cmd_compose(args) -> int:
-    first = parse_mapping(_read(args.first))
-    second = parse_mapping(_read(args.second))
-    composed = compose_mappings(first, second)
-    output = render_mapping(composed)
+    request = {"first": _read(args.first), "second": _read(args.second)}
+    response = _dispatch(args, "compose", request)
+    output = response["mapping"]
     if args.output:
         Path(args.output).write_text(output)
     else:
         print(output, end="")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the JSON-over-HTTP daemon over one warm engine session."""
+    from repro.service import ServiceServer
+
+    session = _session_from_args(args)
+    server = ServiceServer(
+        session,
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        queue_depth=args.queue_depth,
+        request_timeout=args.timeout,
+        verbose=args.verbose,
+    )
+    print(f"serving on {server.url} "
+          f"(jobs={session.jobs}, max_inflight={server.admission.max_inflight}, "
+          f"queue_depth={server.admission.queue_depth})", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
     return 0
 
 
@@ -490,6 +434,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "files get JSON, everything else Prometheus "
                              "text (default stdout)")
 
+    def add_url_option(command) -> None:
+        command.add_argument("--url", default=None, metavar="URL",
+                             help="send the request to a running `repro "
+                             "serve` daemon instead of solving in-process")
+
     check = commands.add_parser("check", help="static analysis of mappings")
     check.add_argument("mappings", nargs="+",
                        help="one or more mapping files; the exit code is the "
@@ -499,6 +448,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the engine's algorithm/cost accounting")
     add_batch_options(check)
     add_obs_options(check)
+    add_url_option(check)
     check.set_defaults(handler=cmd_check)
 
     member = commands.add_parser("member", help="is (source, target) in [[M]]?")
@@ -512,6 +462,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print the engine's algorithm/cost accounting")
     add_batch_options(member)
     add_obs_options(member)
+    add_url_option(member)
     member.set_defaults(handler=cmd_member)
 
     solve_cmd = commands.add_parser("solve", help="canonical solution for a source")
@@ -530,6 +481,7 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--cache-dir", default=None, metavar="DIR")
     stats.add_argument("--cache-size", type=int, default=None, metavar="N")
     add_obs_options(stats)
+    add_url_option(stats)
     stats.set_defaults(handler=cmd_stats)
 
     lint = commands.add_parser(
@@ -551,13 +503,34 @@ def build_parser() -> argparse.ArgumentParser:
                       help="in-memory compilation-cache capacity "
                       "(default: $REPRO_CACHE_SIZE or 256)")
     add_obs_options(lint)
+    add_url_option(lint)
     lint.set_defaults(handler=cmd_lint)
 
     compose = commands.add_parser("compose", help="compose two mappings (Thm 8.2)")
     compose.add_argument("first")
     compose.add_argument("second")
     compose.add_argument("--output")
+    add_url_option(compose)
     compose.set_defaults(handler=cmd_compose)
+
+    serve = commands.add_parser(
+        "serve", help="JSON-over-HTTP daemon over one warm engine session"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8425,
+                       help="listening port (0 binds an ephemeral port)")
+    serve.add_argument("--max-inflight", type=int, default=4, metavar="N",
+                       help="requests executing concurrently (default 4)")
+    serve.add_argument("--queue-depth", type=int, default=8, metavar="N",
+                       help="admitted requests waiting beyond the in-flight "
+                       "limit; anything more is rejected with 429 (default 8)")
+    serve.add_argument("--timeout", type=float, default=30.0, metavar="SECONDS",
+                       help="per-request wall-clock cap; a slow solve comes "
+                       "back as an Unknown verdict (default 30)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request to stderr")
+    add_batch_options(serve)
+    serve.set_defaults(handler=cmd_serve, stats=False)
     return parser
 
 

@@ -24,6 +24,7 @@ to the process-wide :data:`DEFAULT_CACHE`.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from collections import Counter, OrderedDict
 from dataclasses import dataclass
@@ -109,6 +110,15 @@ class CompilationCache:
     *disk* is an optional :class:`DiskCacheTier` consulted on memory
     misses; ``misses`` then counts actual builds, with disk traffic
     reported separately in :meth:`stats`.
+
+    The cache is **thread-safe**: one warm instance is shared by every
+    handler thread of the ``repro serve`` daemon, so the LRU order, the
+    entry map and the counters mutate only under an internal lock.
+    Builds deliberately run *outside* the lock — a slow compilation on
+    one thread must not serialize every other thread's hits.  Two
+    threads racing the same missing key may both build it (the second
+    store wins); artifacts are content-keyed and interchangeable, so
+    the worst case is a redundant build, never a wrong answer.
     """
 
     def __init__(
@@ -126,16 +136,30 @@ class CompilationCache:
         self.hits_by_kind: Counter[str] = Counter()
         self.misses_by_kind: Counter[str] = Counter()
         self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        self._lock = threading.RLock()
+
+    def __getstate__(self) -> dict:
+        """Pickle without the lock (a fresh one is created on unpickle)."""
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     def lookup(self, key: Hashable, build: Callable[[], object]) -> object:
         """The cached artifact under *key*, building (and storing) on miss."""
         kind = cache_kind(key)
-        if self.enabled and key in self._entries:
-            self.hits += 1
-            self.hits_by_kind[kind] += 1
-            _CACHE_HITS.labels(kind=kind).inc()
-            self._entries.move_to_end(key)
-            return self._entries[key]
+        if self.enabled:
+            with self._lock:
+                if key in self._entries:
+                    self.hits += 1
+                    self.hits_by_kind[kind] += 1
+                    self._entries.move_to_end(key)
+                    value = self._entries[key]
+                    _CACHE_HITS.labels(kind=kind).inc()
+                    return value
         if self.enabled and self.disk is not None:
             started = time.perf_counter()
             value = self.disk.get(key)
@@ -144,8 +168,9 @@ class CompilationCache:
                 _DISK_HITS.inc()
                 self._store(key, value)
                 return value
-        self.misses += 1
-        self.misses_by_kind[kind] += 1
+        with self._lock:
+            self.misses += 1
+            self.misses_by_kind[kind] += 1
         _CACHE_MISSES.labels(kind=kind).inc()
         with trace("compile", kind=kind):
             started = time.perf_counter()
@@ -160,22 +185,25 @@ class CompilationCache:
         return value
 
     def _store(self, key: Hashable, value: object) -> None:
-        self._entries[key] = value
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            self.evictions += 1
-            _CACHE_EVICTIONS.inc()
+        with self._lock:
+            self._entries[key] = value
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                _CACHE_EVICTIONS.inc()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def stats(self) -> dict[str, int]:
-        stats = {
-            "entries": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-        }
+        with self._lock:
+            stats = {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
         if self.disk is not None:
             stats.update(self.disk.stats())
         return stats
@@ -187,17 +215,19 @@ class CompilationCache:
         over every cache instance; this is the per-instance view the
         ``--stats`` accounting reads.
         """
-        kinds = sorted(set(self.hits_by_kind) | set(self.misses_by_kind))
-        return {
-            kind: {
-                "hits": self.hits_by_kind.get(kind, 0),
-                "misses": self.misses_by_kind.get(kind, 0),
+        with self._lock:
+            kinds = sorted(set(self.hits_by_kind) | set(self.misses_by_kind))
+            return {
+                kind: {
+                    "hits": self.hits_by_kind.get(kind, 0),
+                    "misses": self.misses_by_kind.get(kind, 0),
+                }
+                for kind in kinds
             }
-            for kind in kinds
-        }
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
 
 def cache_from_env() -> CompilationCache:

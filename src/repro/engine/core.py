@@ -36,7 +36,7 @@ from repro.engine.problems import (
 from repro.engine.report import SolveReport
 from repro.engine.verdicts import Unknown, Verdict
 from repro.errors import BoundExceededError, SignatureError, XsmError
-from repro.obs import REGISTRY, maybe_profile, trace
+from repro.obs import REGISTRY, current_tags, maybe_profile, trace
 
 #: Always-on operational series (pre-bound families; cheap label lookups).
 _SOLVES = REGISTRY.counter(
@@ -315,6 +315,7 @@ def solve(problem: Any, context: ExecutionContext | None = None) -> Verdict:
         budget=context.budget,
         trace=None if span.is_noop else span.to_dict(),
         diagnostics=diagnostics_for_problem(problem, context),
+        request_id=current_tags().get("request"),
     )
     verdict.problem = problem
     _SOLVES.labels(

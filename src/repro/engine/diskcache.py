@@ -31,6 +31,7 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import threading
 from hashlib import sha256
 from pathlib import Path
 from typing import Hashable
@@ -70,7 +71,10 @@ class DiskCacheTier:
     ``get`` returns :data:`MISS` (never raises) when the artifact is
     absent or unreadable; ``put`` is best-effort.  Several processes may
     share a directory concurrently — the worst interleaving is a
-    redundant rebuild, never a torn read.
+    redundant rebuild, never a torn read.  Reads and writes are also
+    safe from concurrent *threads* of one process (the ``repro serve``
+    daemon): file operations are atomic at the OS level and the
+    counters mutate under a lock, so ``stats()`` stays exact.
     """
 
     def __init__(self, directory: str | Path, version: int = CACHE_FORMAT_VERSION):
@@ -81,7 +85,17 @@ class DiskCacheTier:
         self.stores = 0
         self.corrupt = 0
         self.unpicklable = 0
+        self._lock = threading.Lock()
         self.directory.mkdir(parents=True, exist_ok=True)
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def path_for(self, key: Hashable) -> Path:
         return self.directory / f"{key_digest(key, self.version)}.pkl"
@@ -92,7 +106,8 @@ class DiskCacheTier:
         try:
             payload = path.read_bytes()
         except OSError:
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             return MISS
         try:
             stamp, value = pickle.loads(payload)
@@ -100,14 +115,16 @@ class DiskCacheTier:
                 raise ValueError(f"version stamp {stamp!r} != {self.version!r}")
         except Exception:
             # truncated, tampered, unreadable or version-skewed: rebuild
-            self.corrupt += 1
-            self.misses += 1
+            with self._lock:
+                self.corrupt += 1
+                self.misses += 1
             try:
                 path.unlink()
             except OSError:
                 pass
             return MISS
-        self.hits += 1
+        with self._lock:
+            self.hits += 1
         return value
 
     def put(self, key: Hashable, value: object) -> bool:
@@ -117,7 +134,8 @@ class DiskCacheTier:
                 (self.version, value), protocol=pickle.HIGHEST_PROTOCOL
             )
         except Exception:
-            self.unpicklable += 1
+            with self._lock:
+                self.unpicklable += 1
             return False
         path = self.path_for(key)
         try:
@@ -136,20 +154,22 @@ class DiskCacheTier:
                 raise
         except OSError:
             return False
-        self.stores += 1
+        with self._lock:
+            self.stores += 1
         return True
 
     def __len__(self) -> int:
         return sum(1 for __ in self.directory.glob("*.pkl"))
 
     def stats(self) -> dict[str, int]:
-        return {
-            "disk_hits": self.hits,
-            "disk_misses": self.misses,
-            "disk_stores": self.stores,
-            "disk_corrupt": self.corrupt,
-            "unpicklable": self.unpicklable,
-        }
+        with self._lock:
+            return {
+                "disk_hits": self.hits,
+                "disk_misses": self.misses,
+                "disk_stores": self.stores,
+                "disk_corrupt": self.corrupt,
+                "unpicklable": self.unpicklable,
+            }
 
     def clear(self) -> None:
         for path in self.directory.glob("*.pkl"):

@@ -46,7 +46,15 @@ from repro.engine.cache import CompilationCache
 from repro.engine.diskcache import DiskCacheTier
 from repro.engine.report import BatchReport, SolveReport
 from repro.engine.verdicts import Unknown, Verdict
-from repro.obs import REGISTRY, collecting, trace, tracing_active, truncated_span
+from repro.obs import (
+    REGISTRY,
+    bind_tags,
+    collecting,
+    current_tags,
+    trace,
+    tracing_active,
+    truncated_span,
+)
 from repro.obs.metrics import diff_snapshots
 
 #: ``Unknown.reason`` prefixes for results the pool had to synthesize.
@@ -121,6 +129,7 @@ def _init_worker(
 
 def _run_chunk(
     tasks: list[tuple[int, object]],
+    tags: dict | None = None,
 ) -> tuple[list, dict[str, int], dict, dict]:
     """Solve one chunk in a worker.
 
@@ -129,7 +138,9 @@ def _run_chunk(
     its serialized solve span in ``verdict.report.trace`` (spans pickle
     as plain dicts); *meta* records the worker pid, the wall-clock
     pickup time (for queue-wait attribution) and the chunk's elapsed
-    seconds.
+    seconds.  *tags* re-binds the driver's ambient span tags (request
+    IDs) in this worker for the duration of the chunk, so every span
+    and report produced here carries them.
     """
     from repro.engine.core import solve
 
@@ -150,11 +161,12 @@ def _run_chunk(
                 _WORKER_FAILURES.labels(kind="error").inc()
             results.append((index, verdict))
 
-    if _WORKER_TRACE:
-        with collecting("worker-chunk", worker=os.getpid()):
+    with bind_tags(**(tags or {})):
+        if _WORKER_TRACE:
+            with collecting("worker-chunk", worker=os.getpid()):
+                run_all()
+        else:
             run_all()
-    else:
-        run_all()
     after = context.cache.stats()
     delta = {
         key: after.get(key, 0) - before.get(key, 0)
@@ -211,19 +223,23 @@ class BatchResult(Sequence):
 
 
 def _synthetic(
-    reason: str, detail: str, problem: object, elapsed: float = 0.0
+    reason: str, detail: str, problem: object, elapsed: float = 0.0,
+    tags: dict | None = None,
 ) -> Unknown:
     """An ``Unknown`` standing in for a lost worker result.
 
     Failures must not drop observability: the verdict carries a
     :class:`SolveReport` with a *truncated* trace span (the worker's real
     spans died with it) and the failure is counted in
-    ``repro_worker_failures_total``.
+    ``repro_worker_failures_total``.  The truncated span carries the
+    batch's ambient *tags* (request IDs) — a crashed or hung worker must
+    not lose the request attribution either.
     """
     verdict = Unknown(f"{reason}: {detail}" if detail else reason)
     verdict.problem = problem
     kind = "timeout" if reason == WORKER_TIMEOUT else "crash"
     _WORKER_FAILURES.labels(kind=kind).inc()
+    tags = tags or {}
     verdict.report = SolveReport(
         problem=type(problem).__name__,
         algorithm=reason,
@@ -235,7 +251,9 @@ def _synthetic(
             problem=type(problem).__name__,
             outcome=reason,
             detail=detail,
+            **tags,
         ),
+        request_id=tags.get("request"),
     )
     return verdict
 
@@ -269,6 +287,7 @@ def solve_many(
     task_timeout: float | None = None,
     chunk_size: int | None = None,
     cache_dir: str | os.PathLike | None = None,
+    tags: dict | None = None,
 ) -> BatchResult:
     """Decide every problem of a batch, fanning out over *jobs* processes.
 
@@ -279,11 +298,17 @@ def solve_many(
     *cache_dir* attaches a shared on-disk compilation-cache tier to every
     worker (defaults to ``REPRO_CACHE_DIR`` when set).
 
+    *tags* (merged over the caller's ambient :func:`repro.obs.bind_tags`
+    bindings, so a service request ID propagates with no explicit
+    plumbing) are re-bound inside every worker chunk: chunk spans, solve
+    spans and the truncated spans of crashed/hung workers all carry them.
+
     Returns a :class:`BatchResult`: ``result[i]`` is the verdict of
     ``problems[i]``, always — a hung or crashed worker contributes an
     ``Unknown`` with a ``worker-timeout`` / ``worker-crash`` reason.
     """
     problems = list(problems)
+    tags = {**current_tags(), **(tags or {})}
     resolved = resolve_context(context)
     if resolved is None:
         resolved = ExecutionContext()
@@ -296,7 +321,9 @@ def solve_many(
     report = BatchReport(problems=len(problems), jobs=jobs)
     _BATCH_PROBLEMS.inc(len(problems))
     started = time.perf_counter()
-    with trace("solve_many", problems=len(problems), jobs=jobs) as batch_span:
+    with bind_tags(**tags), trace(
+        "solve_many", problems=len(problems), jobs=jobs
+    ) as batch_span:
         if jobs == 1 or len(problems) <= 1:
             verdicts = _solve_serial(
                 problems, resolved, task_timeout, cache_dir, report
@@ -304,7 +331,7 @@ def solve_many(
         else:
             verdicts = _solve_pooled(
                 problems, jobs, resolved, task_timeout, chunk_size, cache_dir,
-                report, batch_span,
+                report, batch_span, tags,
             )
     report.elapsed = time.perf_counter() - started
     if not batch_span.is_noop:
@@ -370,7 +397,7 @@ def _absorb_chunk(
     _WORKER_CHUNKS.labels(worker=str(meta["pid"])).inc()
 
 
-def _chunk_span(chunk: _Chunk, pairs: list, meta: dict) -> dict:
+def _chunk_span(chunk: _Chunk, pairs: list, meta: dict, tags: dict | None = None) -> dict:
     """The serialized chunk span wrapping the worker-captured solve spans."""
     children = [
         verdict.report.trace
@@ -381,6 +408,7 @@ def _chunk_span(chunk: _Chunk, pairs: list, meta: dict) -> dict:
     return {
         "name": "chunk",
         "attrs": {
+            **(tags or {}),
             "worker": meta["pid"],
             "tasks": len(chunk.tasks),
             "queue_wait": max(0.0, meta["picked_up_wall"] - chunk.submitted_wall),
@@ -402,6 +430,7 @@ def _solve_pooled(
     cache_dir: str | os.PathLike | None,
     report: BatchReport,
     batch_span: Any,
+    tags: dict | None = None,
 ) -> list[Verdict]:
     budget = _effective_budget(context.budget, task_timeout)
     cache_dir = os.fspath(cache_dir) if cache_dir is not None else None
@@ -437,7 +466,7 @@ def _solve_pooled(
             while queue and len(inflight) < jobs:
                 chunk = queue.popleft()
                 try:
-                    future = executor.submit(_run_chunk, chunk.tasks)
+                    future = executor.submit(_run_chunk, chunk.tasks, tags)
                 except BrokenProcessPool:
                     # the pool died between rounds; replace it and retry
                     queue.appendleft(chunk)
@@ -468,7 +497,7 @@ def _solve_pooled(
                         chunk, stats, metrics_delta, meta, report, batch_span
                     )
                     if not batch_span.is_noop:
-                        batch_span.adopt(_chunk_span(chunk, pairs, meta))
+                        batch_span.adopt(_chunk_span(chunk, pairs, meta, tags))
             if pool_broken:
                 # the pool died under every other in-flight chunk too;
                 # re-run the innocent bystanders, isolate the casualties
@@ -505,7 +534,7 @@ def _solve_pooled(
 
     if quarantine:
         _solve_isolated(
-            quarantine, initargs, task_timeout, results, report, batch_span
+            quarantine, initargs, task_timeout, results, report, batch_span, tags
         )
 
     return [results[index] for index in range(len(problems))]
@@ -518,6 +547,7 @@ def _solve_isolated(
     results: dict[int, Verdict],
     report: BatchReport,
     batch_span: Any,
+    tags: dict | None = None,
 ) -> None:
     """Re-run suspect tasks one per single-worker pool, for exact blame.
 
@@ -535,7 +565,7 @@ def _solve_isolated(
             max_workers=1, initializer=_init_worker, initargs=initargs
         )
         try:
-            future = executor.submit(_run_chunk, chunk.tasks)
+            future = executor.submit(_run_chunk, chunk.tasks, tags)
             chunk.submitted_wall = time.time()
             synthetic = None
             try:
@@ -546,13 +576,15 @@ def _solve_isolated(
                     f"no result within {task_timeout}s (worker killed)",
                     problem,
                     elapsed=0.0 if deadline is None else deadline,
+                    tags=tags,
                 )
             except BrokenProcessPool:
                 synthetic = _synthetic(
-                    WORKER_CRASH, "worker process died mid-solve", problem
+                    WORKER_CRASH, "worker process died mid-solve", problem,
+                    tags=tags,
                 )
             except Exception as exc:
-                synthetic = _synthetic(WORKER_CRASH, repr(exc), problem)
+                synthetic = _synthetic(WORKER_CRASH, repr(exc), problem, tags=tags)
             if synthetic is not None:
                 results[index] = synthetic
                 batch_span.adopt(synthetic.report.trace)
@@ -563,6 +595,6 @@ def _solve_isolated(
                     chunk, stats, metrics_delta, meta, report, batch_span
                 )
                 if not batch_span.is_noop:
-                    batch_span.adopt(_chunk_span(chunk, pairs, meta))
+                    batch_span.adopt(_chunk_span(chunk, pairs, meta, tags))
         finally:
             _kill_executor(executor)

@@ -25,6 +25,11 @@ class SolveReport:
     findings (:func:`repro.analysis.diagnostics_for_problem`):
     immutable :class:`~repro.analysis.Diagnostic` tuples, picklable for
     the same worker round trip.
+
+    ``request_id`` is the service-layer request the solve ran under
+    (read from the ambient :func:`repro.obs.bind_tags` binding), or
+    ``None`` outside any request — it survives the worker round trip
+    exactly like the trace, including crash/timeout synthetics.
     """
 
     problem: str
@@ -36,6 +41,7 @@ class SolveReport:
     budget: Budget = field(default_factory=Budget.default)
     trace: dict | None = field(default=None, repr=False)
     diagnostics: tuple = ()
+    request_id: str | None = None
 
     def lines(self) -> list[str]:
         """Render for ``--stats`` output."""

@@ -36,8 +36,10 @@ from repro.obs.spans import (
     NOOP_SPAN,
     Span,
     TraceTree,
+    bind_tags,
     collecting,
     current_span,
+    current_tags,
     jsonl,
     span_breakdown,
     trace,
@@ -59,8 +61,10 @@ __all__ = [
     "NOOP_SPAN",
     "Span",
     "TraceTree",
+    "bind_tags",
     "collecting",
     "current_span",
+    "current_tags",
     "jsonl",
     "span_breakdown",
     "trace",

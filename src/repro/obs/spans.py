@@ -68,7 +68,13 @@ class Span:
 
     def __init__(self, name: str, attrs: dict | None = None):
         self.name = name
-        self.attrs = dict(attrs) if attrs else {}
+        tags = _STATE.tags
+        if tags:
+            self.attrs = dict(tags)
+            if attrs:
+                self.attrs.update(attrs)
+        else:
+            self.attrs = dict(attrs) if attrs else {}
         self.start = time.perf_counter()
         self.wall = time.time()
         self.duration = 0.0
@@ -183,6 +189,7 @@ class TraceTree:
 class _CollectorState(threading.local):
     def __init__(self):
         self.stack: list[Span] = []
+        self.tags: dict = {}
 
 
 _STATE = _CollectorState()
@@ -191,6 +198,34 @@ _STATE = _CollectorState()
 def tracing_active() -> bool:
     """Is a collector installed on this thread?"""
     return bool(_STATE.stack)
+
+
+def current_tags() -> dict:
+    """The ambient span tags bound on this thread (empty outside any
+    :func:`bind_tags` block)."""
+    return dict(_STATE.tags)
+
+
+@contextmanager
+def bind_tags(**tags) -> Iterator[None]:
+    """Stamp *tags* onto every span opened on this thread while active.
+
+    This is how a request ID travels end-to-end: the service layer binds
+    ``request=<id>`` around a handler, and every span the handler opens —
+    solves, compiles, certify passes — carries the tag without any
+    signature widening.  ``solve_many`` re-binds the driver's tags inside
+    its worker processes, so cross-process chunk and solve spans carry
+    them too.  Bindings nest; inner bindings win on key collisions and
+    are restored on exit.
+    """
+    previous = _STATE.tags
+    merged = dict(previous)
+    merged.update(tags)
+    _STATE.tags = merged
+    try:
+        yield
+    finally:
+        _STATE.tags = previous
 
 
 @contextmanager

@@ -111,8 +111,87 @@ class CompactPatternEngine:
         return self.match_at(0, pattern)
 
     def find_matches(self, pattern: Pattern) -> list[dict[Var, object]]:
-        """All valuations of ``(T, root) |= pattern``, as dicts."""
-        return [dict(v) for v in self.match_at(0, pattern)]
+        """All valuations of ``(T, root) |= pattern``, as dicts.
+
+        Full-enumeration queries — a root formula binding nothing over a
+        single descendant leaf, the ``r//item(x, y)`` shape that
+        materializes a valuation per matching node — take a vectorized
+        path: candidate positions stream straight out of the label
+        index, the constant/equality tests run as tuple comparisons on
+        the attrs arrays, and result dicts are built once per distinct
+        binding tuple.  No frozenset-of-pairs relation algebra runs on
+        that hot path; every other shape falls back to the generic
+        evaluator with the per-row dicts materialized by a C-level
+        ``map``.
+        """
+        fast = self._enumerate_fast(pattern)
+        if fast is not None:
+            return fast
+        return list(map(dict, self.match_at(0, pattern)))
+
+    def _enumerate_fast(
+        self, pattern: Pattern
+    ) -> list[dict[Var, object]] | None:
+        """The vectorized full-enumeration materialization, or None.
+
+        Applicable when the pattern is a root formula that binds no
+        variables over exactly one ``//leaf`` item whose terms are plain
+        variables and constants; the result is then the distinct binding
+        tuples of the leaf over all matching descendants — computable in
+        one pass over the candidate positions.
+        """
+        if len(pattern.items) != 1 or not isinstance(pattern.items[0], Descendant):
+            return None
+        leaf = pattern.items[0].pattern
+        if leaf.items:
+            return None
+        terms = leaf.vars
+        if terms is None or not all(isinstance(t, (Var, Const)) for t in terms):
+            return None
+        base = self._match_node_formula(0, pattern)
+        if base is None:
+            return []
+        if base:
+            return None  # root bindings would need the join machinery
+        mask = self.mask(pattern)
+        if mask is None or not self.index.subtree_covers(0, mask):
+            self.stats.index_prunes += 1
+            return []
+        label_id = self.label_id(leaf)
+        if label_id is not None and label_id < 0:
+            return []
+        arity = len(terms)
+        consts = tuple(
+            (i, t.value) for i, t in enumerate(terms) if isinstance(t, Const)
+        )
+        first: dict[Var, int] = {}
+        equalities: list[tuple[int, int]] = []
+        for i, term in enumerate(terms):
+            if isinstance(term, Var):
+                j = first.setdefault(term, i)
+                if j != i:
+                    equalities.append((j, i))
+        kept = tuple(first.items())  # (var, first position) per variable
+        label = None if leaf.label == WILDCARD else leaf.label
+        attr_index = (
+            self.info(leaf).const_attrs if label is not None else None
+        )
+        attrs = self.index.attrs
+        stats = self.stats
+        rows: set[tuple] = set()
+        add = rows.add
+        for candidate in self.index.candidates(0, label, attr_index):
+            stats.candidates_scanned += 1
+            values = attrs[candidate]
+            if len(values) != arity:
+                continue
+            if any(values[i] != constant for i, constant in consts):
+                continue
+            if any(values[i] != values[j] for i, j in equalities):
+                continue
+            add(tuple(values[i] for __, i in kept))
+        variables = tuple(var for var, __ in kept)
+        return [dict(zip(variables, row)) for row in rows]
 
     def match_anywhere(self, pattern: Pattern) -> frozenset:
         """Valuations of *pattern* matched at the root or any descendant."""
@@ -371,8 +450,9 @@ class CompactPatternEngine:
                 for p in range(n)
             ]
             suffix_vars = evars[i] | suffix_vars
-        result: frozenset = _EMPTY_REL
-        for rel in suffix:
-            if rel:
-                result = result | rel
-        return result
+        parts = [rel for rel in suffix if rel]
+        if not parts:
+            return _EMPTY_REL
+        if len(parts) == 1:
+            return parts[0]
+        return frozenset().union(*parts)

@@ -1,0 +1,94 @@
+"""A tiny stdlib client for the ``repro serve`` daemon.
+
+The CLI's ``--url`` mode routes every command through here, so this is
+the inverse of :mod:`repro.service.server`: serialize the request dict,
+POST it, give back the response dict.  Two deliberate choices:
+
+* **error bodies are responses** — the daemon answers 400 (bad request)
+  and 429 (saturated) with the same JSON envelope as a success, so
+  ``call_service`` returns the parsed body for any HTTP status that
+  carries one; callers branch on ``response["error"]`` / ``exit_code``
+  instead of catching transport exceptions;
+* **transport failures are one exception** — connection refused, DNS,
+  timeouts and non-JSON bodies all raise :class:`ServiceUnavailable`,
+  which the CLI maps to exit code 3 with the daemon's URL in the
+  message.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+from repro.errors import XsmError
+
+
+class ServiceUnavailable(XsmError):
+    """The daemon could not be reached or spoke something other than JSON."""
+
+
+def _parse_body(payload: bytes, url: str) -> dict:
+    try:
+        body = json.loads(payload)
+    except ValueError as error:
+        raise ServiceUnavailable(
+            f"service at {url} returned a non-JSON body: {error}"
+        ) from error
+    if not isinstance(body, dict):
+        raise ServiceUnavailable(
+            f"service at {url} returned a non-object body"
+        )
+    return body
+
+
+def call_service(
+    url: str,
+    command: str,
+    request: dict | None = None,
+    *,
+    timeout: float = 300.0,
+) -> dict:
+    """POST *request* to ``<url>/<command>``; the parsed response dict.
+
+    HTTP error statuses whose body is the service's JSON envelope (400,
+    404, 413, 429) are returned, not raised — the ``error`` key carries
+    the type and message.  Transport-level failures raise
+    :class:`ServiceUnavailable`.
+    """
+    endpoint = f"{url.rstrip('/')}/{command.lstrip('/')}"
+    payload = json.dumps(request or {}).encode()
+    http_request = urllib.request.Request(
+        endpoint,
+        data=payload,
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(http_request, timeout=timeout) as reply:
+            return _parse_body(reply.read(), endpoint)
+    except urllib.error.HTTPError as error:
+        body = error.read()
+        try:
+            return _parse_body(body, endpoint)
+        except ServiceUnavailable:
+            raise ServiceUnavailable(
+                f"service at {endpoint} answered {error.code} without a "
+                f"JSON body"
+            ) from error
+    except OSError as error:
+        raise ServiceUnavailable(
+            f"cannot reach service at {endpoint}: {error}"
+        ) from error
+
+
+def fetch_text(url: str, path: str, *, timeout: float = 30.0) -> str:
+    """GET ``<url>/<path>`` as text (``/metrics``, ``/healthz``)."""
+    endpoint = f"{url.rstrip('/')}/{path.lstrip('/')}"
+    try:
+        with urllib.request.urlopen(endpoint, timeout=timeout) as reply:
+            return reply.read().decode()
+    except OSError as error:
+        raise ServiceUnavailable(
+            f"cannot reach service at {endpoint}: {error}"
+        ) from error

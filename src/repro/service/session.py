@@ -1,0 +1,532 @@
+"""``EngineSession``: the reusable, warm core behind every frontend.
+
+A session owns the long-lived state a serving system amortizes across
+requests — one thread-safe :class:`~repro.engine.cache.CompilationCache`
+(optionally backed by a :class:`~repro.engine.diskcache.DiskCacheTier`),
+the default :class:`~repro.engine.budget.Budget`, the worker-pool fanout
+of :func:`~repro.engine.parallel.solve_many` and the process metrics
+registry — and exposes the engine's commands as **plain-dict handlers**:
+
+    session = EngineSession(jobs=2, cache_dir="/tmp/cache")
+    response = session.check({"mappings": [{"name": "m.xsm", "text": ...}]})
+
+Requests and responses are JSON-shaped (strings, numbers, lists, dicts),
+so the same handler serves the CLI adapter, the HTTP daemon and direct
+library use.  Every request gets
+
+* a **request ID** (honoured from the request, generated otherwise)
+  bound as an ambient span tag for the whole handler — every trace span
+  the request opens, including ``solve_many`` worker-chunk spans in
+  other processes and the truncated spans of crashed/hung workers,
+  carries ``request=<id>``, and every ``SolveReport`` records it;
+* a **per-request budget**: ``request["budget"]`` overrides individual
+  :class:`Budget` fields, ``request["timeout"]`` tightens the wall-clock
+  deadline (and doubles as the ``solve_many`` watchdog timeout), so a
+  slow solve comes back as ``Unknown`` instead of wedging a worker;
+* **accounting** in the shared registry: ``repro_requests_total`` by
+  command and outcome, ``repro_request_latency_seconds`` by command.
+
+Handlers never raise for malformed input or mapping errors: failures
+come back as ``{"ok": False, "error": {...}, "exit_code": 3}`` so the
+daemon can map them to HTTP statuses and the CLI to exit codes without
+a second error path.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from collections import Counter
+from dataclasses import fields as dataclass_fields
+from typing import Any, Callable
+
+from repro.engine import (
+    AbsoluteConsistencyProblem,
+    Budget,
+    CompilationCache,
+    ConsistencyProblem,
+    Counterexample,
+    DiskCacheTier,
+    ExecutionContext,
+    MembershipProblem,
+    RigidityExplanation,
+    certify,
+    solve_many,
+)
+from repro.errors import XsmError
+from repro.obs import REGISTRY, bind_tags, collecting, parse_prometheus, trace
+from repro.xmlmodel.xml_io import from_xml, to_xml
+
+_REQUESTS = REGISTRY.counter(
+    "repro_requests_total",
+    "Service-layer requests by command and outcome",
+    ("command", "outcome"),
+)
+_REQUEST_LATENCY = REGISTRY.histogram(
+    "repro_request_latency_seconds",
+    "Wall-clock seconds per service-layer request, by command",
+    ("command",),
+)
+
+#: Budget fields a request may override via ``request["budget"]``.
+_BUDGET_FIELDS = frozenset(f.name for f in dataclass_fields(Budget))
+
+
+class RequestError(XsmError):
+    """A malformed service request (bad shape, unknown fields)."""
+
+
+def _verdict_payload(verdict: Any) -> dict:
+    """A JSON-shaped rendering of a verdict plus its SolveReport."""
+    if verdict.is_proved:
+        kind = "proved"
+    elif verdict.is_refuted:
+        kind = "refuted"
+    else:
+        kind = "unknown"
+    payload: dict[str, Any] = {"verdict": kind, "decision": verdict.decision()}
+    if kind == "unknown":
+        payload["reason"] = verdict.reason
+    report = getattr(verdict, "report", None)
+    if report is not None:
+        payload["report"] = {
+            "algorithm": report.algorithm,
+            "reason": report.reason,
+            "elapsed": report.elapsed,
+            "expansions": report.expansions,
+            "cache": dict(report.cache),
+            "request_id": report.request_id,
+            "lines": report.lines(),
+        }
+    return payload
+
+
+def _named_texts(request: dict, key: str) -> list[tuple[str, str]]:
+    """Normalize ``request[key]`` to ``[(name, text), ...]``.
+
+    Accepts a list of strings or of ``{"name": ..., "text": ...}`` dicts
+    (a bare string or dict is promoted to a one-element list).
+    """
+    raw = request.get(key)
+    if raw is None:
+        raise RequestError(f"request field {key!r} is required")
+    if isinstance(raw, (str, dict)):
+        raw = [raw]
+    if not isinstance(raw, list) or not raw:
+        raise RequestError(f"request field {key!r} must be a non-empty list")
+    named: list[tuple[str, str]] = []
+    for position, item in enumerate(raw):
+        if isinstance(item, str):
+            named.append((f"{key}[{position}]", item))
+        elif isinstance(item, dict) and isinstance(item.get("text"), str):
+            named.append((str(item.get("name", f"{key}[{position}]")), item["text"]))
+        else:
+            raise RequestError(
+                f"{key}[{position}] must be a string or a {{name, text}} object"
+            )
+    return named
+
+
+def _exit_code(consistency: Any, absolute: Any) -> int:
+    """The CLI exit-code contract for one mapping's check pair."""
+    if consistency.is_refuted:
+        return 1
+    if consistency.is_unknown:
+        return 2
+    if absolute.is_refuted:
+        return 1
+    if absolute.is_unknown:
+        return 2
+    return 0
+
+
+#: Small but non-trivial mapping for the ``stats`` self-test batch:
+#: routes through cons-automata and the rigidity analysis, exercising the
+#: compilation cache, certify and (with jobs > 1) the worker plumbing.
+_SELFTEST_MAPPING = """\
+source:
+    f -> item*
+    item(sku)
+target:
+    w -> product*
+    product(sku)
+std: f[item(s)] -> w[product(s)]
+"""
+
+#: Series the stats self-test requires after its batch.
+_REQUIRED_SERIES = (
+    "repro_solves_total",
+    "repro_solve_latency_seconds_bucket",
+    "repro_solve_latency_seconds_count",
+    "repro_cache_misses_total",
+    "repro_certify_total",
+    "repro_batch_problems_total",
+)
+
+_REQUIRED_PARALLEL_SERIES = (
+    "repro_queue_wait_seconds_count",
+    "repro_worker_chunks_total",
+)
+
+
+class EngineSession:
+    """One warm engine shared by many requests (and many threads).
+
+    *jobs* is the default ``solve_many`` fanout (requests may override),
+    *cache_size* / *cache_dir* configure the shared compilation cache
+    and its optional disk tier, *budget* the per-request default limits.
+    Handlers are safe to call concurrently: the cache is thread-safe,
+    contexts are per-request, and the counters mutate under a lock.
+    """
+
+    def __init__(
+        self,
+        *,
+        jobs: int = 1,
+        cache_size: int | None = None,
+        cache_dir: str | os.PathLike | None = None,
+        budget: Budget | None = None,
+        registry=REGISTRY,
+    ):
+        self.jobs = max(1, int(jobs))
+        self.cache_dir = os.fspath(cache_dir) if cache_dir else None
+        disk = DiskCacheTier(self.cache_dir) if self.cache_dir else None
+        self.cache = CompilationCache(max_entries=cache_size, disk=disk)
+        self.budget = budget if budget is not None else Budget.default()
+        self.registry = registry
+        self.started_wall = time.time()
+        self.requests: Counter[str] = Counter()
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._id_prefix = f"r{os.getpid():x}-{int(self.started_wall) & 0xFFFF:04x}"
+
+    # -- request plumbing ---------------------------------------------------
+
+    def next_request_id(self) -> str:
+        return f"{self._id_prefix}-{next(self._ids):06d}"
+
+    def _request_budget(self, request: dict) -> Budget:
+        overrides = request.get("budget") or {}
+        if not isinstance(overrides, dict):
+            raise RequestError("request field 'budget' must be an object")
+        unknown = set(overrides) - _BUDGET_FIELDS
+        if unknown:
+            raise RequestError(
+                f"unknown budget fields: {', '.join(sorted(unknown))}"
+            )
+        budget = self.budget.with_(**overrides) if overrides else self.budget
+        timeout = request.get("timeout")
+        if timeout is not None:
+            timeout = float(timeout)
+            if timeout <= 0:
+                raise RequestError("request field 'timeout' must be positive")
+            deadline = budget.deadline_seconds
+            if deadline is None or deadline > timeout:
+                budget = budget.with_(deadline_seconds=timeout)
+        return budget
+
+    def _context(self, request: dict) -> ExecutionContext:
+        return ExecutionContext(self._request_budget(request), cache=self.cache)
+
+    def _jobs(self, request: dict) -> int:
+        jobs = request.get("jobs")
+        if jobs is None:
+            return self.jobs
+        return max(1, int(jobs))
+
+    def _run(self, command: str, request: dict | None,
+             body: Callable[[dict], dict]) -> dict:
+        request = dict(request) if request else {}
+        request_id = str(request.get("request_id") or self.next_request_id())
+        response: dict[str, Any] = {"command": command, "request_id": request_id}
+        outcome = "ok"
+        started = time.perf_counter()
+        try:
+            with bind_tags(request=request_id):
+                if request.get("trace"):
+                    with collecting("request", command=command) as tree:
+                        payload = body(request)
+                    response["trace"] = tree.to_dict()
+                else:
+                    with trace("request", command=command):
+                        payload = body(request)
+            response.update(payload)
+        except XsmError as error:
+            outcome = "error"
+            response["error"] = {
+                "type": type(error).__name__, "message": str(error)
+            }
+            response["exit_code"] = 3
+        elapsed = time.perf_counter() - started
+        response["ok"] = outcome == "ok"
+        response["elapsed"] = elapsed
+        with self._lock:
+            self.requests[command] += 1
+        _REQUESTS.labels(command=command, outcome=outcome).inc()
+        _REQUEST_LATENCY.labels(command=command).observe(elapsed)
+        return response
+
+    # -- handlers -----------------------------------------------------------
+
+    def check(self, request: dict | None = None) -> dict:
+        """Consistency + absolute consistency of one or more mappings."""
+        return self._run("check", request, self._check_body)
+
+    def _check_body(self, request: dict) -> dict:
+        from repro.consistency import consistency_witness
+        from repro.mappings.io import parse_mapping
+
+        named = _named_texts(request, "mappings")
+        parsed = [(name, parse_mapping(text)) for name, text in named]
+        context = self._context(request)
+        problems: list[object] = []
+        for __, mapping in parsed:
+            problems.append(ConsistencyProblem(mapping))
+            problems.append(AbsoluteConsistencyProblem(mapping))
+        batch = solve_many(
+            problems,
+            jobs=self._jobs(request),
+            context=context,
+            task_timeout=request.get("timeout"),
+            cache_dir=self.cache_dir,
+        )
+        results = []
+        for position, (name, mapping) in enumerate(parsed):
+            consistency = batch[2 * position]
+            absolute = batch[2 * position + 1]
+            entry: dict[str, Any] = {
+                "name": name,
+                "class": str(mapping.signature()),
+                "consistent": _verdict_payload(consistency),
+                "absolutely_consistent": _verdict_payload(absolute),
+                "exit_code": _exit_code(consistency, absolute),
+            }
+            if request.get("witness") and consistency.is_proved:
+                with context.activate():
+                    pair = consistency_witness(mapping)
+                if pair:
+                    entry["witness"] = {
+                        "source": to_xml(pair[0], mapping.source_dtd).strip(),
+                        "target": to_xml(pair[1], mapping.target_dtd).strip(),
+                    }
+            if absolute.is_refuted:
+                certificate = absolute.certificate
+                if isinstance(certificate, RigidityExplanation):
+                    entry["why"] = [str(p) for p in certificate.problems]
+                elif isinstance(certificate, Counterexample):
+                    entry["counterexample"] = to_xml(
+                        certificate.source, mapping.source_dtd
+                    ).strip()
+            results.append(entry)
+        return {
+            "results": results,
+            "exit_code": max(entry["exit_code"] for entry in results),
+            "batch": {
+                "problems": batch.report.problems,
+                "jobs": batch.report.jobs,
+                "elapsed": batch.report.elapsed,
+                "lines": batch.report.lines(),
+            },
+        }
+
+    def member(self, request: dict | None = None) -> dict:
+        """Is each (source, target) pair in the mapping's semantics?"""
+        return self._run("member", request, self._member_body)
+
+    def _member_body(self, request: dict) -> dict:
+        from repro.mappings.io import parse_mapping
+        from repro.mappings.membership import violations
+
+        mapping_text = request.get("mapping")
+        if not isinstance(mapping_text, str):
+            raise RequestError("request field 'mapping' must be a string")
+        source_text = request.get("source")
+        if not isinstance(source_text, str):
+            raise RequestError("request field 'source' must be a string")
+        mapping = parse_mapping(mapping_text)
+        source = from_xml(source_text, mapping.source_dtd)
+        named = _named_texts(request, "targets")
+        targets = [
+            (name, from_xml(text, mapping.target_dtd)) for name, text in named
+        ]
+        context = self._context(request)
+        batch = solve_many(
+            [MembershipProblem(mapping, source, target) for __, target in targets],
+            jobs=self._jobs(request),
+            context=context,
+            task_timeout=request.get("timeout"),
+            cache_dir=self.cache_dir,
+        )
+        explain = bool(request.get("explain")) and not mapping.uses_skolem_functions()
+        results = []
+        exit_code = 0
+        for (name, target), verdict in zip(targets, batch):
+            entry: dict[str, Any] = {
+                "name": name,
+                "answer": "YES" if verdict.is_proved else "NO",
+                "result": _verdict_payload(verdict),
+            }
+            if verdict.is_refuted and explain:
+                with context.activate():
+                    entry["violations"] = [
+                        {
+                            "std": str(std),
+                            "values": {v.name: value for v, value in valuation.items()},
+                        }
+                        for std, valuation in violations(mapping, source, target)
+                    ]
+            results.append(entry)
+            exit_code = max(exit_code, 0 if verdict.is_proved else 1)
+        return {"results": results, "exit_code": exit_code}
+
+    def compose(self, request: dict | None = None) -> dict:
+        """Compose two mappings (Theorem 8.2) and return the rendered result."""
+        return self._run("compose", request, self._compose_body)
+
+    def _compose_body(self, request: dict) -> dict:
+        from repro.composition.compose import compose as compose_mappings
+        from repro.mappings.io import parse_mapping, render_mapping
+
+        first = request.get("first")
+        second = request.get("second")
+        if not isinstance(first, str) or not isinstance(second, str):
+            raise RequestError(
+                "request fields 'first' and 'second' must be mapping texts"
+            )
+        with self._context(request).activate():
+            composed = compose_mappings(parse_mapping(first), parse_mapping(second))
+        return {"mapping": render_mapping(composed), "exit_code": 0}
+
+    def lint(self, request: dict | None = None) -> dict:
+        """Static diagnostics for one or more mappings (no solver runs)."""
+        return self._run("lint", request, self._lint_body)
+
+    def _lint_body(self, request: dict) -> dict:
+        from repro.analysis import Severity, lint_mapping, merge_reports
+        from repro.mappings.io import parse_mapping
+
+        named = _named_texts(request, "mappings")
+        context = self._context(request)
+        reports = [
+            lint_mapping(parse_mapping(text), context, name=name)
+            for name, text in named
+        ]
+        strict = bool(request.get("strict"))
+        min_severity = Severity.WARNING if request.get("quiet") else Severity.INFO
+        return {
+            "report": merge_reports(reports),
+            "rendered": [
+                {
+                    "name": name,
+                    "text": report.render_text(min_severity=min_severity),
+                }
+                for (name, __), report in zip(named, reports)
+            ],
+            "exit_code": max(r.exit_code(strict=strict) for r in reports),
+        }
+
+    def stats(self, request: dict | None = None) -> dict:
+        """Session/cache/registry accounting (the daemon's ``GET /stats``)."""
+        return self._run("stats", request, self._stats_body)
+
+    def _stats_body(self, request: dict) -> dict:
+        snapshot = self.registry.snapshot()
+        with self._lock:
+            requests = dict(self.requests)
+        return {
+            "session": {
+                "uptime_seconds": time.time() - self.started_wall,
+                "jobs": self.jobs,
+                "cache_dir": self.cache_dir,
+                "requests": requests,
+            },
+            "cache": self.cache.stats(),
+            "cache_by_kind": self.cache.stats_by_kind(),
+            "registry": {
+                "families": len(snapshot),
+                "series": sum(len(d["series"]) for d in snapshot.values()),
+            },
+            "exit_code": 0,
+        }
+
+    def selftest(self, request: dict | None = None) -> dict:
+        """The self-checking exporter smoke behind ``repro stats`` (CI gate).
+
+        Solves a built-in batch, certifies the decided verdicts, and
+        validates the Prometheus/JSON exports plus the merged
+        cross-process trace.  ``exit_code`` 1 on any regression.
+        """
+        return self._run("selftest", request, self._selftest_body)
+
+    def _selftest_body(self, request: dict) -> dict:
+        import json as json_module
+
+        from repro.mappings.io import parse_mapping
+        from repro.obs import walk as walk_spans
+
+        jobs = self._jobs(request)
+        mapping = parse_mapping(_SELFTEST_MAPPING)
+        problems: list[object] = []
+        for __ in range(max(2, jobs)):
+            problems.append(ConsistencyProblem(mapping))
+            problems.append(AbsoluteConsistencyProblem(mapping))
+        context = self._context(request)
+        with collecting("stats-selftest") as tree:
+            batch = solve_many(problems, jobs=jobs, context=context)
+            for verdict in batch:
+                if not verdict.is_unknown:
+                    certify(verdict)
+        report = batch.report
+        lines = [
+            f"self-test: {report.problems} problems over {report.jobs} jobs "
+            f"in {report.elapsed:.3f}s"
+        ]
+
+        failures: list[str] = []
+        text = self.registry.render_prometheus()
+        try:
+            series = parse_prometheus(text)
+        except ValueError as error:
+            series = {}
+            failures.append(f"prometheus export does not parse: {error}")
+        names = {key.split("{", 1)[0] for key in series}
+        required = list(_REQUIRED_SERIES)
+        if jobs > 1:
+            required += list(_REQUIRED_PARALLEL_SERIES)
+        for name in required:
+            if name not in names:
+                failures.append(f"required series missing from export: {name}")
+        try:
+            json_module.loads(self.registry.render_json())
+        except ValueError as error:
+            failures.append(f"json export does not parse: {error}")
+
+        trace_dict = tree.to_dict()
+        solves = sum(
+            1 for span in walk_spans(trace_dict) if span["name"] == "solve"
+        )
+        if report.trace is None:
+            failures.append("batch report carries no merged trace")
+        if solves < report.problems:
+            failures.append(
+                f"trace covers {solves} solve spans for {report.problems} problems"
+            )
+        lines.append(f"prometheus export: {len(series)} series")
+        lines.append(f"trace: {solves} solve spans over {report.chunks} chunks")
+        return {
+            "lines": lines,
+            "failures": failures,
+            "exit_code": 1 if failures else 0,
+        }
+
+    # -- generic dispatch (the daemon's routing table) ----------------------
+
+    HANDLERS = ("check", "member", "compose", "lint", "stats", "selftest")
+
+    def handle(self, command: str, request: dict | None = None) -> dict:
+        """Dispatch *command* to its handler (raises for unknown commands)."""
+        if command not in self.HANDLERS:
+            raise RequestError(f"unknown service command {command!r}")
+        return getattr(self, command)(request)
