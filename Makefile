@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke bench-smoke stats-smoke serve-smoke lint lint-smoke bench baseline ci
+.PHONY: test smoke bench-smoke stats-smoke serve-smoke watch-smoke lint lint-smoke bench baseline ci
 
 # tier-1: the full unit/property suite
 test:
@@ -18,13 +18,16 @@ smoke:
 # observability gate (idle-instrumentation overhead within tolerance,
 # plus the BENCH_trace_smoke.jsonl trace artifact CI uploads), the
 # linter latency gate (aggregate lint >= 2x below the bitset-accelerated
-# cold solve), and the
-# kernel-equivalence gate (pure vs bitset verdicts must be identical)
+# cold solve), the
+# kernel-equivalence gate (pure vs bitset verdicts must be identical),
+# and the incremental gate (single-std-edit deltas >= 10x faster than a
+# cold solve, with incremental == cold equivalence under both kernels)
 bench-smoke: smoke
 	$(PYTHON) benchmarks/bench_fig1_parallel.py --smoke
 	$(PYTHON) benchmarks/bench_obs.py --smoke
 	$(PYTHON) benchmarks/bench_lint.py --smoke
 	$(PYTHON) benchmarks/bench_scale.py --smoke
+	$(PYTHON) benchmarks/bench_incremental.py --smoke
 
 # self-checking metrics-exporter gate: solves a built-in batch over two
 # workers and fails on any Prometheus/JSON exporter or trace-merge regression
@@ -36,6 +39,11 @@ stats-smoke:
 # 1-slot daemon must answer 429 and bump repro_rejected_total)
 serve-smoke:
 	$(PYTHON) benchmarks/serve_smoke.py
+
+# watch-mode gate: boots `repro lint --watch` on a temp mapping, edits a
+# std on disk, and asserts an incremental re-lint within the latency bound
+watch-smoke:
+	$(PYTHON) examples/watch_smoke.py
 
 # full before/after series (slow; prints the speedup table)
 bench:
@@ -67,4 +75,4 @@ lint:
 lint-smoke:
 	$(PYTHON) examples/lint_gate.py
 
-ci: lint test bench-smoke lint-smoke stats-smoke serve-smoke
+ci: lint test bench-smoke lint-smoke stats-smoke serve-smoke watch-smoke

@@ -1,0 +1,115 @@
+"""Watch-mode smoke: edit a std on disk, assert the watcher re-lints.
+
+Boots ``repro lint --watch`` on a temporary copy of a mapping, waits for
+the initial cold pass, edits one std in place, and asserts that the
+watcher reports an incremental re-lint — with a per-delta latency below
+a (generous) bound, since the whole point of the delta path is that an
+edit does not pay a cold solve.  ``--watch-count 1`` makes the run
+terminate by itself after the one change event, so the smoke needs no
+process-killing heroics.
+
+Run from the repository root (CI: ``make watch-smoke``)::
+
+    python examples/watch_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+MAPPING = """\
+source:
+    r -> prof*
+    prof(pname) -> course*
+    course(cname)
+target:
+    r -> entry*
+    entry(cname, pname)
+std: r[prof(p)[course(c)]] -> r[entry(c, p)]
+"""
+
+EDITED_STD = "std: r[prof(p)] -> r[entry(p, p)]\n"
+
+#: A re-lint after a single-std edit must come back within this many
+#: seconds (generous: CI runners are slow and the bound only needs to
+#: catch "the delta accidentally became a cold solve" regressions).
+LATENCY_BOUND_SECONDS = 5.0
+
+#: Give the whole smoke (interpreter start + cold pass + one delta)
+#: this long before declaring the watcher wedged.
+TIMEOUT_SECONDS = 120.0
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="watch-smoke-") as tmp:
+        path = Path(tmp) / "m.xsm"
+        path.write_text(MAPPING)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "lint", "--watch", "--quiet",
+             "--interval", "0.2", "--watch-count", "1", str(path)],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            env=env, cwd=REPO_ROOT,
+        )
+        lines: list[str] = []
+        edited = threading.Event()
+
+        def pump() -> None:
+            for line in proc.stdout:
+                lines.append(line.rstrip("\n"))
+                print(f"  | {line}", end="")
+                # the watcher has snapshotted the file: now edit the std
+                if line.startswith("watching") and not edited.is_set():
+                    path.write_text(MAPPING.replace(
+                        "std: r[prof(p)[course(c)]] -> r[entry(c, p)]\n",
+                        EDITED_STD,
+                    ))
+                    edited.set()
+
+        reader = threading.Thread(target=pump, daemon=True)
+        reader.start()
+        try:
+            exit_code = proc.wait(timeout=TIMEOUT_SECONDS)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            print("FAIL: watcher never reported the edit "
+                  f"within {TIMEOUT_SECONDS:.0f}s")
+            return 1
+        reader.join(timeout=5)
+
+    if exit_code != 0:
+        print(f"FAIL: watch run exited {exit_code}")
+        return 1
+    if not edited.is_set():
+        print("FAIL: never saw the 'watching' banner")
+        return 1
+    deltas = [line for line in lines if re.search(r": delta \(\d+ dirty\)", line)]
+    if not deltas:
+        print("FAIL: no incremental delta line after the edit")
+        return 1
+    match = re.search(r"in ([0-9.]+)ms", deltas[-1])
+    latency = float(match.group(1)) / 1000.0 if match else float("inf")
+    if latency > LATENCY_BOUND_SECONDS:
+        print(f"FAIL: delta latency {latency:.3f}s above the "
+              f"{LATENCY_BOUND_SECONDS:.0f}s bound")
+        return 1
+    reused = re.search(r"reused=(\d+)", deltas[-1])
+    print(f"watch-smoke: OK (delta in {latency * 1000:.1f}ms, "
+          f"reused={reused.group(1) if reused else '?'})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

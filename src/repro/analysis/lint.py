@@ -50,6 +50,7 @@ def lint_mapping(
     *,
     name: str = "",
     only: Sequence[str] | None = None,
+    memo: object | None = None,
 ) -> LintReport:
     """Run the analysis passes over *mapping* and aggregate a report.
 
@@ -58,6 +59,10 @@ def lint_mapping(
     fresh default, when omitted).  *only* restricts to a subset of pass
     names (``fragment``, ``dtd``, ``hygiene``, ``composition``) —
     ``engine.solve`` uses it to skip passes irrelevant to routing.
+    *memo* is an optional report memo (duck-typed after
+    :class:`repro.incremental.LintMemo`): content-identical mappings get
+    the stored report back without re-running any pass, and delta
+    invalidation drops stale entries through the dependency graph.
     """
     if context is None:
         context = current_context() or ExecutionContext()
@@ -70,6 +75,11 @@ def lint_mapping(
         unknown = set(only) - {pass_name for pass_name, __ in PASSES}
         if unknown:
             raise ValueError(f"unknown lint pass(es): {sorted(unknown)}")
+    pass_names = tuple(pass_name for pass_name, __ in selected)
+    if memo is not None:
+        cached = memo.lookup(mapping, pass_names)
+        if cached is not None:
+            return cached
     diagnostics: list[Diagnostic] = []
     started = time.perf_counter()
     with context.activate(), trace("lint", mapping=name or None) as span:
@@ -85,8 +95,10 @@ def lint_mapping(
         diagnostics=tuple(diagnostics),
         name=name,
         elapsed=elapsed,
-        passes=tuple(pass_name for pass_name, __ in selected),
+        passes=pass_names,
     )
+    if memo is not None:
+        memo.store(mapping, pass_names, report)
     _LINTS.labels(outcome=_outcome(report.max_severity())).inc()
     _LINT_LATENCY.observe(elapsed)
     for diagnostic in diagnostics:

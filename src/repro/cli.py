@@ -335,8 +335,91 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def _watch_report(path: str, response: dict) -> int:
+    """Render one delta response as a watch-mode line (plus lint text)."""
+    import time as time_module
+
+    stamp = time_module.strftime("%H:%M:%S")
+    error = response.get("error")
+    if error:
+        print(f"[{stamp}] {path}: error: {error.get('message', error)}",
+              flush=True)
+        return int(response.get("exit_code", 3))
+    incremental = response["incremental"]
+    verdicts = response["verdicts"]
+    invalidated = incremental["invalidated"]
+    kind = "cold" if response["cold"] else f"delta ({incremental['dirty']} dirty)"
+    print(
+        f"[{stamp}] {path}: {kind} in {incremental['elapsed'] * 1000:.1f}ms"
+        f" — consistent={verdicts['consistency']['verdict']}"
+        f" abscons={verdicts['absolutely_consistent']['verdict']}"
+        f" reused={incremental['reused']}"
+        f" recompiled={incremental['recompiled']}"
+        f" invalidated={invalidated['artifacts'] + invalidated['results']}",
+        flush=True,
+    )
+    lint_text = response["lint"]["text"]
+    if lint_text.strip():
+        for line in lint_text.splitlines():
+            print(f"    {line}", flush=True)
+    return max(int(response["exit_code"]), int(response["lint"]["exit_code"]))
+
+
+def _lint_watch(args) -> int:
+    """``repro lint --watch``: re-lint and re-solve mapping files on change.
+
+    One warm :class:`EngineSession` (or a daemon via ``--url``) serves a
+    ``delta`` request per changed file, so only the edit's invalidation
+    cone is recompiled; the per-delta line prints the latency and the
+    reuse accounting.  A file that fails to parse mid-save reports an
+    error and keeps being watched.  ``--watch-count N`` exits after N
+    change events (CI smoke); otherwise the loop runs until Ctrl-C.
+    """
+    import time as time_module
+
+    from repro.incremental import FileWatcher
+
+    url = getattr(args, "url", None)
+    session = None if url else _session_from_args(args)
+
+    def dispatch(path: str) -> dict:
+        request = {
+            "name": path,
+            "mapping": _read(path),
+            "strict": args.strict,
+            "quiet": args.quiet,
+        }
+        if url:
+            return call_service(url, "delta", request)
+        return session.delta(request)
+
+    watcher = FileWatcher(args.mappings)
+    exit_code = 0
+    for path in args.mappings:
+        exit_code = max(exit_code, _watch_report(path, dispatch(path)))
+    print(f"watching {len(args.mappings)} file(s), polling every "
+          f"{args.interval}s; Ctrl-C to stop", flush=True)
+    remaining = args.watch_count
+    try:
+        while remaining is None or remaining > 0:
+            time_module.sleep(args.interval)
+            for changed in watcher.poll():
+                exit_code = max(
+                    exit_code, _watch_report(str(changed), dispatch(str(changed)))
+                )
+                if remaining is not None:
+                    remaining -= 1
+                    if remaining <= 0:
+                        break
+    except KeyboardInterrupt:
+        pass
+    return exit_code
+
+
 def cmd_lint(args) -> int:
     """Static diagnostics for one or more mapping files (no solver runs)."""
+    if args.watch:
+        return _lint_watch(args)
     request = {
         "mappings": [{"name": path, "text": _read(path)} for path in args.mappings],
         "strict": args.strict,
@@ -496,6 +579,14 @@ def build_parser() -> argparse.ArgumentParser:
                       help="exit 2 when there are warnings (errors still exit 1)")
     lint.add_argument("--quiet", action="store_true",
                       help="hide info-level diagnostics in text output")
+    lint.add_argument("--watch", action="store_true",
+                      help="keep running: poll the files for edits and "
+                      "incrementally re-lint/re-solve only what changed")
+    lint.add_argument("--interval", type=float, default=0.5, metavar="SECONDS",
+                      help="watch-mode polling interval (default 0.5)")
+    lint.add_argument("--watch-count", type=int, default=None, metavar="N",
+                      help="watch mode: exit after N change events "
+                      "(default: run until Ctrl-C)")
     lint.add_argument("--cache-dir", default=None, metavar="DIR",
                       help="persistent on-disk compilation cache "
                       "(default: $REPRO_CACHE_DIR)")

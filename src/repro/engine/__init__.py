@@ -17,6 +17,10 @@ Every decision procedure in the library routes through this layer:
 * :mod:`repro.engine.diskcache` — the opt-in, content-keyed on-disk tier
   under the compilation cache (atomic writes, version-stamped keys,
   corruption-tolerant reads);
+* :mod:`repro.engine.depgraph` — the :class:`DependencyGraph` of input
+  digests → compiled artifacts behind incremental re-solving
+  (:mod:`repro.incremental`): delta invalidation evicts exactly the
+  downstream cone of an edit from both cache tiers;
 * :mod:`repro.engine.parallel` — :func:`solve_many`, the batch front
   door fanning independent solves over a process pool with per-task
   timeout/crash containment and aggregated statistics;
@@ -41,6 +45,16 @@ from repro.engine.cache import (
     dtd_classification,
 )
 from repro.engine.certify import CertificationError, certify
+from repro.engine.depgraph import (
+    DependencyGraph,
+    alphabet_digest,
+    dtd_digests,
+    mapping_digest,
+    mapping_digests,
+    pattern_digest,
+    production_digest,
+    std_digest,
+)
 from repro.engine.core import (
     nested_ptime_applicable,
     register_route,
@@ -99,6 +113,14 @@ __all__ = [
     "dtd_classification",
     "CertificationError",
     "certify",
+    "DependencyGraph",
+    "alphabet_digest",
+    "dtd_digests",
+    "mapping_digest",
+    "mapping_digests",
+    "pattern_digest",
+    "production_digest",
+    "std_digest",
     "solve",
     "solve_many",
     "register_route",

@@ -84,11 +84,16 @@ class ExecutionContext:
     """
 
     def __init__(self, budget: Budget | None = None,
-                 cache: "CompilationCache | None" = None):
+                 cache: "CompilationCache | None" = None,
+                 memo: object | None = None):
         from repro.engine.cache import DEFAULT_CACHE
 
         self.budget = budget if budget is not None else Budget.default()
         self.cache = cache if cache is not None else DEFAULT_CACHE
+        #: Optional verdict memo (see :mod:`repro.incremental`): when
+        #: set, ``engine.solve`` returns memoized decided verdicts for
+        #: content-identical problems instead of re-running the route.
+        self.memo = memo
         self.expansions = 0
         self._deadline_at: float | None = None
         self.start_clock()

@@ -34,6 +34,13 @@ from repro.automata.bitset import BitsetClosureAutomaton, BitsetDTDAutomaton
 from repro.automata.dtd_automaton import DTDAutomaton
 from repro.automata.duta import ProductAutomaton, reachable_states
 from repro.automata.pattern_automaton import PatternClosureAutomaton
+from repro.engine.depgraph import (
+    DependencyGraph,
+    alphabet_digest,
+    dtd_digests,
+    pattern_digest,
+    production_digest,
+)
 from repro.engine.diskcache import MISS, DiskCacheTier
 from repro.kernel import BITSET, PURE, select_kernel
 
@@ -76,6 +83,11 @@ _DISK_HITS = REGISTRY.counter(
 _DISK_STORES = REGISTRY.counter(
     "repro_cache_disk_stores_total",
     "Artifacts written back to the disk tier",
+)
+_INVALIDATED = REGISTRY.counter(
+    "repro_incremental_invalidated_total",
+    "Artifacts evicted by delta invalidation, by artifact kind",
+    ("kind",),
 )
 
 
@@ -135,6 +147,7 @@ class CompilationCache:
         self.evictions = 0
         self.hits_by_kind: Counter[str] = Counter()
         self.misses_by_kind: Counter[str] = Counter()
+        self.depgraph = DependencyGraph()
         self._entries: OrderedDict[Hashable, object] = OrderedDict()
         self._lock = threading.RLock()
 
@@ -148,8 +161,22 @@ class CompilationCache:
         self.__dict__.update(state)
         self._lock = threading.RLock()
 
-    def lookup(self, key: Hashable, build: Callable[[], object]) -> object:
-        """The cached artifact under *key*, building (and storing) on miss."""
+    def lookup(
+        self,
+        key: Hashable,
+        build: Callable[[], object],
+        deps: Iterable[str] | None = None,
+    ) -> object:
+        """The cached artifact under *key*, building (and storing) on miss.
+
+        *deps* are the artifact's input digests (see
+        :mod:`repro.engine.depgraph`); they are registered in the
+        dependency graph whenever the artifact enters the cache, so a
+        later delta invalidation can evict exactly the downstream cone
+        of an edit.  Omitting *deps* keeps the artifact out of the
+        graph (it is then immune to invalidation — correct, because
+        content-keyed entries are never *wrong*, only possibly stale).
+        """
         kind = cache_kind(key)
         if self.enabled:
             with self._lock:
@@ -166,7 +193,7 @@ class CompilationCache:
             _DISK_LOAD_SECONDS.observe(time.perf_counter() - started)
             if value is not MISS:
                 _DISK_HITS.inc()
-                self._store(key, value)
+                self._store(key, value, deps)
                 return value
         with self._lock:
             self.misses += 1
@@ -178,19 +205,52 @@ class CompilationCache:
             build_seconds = time.perf_counter() - started
         _COMPILE_SECONDS.labels(kind=kind).observe(build_seconds)
         if self.enabled:
-            self._store(key, value)
+            self._store(key, value, deps)
             if self.disk is not None:
                 if self.disk.put(key, value):
                     _DISK_STORES.inc()
         return value
 
-    def _store(self, key: Hashable, value: object) -> None:
+    def _store(
+        self, key: Hashable, value: object, deps: Iterable[str] | None = None
+    ) -> None:
+        if deps is not None:
+            self.depgraph.record(key, deps)
         with self._lock:
             self._entries[key] = value
             while len(self._entries) > self.max_entries:
+                # LRU-evicted artifacts stay in the graph (and on disk):
+                # they can come back from the disk tier, so they must
+                # remain reachable by a later invalidation.
                 self._entries.popitem(last=False)
                 self.evictions += 1
                 _CACHE_EVICTIONS.inc()
+
+    def evict(self, key: Hashable) -> dict[str, bool]:
+        """Drop *key* from the memory tier, the disk tier and the graph."""
+        with self._lock:
+            in_memory = self._entries.pop(key, MISS) is not MISS
+        on_disk = self.disk.evict(key) if self.disk is not None else False
+        self.depgraph.discard(key)
+        return {"memory": in_memory, "disk": on_disk}
+
+    def invalidate(self, dirty: Iterable[str]) -> dict[str, int]:
+        """Evict every artifact compiled from a dirty input digest.
+
+        Walks the downstream cone of *dirty* in the dependency graph
+        and evicts each artifact from **both** tiers, so neither the
+        LRU nor a later session boot can resurrect a stale entry.
+        Returns eviction counts; sibling artifacts (no dirty input)
+        are untouched and stay warm.
+        """
+        cone = self.depgraph.cone(dirty)
+        counts = {"artifacts": len(cone), "memory": 0, "disk": 0}
+        for key in cone:
+            dropped = self.evict(key)
+            counts["memory"] += dropped["memory"]
+            counts["disk"] += dropped["disk"]
+            _INVALIDATED.labels(kind=cache_kind(key)).inc()
+        return counts
 
     def __len__(self) -> int:
         with self._lock:
@@ -225,9 +285,18 @@ class CompilationCache:
                 for kind in kinds
             }
 
+    def entries_by_kind(self) -> dict[str, int]:
+        """Live in-memory entry counts per artifact kind (``/stats``)."""
+        with self._lock:
+            counts: Counter[str] = Counter(
+                cache_kind(key) for key in self._entries
+            )
+        return dict(sorted(counts.items()))
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+        self.depgraph.clear()
 
 
 def cache_from_env() -> CompilationCache:
@@ -298,6 +367,7 @@ def dtd_classification(
             nested_relational=dtd.is_nested_relational(),
             strictly_nested_relational=dtd.is_strictly_nested_relational(),
         ),
+        deps=dtd_digests(dtd),
     )
 
 
@@ -310,6 +380,7 @@ def regex_dfa(
     return cache.lookup(
         ("regex-dfa", dtd_key(dtd), label, alphabet),
         lambda: dtd.production_nfa(label).determinize(alphabet),
+        deps=(production_digest(dtd, label), alphabet_digest(dtd)),
     )
 
 
@@ -373,10 +444,12 @@ def dtd_automaton(
         return cache.lookup(
             ("bitset-dtd-automaton", dtd_key(dtd), frozenset(extra_labels)),
             lambda: BitsetDTDAutomaton(dtd, extra_labels),
+            deps=dtd_digests(dtd),
         )
     return cache.lookup(
         ("dtd-automaton", dtd_key(dtd), frozenset(extra_labels)),
         lambda: CompiledDTDAutomaton(dtd, extra_labels, context),
+        deps=dtd_digests(dtd),
     )
 
 
@@ -394,6 +467,12 @@ def closure_automaton(
     """
     cache = resolve_cache(context)
     patterns = tuple(patterns)
+    # closures read only the label/arity alphabet off the DTD, so their
+    # dependency set is the alphabet digest plus the patterns — editing a
+    # production's content model leaves them warm.
+    deps = frozenset(
+        {alphabet_digest(dtd)} | {pattern_digest(p) for p in patterns}
+    )
     if kernel == BITSET:
         return cache.lookup(
             (
@@ -408,6 +487,7 @@ def closure_automaton(
                 extra_labels=dtd.labels | frozenset(extra_labels),
                 arity_of=dtd.arity if with_arity else None,
             ),
+            deps=deps,
         )
     return cache.lookup(
         ("closure", dtd_key(dtd), patterns, frozenset(extra_labels), with_arity),
@@ -416,6 +496,7 @@ def closure_automaton(
             extra_labels=dtd.labels | frozenset(extra_labels),
             arity_of=dtd.arity if with_arity else None,
         ),
+        deps=deps,
     )
 
 
@@ -488,4 +569,8 @@ def achievable_sets(
                 sets.setdefault(closure.trigger_set(state[1]), witness)
         return sets
 
-    return cache.lookup(key, build)
+    return cache.lookup(
+        key,
+        build,
+        deps=dtd_digests(dtd) | {pattern_digest(p) for p in patterns},
+    )

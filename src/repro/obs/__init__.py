@@ -25,6 +25,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     diff_snapshots,
     get_registry,
+    observe_seconds,
     parse_prometheus,
 )
 from repro.obs.profile import (
@@ -54,6 +55,7 @@ __all__ = [
     "MetricsRegistry",
     "diff_snapshots",
     "get_registry",
+    "observe_seconds",
     "parse_prometheus",
     "PROFILE_ENV",
     "maybe_profile",

@@ -32,7 +32,9 @@ from __future__ import annotations
 import json
 import math
 import threading
-from typing import Iterable
+import time
+from contextlib import contextmanager
+from typing import Iterable, Iterator
 
 #: Default histogram buckets (seconds): micro-solves to stuck-solve range.
 DEFAULT_BUCKETS = (
@@ -402,6 +404,21 @@ def parse_prometheus(text: str) -> dict[str, float]:
         else:
             last_bucket = None
     return series
+
+
+@contextmanager
+def observe_seconds(histogram) -> Iterator[None]:
+    """Observe the wall-clock seconds of a ``with`` block into *histogram*.
+
+    Works with a family (solo child) or a pre-bound labeled child; the
+    observation lands even when the block raises, so latency series
+    cover failed operations too.
+    """
+    started = time.perf_counter()
+    try:
+        yield
+    finally:
+        histogram.observe(time.perf_counter() - started)
 
 
 #: The process-global registry every instrumented module binds against.

@@ -19,6 +19,9 @@ adds on top of the session is **admission control**:
 Routes::
 
     POST /check /member /compose /lint /selftest   JSON request -> JSON response
+    POST /delta                                    incremental re-check of a
+                                                   mapping revision (reuses
+                                                   clean artifacts + verdicts)
     GET  /stats                                    session + cache accounting
     GET  /healthz                                  liveness ("ok")
     GET  /metrics                                  Prometheus text exposition

@@ -56,6 +56,7 @@ from repro.engine import (
     solve_many,
 )
 from repro.errors import XsmError
+from repro.incremental import IncrementalEngine
 from repro.obs import REGISTRY, bind_tags, collecting, parse_prometheus, trace
 from repro.xmlmodel.xml_io import from_xml, to_xml
 
@@ -195,6 +196,10 @@ class EngineSession:
         disk = DiskCacheTier(self.cache_dir) if self.cache_dir else None
         self.cache = CompilationCache(max_entries=cache_size, disk=disk)
         self.budget = budget if budget is not None else Budget.default()
+        #: Per-revision incremental state (the ``delta`` handler); shares
+        #: the session cache, so artifact reuse spans one-shot requests
+        #: and deltas alike.
+        self.incremental = IncrementalEngine(cache=self.cache, budget=self.budget)
         self.registry = registry
         self.started_wall = time.time()
         self.requests: Counter[str] = Counter()
@@ -427,6 +432,59 @@ class EngineSession:
             "exit_code": max(r.exit_code(strict=strict) for r in reports),
         }
 
+    def delta(self, request: dict | None = None) -> dict:
+        """Incrementally re-check a mapping revision (``POST /delta``).
+
+        ``{"name": ..., "mapping": <text>}`` applies one revision of the
+        named mapping stream: the edit is diffed against the previous
+        revision, only the invalidation cone of the changed inputs is
+        recompiled, and every verdict whose inputs are untouched is
+        served from the memo.  The response carries the full verdict set
+        plus reuse accounting under ``"incremental"``.
+        """
+        return self._run("delta", request, self._delta_body)
+
+    def _delta_body(self, request: dict) -> dict:
+        from repro.analysis import Severity
+
+        mapping_text = request.get("mapping")
+        if not isinstance(mapping_text, str):
+            raise RequestError("request field 'mapping' must be a string")
+        name = str(request.get("name") or "default")
+        result = self.incremental.update(
+            name, mapping_text, budget=self._request_budget(request)
+        )
+        consistency = result.verdicts["consistency"]
+        absolute = result.verdicts["absolutely_consistent"]
+        return {
+            "name": name,
+            "revision": result.revision,
+            "cold": result.cold,
+            "verdicts": {
+                label: _verdict_payload(verdict)
+                for label, verdict in result.verdicts.items()
+            },
+            "lint": {
+                "text": result.lint.render_text(
+                    min_severity=Severity.WARNING
+                    if request.get("quiet")
+                    else Severity.INFO
+                ),
+                "exit_code": result.lint.exit_code(
+                    strict=bool(request.get("strict"))
+                ),
+            },
+            "incremental": {
+                "dirty": len(result.delta.dirty),
+                "changed_stds": list(result.delta.changed_stds),
+                "invalidated": result.invalidated,
+                "reused": result.reused,
+                "recompiled": result.recompiled,
+                "elapsed": result.elapsed,
+            },
+            "exit_code": _exit_code(consistency, absolute),
+        }
+
     def stats(self, request: dict | None = None) -> dict:
         """Session/cache/registry accounting (the daemon's ``GET /stats``)."""
         return self._run("stats", request, self._stats_body)
@@ -444,6 +502,8 @@ class EngineSession:
             },
             "cache": self.cache.stats(),
             "cache_by_kind": self.cache.stats_by_kind(),
+            "cache_entries_by_kind": self.cache.entries_by_kind(),
+            "incremental": self.incremental.stats(),
             "registry": {
                 "families": len(snapshot),
                 "series": sum(len(d["series"]) for d in snapshot.values()),
@@ -523,7 +583,7 @@ class EngineSession:
 
     # -- generic dispatch (the daemon's routing table) ----------------------
 
-    HANDLERS = ("check", "member", "compose", "lint", "stats", "selftest")
+    HANDLERS = ("check", "member", "compose", "lint", "delta", "stats", "selftest")
 
     def handle(self, command: str, request: dict | None = None) -> dict:
         """Dispatch *command* to its handler (raises for unknown commands)."""
