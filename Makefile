@@ -35,8 +35,11 @@ stats-smoke:
 	$(PYTHON) -m repro stats --jobs 2
 
 # service-daemon gate: boots `repro serve` on an ephemeral port, round-trips
-# check/lint/metrics over HTTP, and probes admission control (a saturated
-# 1-slot daemon must answer 429 and bump repro_rejected_total)
+# check/lint/metrics over HTTP (asserting OpenMetrics exemplars parse), walks
+# the flight recorder (/debug/requests trace-ID round-trip, /debug/slow and
+# the BENCH_slowlog_smoke.jsonl sink CI uploads), renders `repro top` and
+# `repro stats --url` against the live daemon, and probes admission control
+# (a saturated 1-slot daemon must answer 429 and bump repro_rejected_total)
 serve-smoke:
 	$(PYTHON) benchmarks/serve_smoke.py
 

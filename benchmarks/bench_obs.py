@@ -184,6 +184,74 @@ def run_session_overhead_guard(
     return record
 
 
+def run_flight_overhead_guard(
+    scale: int = 4, repeats: int = 5, attempts: int = 3, emit: bool = True
+) -> dict:
+    """Flight recorder on vs off over one warm session.
+
+    Recorder-on means what every served request pays since the flight
+    recorder became always-on: per-request span collection, tree
+    serialization, the trace-rollup walk and the ring-buffer push.
+    Recorder-off (``FlightRecorder(enabled=False)``) restores the old
+    trace-on-demand path on the *same* session — same warm cache, same
+    request parsing — so the measured difference is exactly the
+    recording cost.  It must stay within ``OVERHEAD_TOLERANCE``
+    (default 5%, override with ``REPRO_OBS_TOLERANCE``).
+    """
+    from repro.mappings.io import render_mapping
+    from repro.obs import FlightRecorder
+    from repro.service import EngineSession
+
+    texts = [render_mapping(cons_nested_family(n)) for n in range(2, 2 + scale)]
+    # a slow threshold no request reaches: the guard measures the idle
+    # recording path, not the slow-log sink
+    session = EngineSession(
+        flight=FlightRecorder(capacity=64, slow_ms=float("inf"))
+    )
+
+    def run() -> None:
+        for text in texts:
+            response = session.check({"mappings": [text]})
+            assert response["ok"], response.get("error")
+
+    run()  # warm the shared cache and lazy imports out of the timing
+    overhead = float("inf")
+    baseline = observed = 0.0
+    for _ in range(attempts):
+        session.flight.enabled = False
+        try:
+            baseline = _best_of(run, repeats)
+        finally:
+            session.flight.enabled = True
+        observed = _best_of(run, repeats)
+        overhead = observed / max(baseline, 1e-9) - 1.0
+        if overhead <= OVERHEAD_TOLERANCE:
+            break
+    record = {
+        "claim": "always-on flight recording stays within "
+        f"{OVERHEAD_TOLERANCE:.0%} of the recorder-off session",
+        "baseline_seconds": baseline,
+        "observed_seconds": observed,
+        "overhead": overhead,
+        "tolerance": OVERHEAD_TOLERANCE,
+        "requests_per_run": len(texts),
+        "repeats": repeats,
+    }
+    print(
+        f"[obs-flight] recorder-off {baseline:.6f}s, recorder-on "
+        f"{observed:.6f}s -> overhead {overhead:+.2%} "
+        f"(tolerance {OVERHEAD_TOLERANCE:.0%})"
+    )
+    if emit:
+        emit_json("obs", "flight_overhead_guard", record)
+    assert overhead <= OVERHEAD_TOLERANCE, (
+        f"flight-recorder overhead {overhead:+.2%} exceeds "
+        f"{OVERHEAD_TOLERANCE:.0%} (recorder-off {baseline:.6f}s, "
+        f"recorder-on {observed:.6f}s)"
+    )
+    return record
+
+
 def run_trace_smoke(jobs: int = 2) -> int:
     """Traced parallel batch: writes the JSONL artifact, checks the export."""
     problems = [ConsistencyProblem(cons_nested_family(n)) for n in range(2, 8)]
@@ -228,6 +296,10 @@ def test_session_overhead_within_tolerance():
     run_session_overhead_guard(scale=2, repeats=3, emit=False)
 
 
+def test_flight_overhead_within_tolerance():
+    run_flight_overhead_guard(scale=2, repeats=3, emit=False)
+
+
 def test_obs_trace_smoke(tmp_path, monkeypatch):
     monkeypatch.setattr(
         sys.modules[__name__], "TRACE_ARTIFACT", tmp_path / "trace.jsonl"
@@ -244,9 +316,11 @@ def main(argv=None) -> int:
         if args.smoke:
             run_overhead_guard(scale=2, repeats=3)
             run_session_overhead_guard(scale=2, repeats=3)
+            run_flight_overhead_guard(scale=2, repeats=3)
             return run_trace_smoke()
         run_overhead_guard()
         run_session_overhead_guard()
+        run_flight_overhead_guard()
         return run_trace_smoke()
     except AssertionError as error:
         print(f"FAIL: {error}")

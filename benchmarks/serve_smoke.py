@@ -8,8 +8,17 @@ URL parsed from its startup line), then checks the full service surface:
    code 0, carrying a request ID;
 3. ``lint`` round-trips clean over HTTP;
 4. ``/metrics`` parses as Prometheus text and exposes the request
-   counters (``repro_requests_total``);
-5. a saturation probe against ``--max-inflight 1 --queue-depth 0``:
+   counters (``repro_requests_total``), including at least one
+   OpenMetrics exemplar that the strict parser accepts;
+5. the flight recorder round-trips: ``/debug/requests`` lists the
+   traffic with trace IDs, ``/debug/requests/<trace_id>`` returns the
+   check request's full span tree (and 404s for a bogus ID),
+   ``/debug/slow`` is populated (the daemon runs with ``REPRO_SLOW_MS=0``
+   so every request counts as slow) and the ``--slow-log`` JSONL sink
+   (``BENCH_slowlog_smoke.jsonl``, the artifact CI uploads) has lines;
+6. ``repro top --count 1`` and ``repro stats --url`` render against the
+   live daemon;
+7. a saturation probe against ``--max-inflight 1 --queue-depth 0``:
    concurrent hard requests must produce at least one ``429``-rejected
    response (``error.type == "Saturated"``), at least one served one,
    and ``repro_rejected_total{reason="saturated"}`` must move.
@@ -20,6 +29,8 @@ single-core CI runners.
 
 from __future__ import annotations
 
+import json
+import os
 import re
 import subprocess
 import sys
@@ -37,14 +48,15 @@ from harness import REPO_ROOT
 
 from repro.mappings.io import render_mapping
 from repro.obs import parse_prometheus
-from repro.service import ServiceUnavailable, call_service, fetch_text
+from repro.service import ServiceUnavailable, call_service, fetch_json, fetch_text
 from repro.workloads.families import cons_arbitrary_family
 
 MAPPING_FILE = REPO_ROOT / "examples" / "mappings" / "university.xsm"
+SLOW_LOG_ARTIFACT = REPO_ROOT / "BENCH_slowlog_smoke.jsonl"
 BOOT_PATTERN = re.compile(r"serving on (http://\S+)")
 
 
-def boot_daemon(*extra_args: str) -> tuple[subprocess.Popen, str]:
+def boot_daemon(*extra_args: str, env: dict | None = None) -> tuple[subprocess.Popen, str]:
     """Start ``repro serve --port 0``; returns (process, url)."""
     process = subprocess.Popen(
         [sys.executable, "-m", "repro", "serve", "--port", "0", *extra_args],
@@ -52,7 +64,11 @@ def boot_daemon(*extra_args: str) -> tuple[subprocess.Popen, str]:
         stderr=subprocess.STDOUT,
         text=True,
         cwd=REPO_ROOT,
-        env={**__import__("os").environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+        env={
+            **os.environ,
+            "PYTHONPATH": str(REPO_ROOT / "src"),
+            **(env or {}),
+        },
     )
     deadline = time.monotonic() + 30.0
     line = ""
@@ -76,7 +92,8 @@ def shut_down(process: subprocess.Popen) -> None:
         process.wait(timeout=10)
 
 
-def round_trips(url: str, failures: list[str]) -> None:
+def round_trips(url: str, failures: list[str]) -> str | None:
+    """Exercise the POST surface; returns the check request's trace ID."""
     health = fetch_text(url, "healthz").strip()
     if health != "ok":
         failures.append(f"/healthz answered {health!r}")
@@ -89,24 +106,105 @@ def round_trips(url: str, failures: list[str]) -> None:
         failures.append(f"check round-trip failed: {response.get('error')}")
     if not response.get("request_id"):
         failures.append("check response carries no request ID")
+    trace_id = response.get("trace_id")
+    if not trace_id:
+        failures.append("check response carries no trace ID")
     print(f"[serve-smoke] check: exit {response.get('exit_code')} "
-          f"(request {response.get('request_id')})")
+          f"(request {response.get('request_id')}, trace {trace_id})")
 
     lint = call_service(url, "lint", {"mappings": [mapping_text]})
     if not lint.get("ok") or lint.get("exit_code") != 0:
         failures.append(f"lint round-trip failed: {lint.get('error')}")
     print(f"[serve-smoke] lint: exit {lint.get('exit_code')}")
 
+    text = fetch_text(url, "metrics")
     try:
-        series = parse_prometheus(fetch_text(url, "metrics"))
+        series = parse_prometheus(text)
     except ValueError as error:
         failures.append(f"/metrics does not parse: {error}")
-        return
+        return trace_id
     names = {key.split("{", 1)[0] for key in series}
     for required in ("repro_requests_total", "repro_request_latency_seconds_count"):
         if required not in names:
             failures.append(f"/metrics misses {required}")
-    print(f"[serve-smoke] metrics: {len(series)} series")
+    exemplars = text.count(" # {")
+    if not exemplars:
+        failures.append("/metrics carries no OpenMetrics exemplars")
+    print(f"[serve-smoke] metrics: {len(series)} series, "
+          f"{exemplars} exemplars (strict parse OK)")
+    return trace_id
+
+
+def flight_probe(url: str, trace_id: str | None, failures: list[str]) -> None:
+    """The flight recorder's /debug surface after the round-trip traffic."""
+    listing = fetch_json(url, "debug/requests")
+    summaries = listing.get("requests", [])
+    if not summaries:
+        failures.append("/debug/requests is empty after traffic")
+    if any(not entry.get("trace_id") for entry in summaries):
+        failures.append("/debug/requests entries missing trace IDs")
+    listed_ids = {entry.get("trace_id") for entry in summaries}
+    if trace_id and trace_id not in listed_ids:
+        failures.append(
+            f"check trace {trace_id} did not round-trip into /debug/requests"
+        )
+    checks = fetch_json(url, "debug/requests?op=check").get("requests", [])
+    if any(entry.get("op") != "check" for entry in checks):
+        failures.append("/debug/requests?op=check returned other ops")
+    print(f"[serve-smoke] debug/requests: {len(summaries)} records "
+          f"({len(checks)} checks)")
+
+    if trace_id:
+        record = fetch_json(url, f"debug/requests/{trace_id}")
+        tree = record.get("trace") or {}
+        if record.get("error") or tree.get("name") != "request":
+            failures.append(
+                f"/debug/requests/{trace_id} returned no span tree: "
+                f"{record.get('error')}"
+            )
+        else:
+            print(f"[serve-smoke] debug/requests/{trace_id}: "
+                  f"{record.get('spans')} spans, "
+                  f"{record.get('duration_ms', 0.0):.1f}ms")
+    missing = fetch_json(url, "debug/requests/not-a-trace-id")
+    if (missing.get("error") or {}).get("type") != "NotFound":
+        failures.append("/debug/requests/<bogus> did not 404")
+
+    slow = fetch_json(url, "debug/slow").get("slow", [])
+    if not slow:
+        failures.append("/debug/slow is empty (daemon runs with REPRO_SLOW_MS=0)")
+    print(f"[serve-smoke] debug/slow: {len(slow)} entries")
+
+    if not SLOW_LOG_ARTIFACT.exists():
+        failures.append(f"slow log {SLOW_LOG_ARTIFACT.name} was not written")
+    else:
+        lines = SLOW_LOG_ARTIFACT.read_text().splitlines()
+        if not lines or any(
+            not json.loads(line).get("trace_id") for line in lines
+        ):
+            failures.append(f"{SLOW_LOG_ARTIFACT.name} lines lack trace IDs")
+        print(f"[serve-smoke] slow log: {len(lines)} JSONL lines")
+
+
+def client_views(url: str, failures: list[str]) -> None:
+    """`repro top` and `repro stats --url` against the live daemon."""
+    env = {**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")}
+    for label, args in (
+        ("top", ["top", "--url", url, "--count", "1", "--plain"]),
+        ("stats --url", ["stats", "--url", url]),
+    ):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", *args],
+            capture_output=True, text=True, cwd=REPO_ROOT, env=env,
+            timeout=60,
+        )
+        if result.returncode != 0:
+            failures.append(
+                f"repro {label} exited {result.returncode}: {result.stderr.strip()}"
+            )
+        else:
+            print(f"[serve-smoke] repro {label}: OK "
+                  f"({len(result.stdout.splitlines())} lines)")
 
 
 def saturation_probe(failures: list[str]) -> None:
@@ -153,10 +251,19 @@ def saturation_probe(failures: list[str]) -> None:
 
 def main(argv=None) -> int:
     failures: list[str] = []
-    process, url = boot_daemon("--max-inflight", "4", "--queue-depth", "8")
+    SLOW_LOG_ARTIFACT.unlink(missing_ok=True)
+    process, url = boot_daemon(
+        "--max-inflight", "4", "--queue-depth", "8",
+        "--slow-log", str(SLOW_LOG_ARTIFACT),
+        # threshold 0: every request counts as slow, so the smoke can
+        # assert the slow ring and the JSONL sink are populated
+        env={"REPRO_SLOW_MS": "0"},
+    )
     print(f"[serve-smoke] daemon up at {url}")
     try:
-        round_trips(url, failures)
+        trace_id = round_trips(url, failures)
+        flight_probe(url, trace_id, failures)
+        client_views(url, failures)
     finally:
         shut_down(process)
     saturation_probe(failures)

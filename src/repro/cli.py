@@ -11,8 +11,11 @@ lint       zero-solver diagnostics: fragment, predicted complexity cells,
 member     is (source.xml, target.xml) in [[M]]?
 solve      build the canonical solution for a source document
 compose    compose two mapping files (Theorem 8.2) and print the result
-stats      self-checking metrics-exporter smoke test (the CI gate)
+stats      self-checking metrics-exporter smoke test (the CI gate); with
+           --url, pull /stats + /metrics from a running daemon instead
 serve      run the JSON-over-HTTP daemon over one warm engine session
+top        live terminal view of a running daemon (latency quantiles,
+           saturation, cache hit rates, latest slow requests)
 
 Documents are plain XML (see :mod:`repro.xmlmodel.xml_io`), DTDs use the
 textual production syntax, mappings the ``.xsm`` format of
@@ -69,7 +72,7 @@ from repro.engine import CompilationCache, DiskCacheTier, ExecutionContext
 from repro.errors import XsmError
 from repro.exchange import canonical_solution
 from repro.mappings.io import parse_mapping
-from repro.obs import REGISTRY, collecting, diff_snapshots
+from repro.obs import REGISTRY, collecting, diff_snapshots, estimate_quantile
 from repro.patterns.matching import find_matches
 from repro.patterns.parser import parse_pattern
 from repro.service import EngineSession, call_service
@@ -323,7 +326,15 @@ def cmd_solve(args) -> int:
 
 def cmd_stats(args) -> int:
     """Self-checking exporter smoke: solve a built-in batch, validate the
-    Prometheus export and the merged trace; exit 1 on any regression."""
+    Prometheus export and the merged trace; exit 1 on any regression.
+
+    With ``--url`` the subcommand *pulls* instead: it fetches ``/stats``
+    and ``/metrics`` from the running daemon, validates the Prometheus
+    text with the strict parser, and prints the daemon's accounting — no
+    self-test batch is pushed into a production session.
+    """
+    if getattr(args, "url", None):
+        return _stats_pull(args.url)
     response = _dispatch(args, "selftest", {"jobs": args.jobs})
     for line in response["lines"]:
         print(line)
@@ -331,6 +342,52 @@ def cmd_stats(args) -> int:
         for failure in response["failures"]:
             print(f"FAIL: {failure}", file=sys.stderr)
         return response["exit_code"]
+    print("stats: OK")
+    return 0
+
+
+def _stats_pull(url: str) -> int:
+    """``repro stats --url``: report a running daemon's accounting."""
+    from repro.obs import parse_prometheus
+    from repro.service import fetch_json, fetch_text
+
+    stats = fetch_json(url, "stats")
+    text = fetch_text(url, "metrics")
+    failures: list[str] = []
+    try:
+        series = parse_prometheus(text)
+    except ValueError as error:
+        series = {}
+        failures.append(f"/metrics does not parse: {error}")
+    session = stats.get("session", {})
+    print(f"daemon at {url}: up {session.get('uptime_seconds', 0.0):.1f}s, "
+          f"jobs={session.get('jobs')}")
+    requests = session.get("requests") or {}
+    total = sum(requests.values())
+    print(f"requests: {total} "
+          f"({', '.join(f'{op}={n}' for op, n in sorted(requests.items()))})")
+    cache = stats.get("cache") or {}
+    hits, misses = cache.get("hits", 0), cache.get("misses", 0)
+    if hits + misses:
+        print(f"cache: {hits} hits / {misses} misses "
+              f"({100.0 * hits / (hits + misses):.1f}% hit rate), "
+              f"{cache.get('entries', 0)} entries")
+    flight = stats.get("flight") or {}
+    if flight:
+        print(f"flight: {flight.get('recorded', 0)} recorded, "
+              f"{flight.get('buffered', 0)}/{flight.get('capacity', 0)} "
+              f"buffered, {flight.get('slow_seen', 0)} slow "
+              f"(threshold {flight.get('slow_threshold_ms', 0):.0f}ms)")
+    server = stats.get("server") or {}
+    if server:
+        print(f"server: {server.get('inflight', 0)}/"
+              f"{server.get('max_inflight', 0)} inflight, "
+              f"{server.get('queued', 0)}/{server.get('queue_depth', 0)} queued")
+    print(f"prometheus export: {len(series)} series")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
     print("stats: OK")
     return 0
 
@@ -453,9 +510,12 @@ def cmd_compose(args) -> int:
 
 def cmd_serve(args) -> int:
     """Run the JSON-over-HTTP daemon over one warm engine session."""
+    from repro.obs import FlightRecorder
     from repro.service import ServiceServer
 
     session = _session_from_args(args)
+    if args.slow_log:
+        session.flight = FlightRecorder(slow_log=args.slow_log)
     server = ServiceServer(
         session,
         host=args.host,
@@ -475,6 +535,127 @@ def cmd_serve(args) -> int:
     finally:
         server.stop()
     return 0
+
+
+def _quantile_rows(metrics: dict) -> list[str]:
+    """Per-op p50/p95/p99 lines from a ``/metrics.json`` export.
+
+    Quantiles are Prometheus-style estimates interpolated from histogram
+    bucket counts (see :func:`repro.obs.estimate_quantile`), so they are
+    as coarse as the bucket grid — good enough to spot a regressing op.
+    """
+    family = metrics.get("repro_request_latency_seconds")
+    if not family:
+        return []
+    bounds = tuple(
+        float("inf") if b == "+Inf" else float(b)
+        for b in family.get("buckets", ())
+    )
+    rows = []
+    for series in family.get("series", ()):
+        counts = series["value"]["buckets"]
+        count = series["value"]["count"]
+        if not count:
+            continue
+        quantiles = [estimate_quantile(bounds, counts, q)
+                     for q in (0.5, 0.95, 0.99)]
+        p50, p95, p99 = (
+            "-" if q is None else f"{q * 1000:8.1f}" for q in quantiles
+        )
+        op = series["labels"].get("command", "?")
+        rows.append(f"  {op:<10} {count:>6} {p50} {p95} {p99}")
+    return rows
+
+
+def _top_frame(url: str, stats: dict, metrics: dict, slow: dict) -> str:
+    """One rendered ``repro top`` frame (plain text, no escape codes)."""
+    import time as time_module
+
+    lines = [f"repro top — {url} — {time_module.strftime('%H:%M:%S')}"]
+    session = stats.get("session", {})
+    server = stats.get("server", {})
+    lines.append(
+        f"up {session.get('uptime_seconds', 0.0):8.1f}s   jobs={session.get('jobs')}"
+        f"   inflight {server.get('inflight', 0)}/{server.get('max_inflight', '?')}"
+        f"   queued {server.get('queued', 0)}/{server.get('queue_depth', '?')}"
+    )
+    requests = session.get("requests") or {}
+    lines.append("requests: " + (", ".join(
+        f"{op}={count}" for op, count in sorted(requests.items())
+    ) or "none yet"))
+
+    rows = _quantile_rows(metrics)
+    if rows:
+        lines.append("latency (ms):")
+        lines.append(f"  {'op':<10} {'count':>6} {'p50':>8} {'p95':>8} {'p99':>8}")
+        lines.extend(rows)
+
+    cache = stats.get("cache") or {}
+    hits, misses = cache.get("hits", 0), cache.get("misses", 0)
+    if hits + misses:
+        lines.append(
+            f"cache: {100.0 * hits / (hits + misses):5.1f}% hit rate "
+            f"({hits} hits, {misses} misses, {cache.get('entries', 0)} entries)"
+        )
+    incremental = stats.get("incremental") or {}
+    if incremental.get("revisions"):
+        lines.append(
+            f"incremental: {incremental.get('revisions', 0)} revisions, "
+            f"{incremental.get('deltas', 0)} deltas, "
+            f"{incremental.get('memoized_verdicts', 0)} memoized verdicts"
+        )
+    flight = stats.get("flight") or {}
+    lines.append(
+        f"flight: {flight.get('recorded', 0)} recorded "
+        f"({flight.get('buffered', 0)}/{flight.get('capacity', 0)} buffered), "
+        f"{flight.get('slow_seen', 0)} slow over "
+        f"{flight.get('slow_threshold_ms', 0):.0f}ms"
+    )
+    slow_entries = (slow.get("slow") or [])[:5]
+    if slow_entries:
+        lines.append("slow requests:")
+        for entry in slow_entries:
+            lines.append(
+                f"  {entry.get('trace_id', '?'):<18} {entry.get('op', '?'):<8}"
+                f" {entry.get('duration_ms', 0.0):8.1f}ms"
+                f" {entry.get('status', '?')}"
+            )
+    return "\n".join(lines)
+
+
+def cmd_top(args) -> int:
+    """``repro top --url``: a live, stdlib-only view of a running daemon.
+
+    Polls ``/stats``, ``/metrics.json`` and ``/debug/slow`` every
+    ``--interval`` seconds and redraws one screen: saturation, per-op
+    latency quantiles, cache/memo hit rates and the latest slow
+    requests.  ``--count N`` renders N frames then exits (CI smoke);
+    ``--plain`` never clears the screen (or pipe the output — clearing
+    only happens on a TTY).
+    """
+    import json as json_module
+    import time as time_module
+
+    from repro.service import fetch_json, fetch_text
+
+    remaining = args.count
+    clear = not args.plain and sys.stdout.isatty()
+    while True:
+        stats = fetch_json(args.url, "stats")
+        metrics = json_module.loads(fetch_text(args.url, "metrics.json"))
+        slow = fetch_json(args.url, "debug/slow?limit=5")
+        frame = _top_frame(args.url, stats, metrics, slow)
+        if clear:
+            print("\x1b[2J\x1b[H", end="")
+        print(frame, flush=True)
+        if remaining is not None:
+            remaining -= 1
+            if remaining <= 0:
+                return 0
+        try:
+            time_module.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -620,8 +801,24 @@ def build_parser() -> argparse.ArgumentParser:
                        "back as an Unknown verdict (default 30)")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request to stderr")
+    serve.add_argument("--slow-log", default=None, metavar="FILE",
+                       help="append slow requests (over $REPRO_SLOW_MS, "
+                       "default 1000ms) as JSONL to FILE for post-mortems")
     add_batch_options(serve)
     serve.set_defaults(handler=cmd_serve, stats=False)
+
+    top = commands.add_parser(
+        "top", help="live terminal view of a running daemon"
+    )
+    top.add_argument("--url", required=True, metavar="URL",
+                     help="the `repro serve` daemon to watch")
+    top.add_argument("--interval", type=float, default=2.0, metavar="SECONDS",
+                     help="refresh period (default 2)")
+    top.add_argument("--count", type=int, default=None, metavar="N",
+                     help="render N frames then exit (default: until Ctrl-C)")
+    top.add_argument("--plain", action="store_true",
+                     help="never clear the screen between frames")
+    top.set_defaults(handler=cmd_top, stats=False)
     return parser
 
 

@@ -36,7 +36,7 @@ from repro.engine.problems import (
 from repro.engine.report import SolveReport
 from repro.engine.verdicts import Unknown, Verdict
 from repro.errors import BoundExceededError, SignatureError, XsmError
-from repro.obs import REGISTRY, current_tags, maybe_profile, trace
+from repro.obs import REGISTRY, ambient_tag, current_tags, maybe_profile, trace
 
 #: Always-on operational series (pre-bound families; cheap label lookups).
 _SOLVES = REGISTRY.counter(
@@ -332,7 +332,11 @@ def solve(problem: Any, context: ExecutionContext | None = None) -> Verdict:
     _SOLVES.labels(
         problem=problem_name, algorithm=info["algorithm"], outcome=outcome
     ).inc()
-    _SOLVE_LATENCY.labels(algorithm=info["algorithm"]).observe(elapsed)
+    # exemplar: latency buckets remember the trace ID of their worst
+    # observation, so a histogram spike links back to /debug/requests/<id>
+    _SOLVE_LATENCY.labels(algorithm=info["algorithm"]).observe(
+        elapsed, exemplar=ambient_tag("trace_id")
+    )
     if expansions:
         _EXPANSIONS.labels(algorithm=info["algorithm"]).inc(expansions)
     return verdict

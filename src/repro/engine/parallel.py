@@ -48,6 +48,7 @@ from repro.engine.report import BatchReport, SolveReport
 from repro.engine.verdicts import Unknown, Verdict
 from repro.obs import (
     REGISTRY,
+    ambient_tag,
     bind_tags,
     collecting,
     current_tags,
@@ -392,7 +393,8 @@ def _absorb_chunk(
     report.merge_cache(stats)
     REGISTRY.merge(metrics_delta)
     wait = max(0.0, meta["picked_up_wall"] - chunk.submitted_wall)
-    _QUEUE_WAIT.observe(wait)
+    # absorbed on the driver thread, so the request's trace ID is ambient
+    _QUEUE_WAIT.observe(wait, exemplar=ambient_tag("trace_id"))
     report.queue_wait_seconds += wait
     _WORKER_CHUNKS.labels(worker=str(meta["pid"])).inc()
 

@@ -13,17 +13,29 @@ Three orthogonal, zero-dependency tools (see DESIGN.md §Observability):
   exporters, thread-safe and snapshot/merge-able across processes.
 * :mod:`repro.obs.profile` — :func:`maybe_profile`, the per-solve
   cProfile wrapper gated behind ``REPRO_PROFILE=1``.
+* :mod:`repro.obs.flight` — the :class:`FlightRecorder` ring buffer of
+  completed request traces + slow-request log that backs the daemon's
+  ``/debug/*`` routes and ``repro top``.
 
-The CLI surfaces all three: ``--trace[=FILE]`` writes a JSONL span log,
+The CLI surfaces all of it: ``--trace[=FILE]`` writes a JSONL span log,
 ``--metrics[=FILE]`` a registry export, ``--stats`` a registry-derived
-summary, and ``repro stats`` is the self-checking exporter smoke test.
+summary, ``repro stats`` is the self-checking exporter smoke test, and
+``repro top --url`` is the live daemon view.
 """
 
+from repro.obs.flight import (
+    FlightRecorder,
+    new_trace_id,
+    truncate_trace,
+)
 from repro.obs.metrics import (
+    BUCKETS_ENV,
     REGISTRY,
     MetricError,
     MetricsRegistry,
+    default_buckets,
     diff_snapshots,
+    estimate_quantile,
     get_registry,
     observe_seconds,
     parse_prometheus,
@@ -37,6 +49,7 @@ from repro.obs.spans import (
     NOOP_SPAN,
     Span,
     TraceTree,
+    ambient_tag,
     bind_tags,
     collecting,
     current_span,
@@ -50,19 +63,26 @@ from repro.obs.spans import (
 )
 
 __all__ = [
+    "BUCKETS_ENV",
     "REGISTRY",
+    "FlightRecorder",
     "MetricError",
     "MetricsRegistry",
+    "default_buckets",
     "diff_snapshots",
+    "estimate_quantile",
     "get_registry",
+    "new_trace_id",
     "observe_seconds",
     "parse_prometheus",
+    "truncate_trace",
     "PROFILE_ENV",
     "maybe_profile",
     "profiling_enabled",
     "NOOP_SPAN",
     "Span",
     "TraceTree",
+    "ambient_tag",
     "bind_tags",
     "collecting",
     "current_span",

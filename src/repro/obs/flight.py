@@ -1,0 +1,323 @@
+"""The request flight recorder: always-on, bounded-memory request traces.
+
+``--trace`` answers "where did this run's time go" for one invocation
+you planned to watch.  A serving daemon needs the converse: *after* a
+request was slow, reconstruct where its time went — without restarting,
+without reproducing.  The :class:`FlightRecorder` is that layer:
+
+* every completed request lands in a thread-safe **ring buffer**
+  (capacity ``REPRO_FLIGHT_CAPACITY``, default 256) as a *record*:
+  trace ID, operation, status, latency, the budget/cache/memo deltas
+  the request accrued, and its full serialized span tree (truncated at
+  ``REPRO_FLIGHT_DEPTH`` so adversarially deep traces stay bounded);
+* requests at or over the **slow threshold** (``REPRO_SLOW_MS``,
+  default 1000) are additionally kept in a separate slow ring and —
+  when a sink is configured (``REPRO_SLOW_LOG`` or ``repro serve
+  --slow-log``) — appended as JSONL for post-mortems that outlive the
+  daemon;
+* the daemon exposes it read-only under ``GET /debug/requests`` (recent
+  summaries, filterable), ``GET /debug/requests/<trace_id>`` (one full
+  trace) and ``GET /debug/slow``; ``repro top`` renders the live view.
+
+Records are plain JSON-shaped dicts throughout, so the ring is the
+single source for the HTTP endpoints, the slow-log sink and the tests.
+Memory stays bounded by construction: ``capacity`` full records,
+``capacity`` slow summaries, one truncated span tree each.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from typing import Any, Iterable
+
+from repro.obs.metrics import REGISTRY
+
+#: Ring capacity (completed requests kept in memory).
+CAPACITY_ENV = "REPRO_FLIGHT_CAPACITY"
+DEFAULT_CAPACITY = 256
+
+#: Slow-request threshold in milliseconds.
+SLOW_MS_ENV = "REPRO_SLOW_MS"
+DEFAULT_SLOW_MS = 1000.0
+
+#: Default JSONL sink for slow requests (no sink when unset).
+SLOW_LOG_ENV = "REPRO_SLOW_LOG"
+
+#: Span-tree truncation depth for stored traces.
+DEPTH_ENV = "REPRO_FLIGHT_DEPTH"
+DEFAULT_TRACE_DEPTH = 32
+
+_RECORDED = REGISTRY.counter(
+    "repro_flight_recorded_total",
+    "Requests recorded by the flight recorder, by operation",
+    ("op",),
+)
+_SLOW = REGISTRY.counter(
+    "repro_slow_requests_total",
+    "Requests at or over the slow threshold, by operation",
+    ("op",),
+)
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        return default
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(_env_float(name, float(default)))
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-digit trace ID (random; unique per request).
+
+    ``os.urandom`` directly — this runs once per served request, and the
+    ``uuid4`` wrapper costs several times as much for the same entropy.
+    """
+    return os.urandom(8).hex()
+
+
+def _depth(tree: dict) -> int:
+    """Maximum nesting depth of a serialized span tree (root = 0)."""
+    deepest = 0
+    stack = [(tree, 0)]
+    while stack:
+        node, level = stack.pop()
+        if level > deepest:
+            deepest = level
+        children = node.get("children")
+        if children:
+            stack.extend((child, level + 1) for child in children)
+    return deepest
+
+
+def truncate_trace(tree: dict, max_depth: int = DEFAULT_TRACE_DEPTH) -> dict:
+    """The span tree cut off below *max_depth*.
+
+    The common case — a tree already within the bound — returns *tree*
+    unchanged (records are treated as immutable, so aliasing is safe and
+    the per-request fast path stays a single cheap walk).  A deeper tree
+    is copied: nodes at the cut keep their own timing but drop their
+    subtree, gaining ``truncated: True`` and a ``dropped_spans`` count —
+    a pathological recursion shows up as an honest marker, not an
+    unbounded record.
+    """
+    if _depth(tree) <= max_depth:
+        return tree
+
+    def count_spans(node: dict) -> int:
+        total = 0
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            total += 1
+            stack.extend(current.get("children", ()))
+        return total
+
+    def copy(node: dict, depth: int) -> dict:
+        out = {key: value for key, value in node.items() if key != "children"}
+        children = node.get("children", ())
+        if depth >= max_depth and children:
+            out["children"] = []
+            out["truncated"] = True
+            out["dropped_spans"] = sum(count_spans(child) for child in children)
+        else:
+            out["children"] = [copy(child, depth + 1) for child in children]
+        return out
+
+    return copy(tree, 0)
+
+
+def _summary(record: dict) -> dict:
+    """The list-view rendering of a record: everything but the span tree."""
+    return {key: value for key, value in record.items() if key != "trace"}
+
+
+class FlightRecorder:
+    """Bounded, thread-safe recorder of completed request traces.
+
+    One recorder per :class:`~repro.service.EngineSession`; handlers
+    call :meth:`record` once per completed request.  All reads
+    (:meth:`requests`, :meth:`lookup`, :meth:`slow`, :meth:`stats`) are
+    snapshot-consistent under the same lock and never mutate state —
+    the substrate for the daemon's auth-free, read-only ``/debug``
+    routes.
+
+    ``enabled = False`` turns :meth:`record` into a no-op *and* tells
+    the service layer to skip span collection entirely — the recorder-off
+    baseline the overhead guard in ``benchmarks/bench_obs.py`` compares
+    against.
+    """
+
+    def __init__(
+        self,
+        capacity: int | None = None,
+        slow_ms: float | None = None,
+        slow_log: str | os.PathLike | None = None,
+        max_depth: int | None = None,
+        enabled: bool = True,
+    ):
+        self.capacity = max(
+            1, capacity if capacity is not None
+            else _env_int(CAPACITY_ENV, DEFAULT_CAPACITY)
+        )
+        self.slow_ms = (
+            slow_ms if slow_ms is not None
+            else _env_float(SLOW_MS_ENV, DEFAULT_SLOW_MS)
+        )
+        raw_sink = (
+            os.fspath(slow_log) if slow_log is not None
+            else os.environ.get(SLOW_LOG_ENV) or None
+        )
+        self.slow_log_path = raw_sink
+        self.max_depth = max(
+            1, max_depth if max_depth is not None
+            else _env_int(DEPTH_ENV, DEFAULT_TRACE_DEPTH)
+        )
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._ring: deque[dict] = deque()
+        self._by_id: dict[str, dict] = {}
+        self._slow: deque[dict] = deque(maxlen=self.capacity)
+        self.recorded = 0
+        self.evicted = 0
+        self.slow_seen = 0
+
+    # -- writing --------------------------------------------------------------
+
+    def record(
+        self,
+        *,
+        trace_id: str,
+        op: str,
+        status: str = "ok",
+        duration: float = 0.0,
+        trace: dict | None = None,
+        started: float | None = None,
+        **fields: Any,
+    ) -> dict | None:
+        """Push one completed request; returns the stored record.
+
+        *trace* is the serialized span tree (already plain data); it is
+        truncated to the recorder's depth bound before storage.  Extra
+        keyword *fields* (request ID, exit code, cache/memo deltas,
+        verdict summaries) are stored verbatim — they must be
+        JSON-shaped.
+        """
+        if not self.enabled:
+            return None
+        record: dict[str, Any] = {
+            "trace_id": str(trace_id),
+            "op": op,
+            "status": status,
+            "duration": duration,
+            "duration_ms": duration * 1000.0,
+            "started": time.time() - duration if started is None else started,
+        }
+        for key, value in fields.items():
+            if value is not None:
+                record[key] = value
+        record["trace"] = (
+            truncate_trace(trace, self.max_depth) if trace is not None else None
+        )
+        slow = record["duration_ms"] >= self.slow_ms
+        record["slow"] = slow
+        with self._lock:
+            self._ring.append(record)
+            self._by_id[record["trace_id"]] = record
+            self.recorded += 1
+            while len(self._ring) > self.capacity:
+                evicted = self._ring.popleft()
+                self.evicted += 1
+                # only drop the index entry if it still points at the
+                # evicted record (a reused trace ID keeps the newest)
+                if self._by_id.get(evicted["trace_id"]) is evicted:
+                    del self._by_id[evicted["trace_id"]]
+            if slow:
+                self._slow.append(_summary(record))
+                self.slow_seen += 1
+        _RECORDED.labels(op=op).inc()
+        if slow:
+            _SLOW.labels(op=op).inc()
+            self._sink_slow(record)
+        return record
+
+    def _sink_slow(self, record: dict) -> None:
+        """Append the slow record's summary to the JSONL sink, if any.
+
+        A sink failure (disk full, permissions) is swallowed: the
+        recorder keeps its in-memory rings, and losing a post-mortem
+        line must never fail the request that produced it.
+        """
+        if not self.slow_log_path:
+            return
+        line = json.dumps(_summary(record), sort_keys=True, default=repr)
+        try:
+            with self._lock:
+                with open(self.slow_log_path, "a", encoding="utf-8") as sink:
+                    sink.write(line + "\n")
+        except OSError:
+            pass
+
+    # -- reading (all snapshot-consistent, never mutating) ---------------------
+
+    def requests(
+        self,
+        op: str | None = None,
+        status: str | None = None,
+        min_ms: float | None = None,
+        limit: int | None = 50,
+    ) -> list[dict]:
+        """Recent request summaries, newest first, optionally filtered
+        by operation, status and minimum latency (milliseconds)."""
+        with self._lock:
+            records: Iterable[dict] = reversed(self._ring)
+            out: list[dict] = []
+            for record in records:
+                if op is not None and record["op"] != op:
+                    continue
+                if status is not None and record["status"] != status:
+                    continue
+                if min_ms is not None and record["duration_ms"] < min_ms:
+                    continue
+                out.append(_summary(record))
+                if limit is not None and len(out) >= limit:
+                    break
+            return out
+
+    def lookup(self, trace_id: str) -> dict | None:
+        """The full record (span tree included) for *trace_id*, or
+        ``None`` when it was never recorded or has been evicted."""
+        with self._lock:
+            return self._by_id.get(str(trace_id))
+
+    def slow(self, limit: int | None = 50) -> list[dict]:
+        """Recent slow-request summaries, newest first."""
+        with self._lock:
+            out = list(reversed(self._slow))
+        return out if limit is None else out[:limit]
+
+    def stats(self) -> dict:
+        """Recorder health for ``/stats`` and ``repro top``."""
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "capacity": self.capacity,
+                "buffered": len(self._ring),
+                "recorded": self.recorded,
+                "evicted": self.evicted,
+                "slow_threshold_ms": self.slow_ms,
+                "slow_seen": self.slow_seen,
+                "slow_buffered": len(self._slow),
+                "slow_log": self.slow_log_path,
+                "trace_depth": self.max_depth,
+            }

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import json
 import math
+import os
 import threading
 import time
 from contextlib import contextmanager
@@ -41,6 +42,31 @@ DEFAULT_BUCKETS = (
     0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
     0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
 )
+
+#: Override the default bucket boundaries (comma- or space-separated
+#: floats, seconds); malformed values raise at first histogram creation
+#: rather than silently producing unmergeable series.
+BUCKETS_ENV = "REPRO_HIST_BUCKETS"
+
+
+def default_buckets() -> tuple[float, ...]:
+    """The bucket boundaries new histograms get when none are passed.
+
+    Read from ``REPRO_HIST_BUCKETS`` when set — every process of a
+    deployment (driver and ``solve_many`` workers inherit the
+    environment) then agrees on the boundaries, which :meth:`merge`
+    enforces.
+    """
+    raw = os.environ.get(BUCKETS_ENV, "").strip()
+    if not raw:
+        return DEFAULT_BUCKETS
+    try:
+        bounds = tuple(sorted({float(part) for part in raw.replace(",", " ").split()}))
+    except ValueError as exc:
+        raise MetricError(f"{BUCKETS_ENV}={raw!r} is not a float list") from exc
+    if not bounds:
+        return DEFAULT_BUCKETS
+    return bounds
 
 _KINDS = ("counter", "gauge", "histogram")
 
@@ -69,7 +95,8 @@ def _format_value(value: float) -> str:
 class _Child:
     """One labeled series of a family; all mutation under the family lock."""
 
-    __slots__ = ("_family", "value", "bucket_counts", "sum", "count")
+    __slots__ = ("_family", "value", "bucket_counts", "sum", "count",
+                 "exemplars")
 
     def __init__(self, family: "_Family"):
         self._family = family
@@ -78,6 +105,11 @@ class _Child:
             self.bucket_counts = [0] * len(family.buckets)
             self.sum = 0.0
             self.count = 0
+            #: per-bucket ``(value, trace_id, wall)`` of the worst (largest)
+            #: observation seen carrying an exemplar, or None
+            self.exemplars: list[tuple[float, str, float] | None] = (
+                [None] * len(family.buckets)
+            )
 
     def inc(self, amount: float = 1.0) -> None:
         registry = self._family.registry
@@ -96,7 +128,11 @@ class _Child:
         with registry._lock:
             self.value = value
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: str | None = None) -> None:
+        """Record one observation; *exemplar* attaches a trace ID to the
+        bucket the value lands in (kept when it is the bucket's worst —
+        largest — exemplared observation so far), surfacing "which
+        request produced this latency" in the exporters."""
         registry = self._family.registry
         if not registry.enabled:
             return
@@ -107,6 +143,10 @@ class _Child:
             for i, bound in enumerate(family.buckets):
                 if value <= bound:
                     self.bucket_counts[i] += 1
+                    if exemplar is not None:
+                        slot = self.exemplars[i]
+                        if slot is None or value >= slot[0]:
+                            self.exemplars[i] = (value, str(exemplar), time.time())
                     break
 
 
@@ -123,7 +163,7 @@ class _Family:
         self.help = help_text
         self.labelnames = tuple(labelnames)
         if kind == "histogram":
-            buckets = tuple(buckets) if buckets else DEFAULT_BUCKETS
+            buckets = tuple(buckets) if buckets else default_buckets()
             if buckets[-1] != math.inf:
                 buckets = buckets + (math.inf,)
             self.buckets = buckets
@@ -159,8 +199,8 @@ class _Family:
     def set(self, value: float) -> None:
         self._solo().set(value)
 
-    def observe(self, value: float) -> None:
-        self._solo().observe(value)
+    def observe(self, value: float, exemplar: str | None = None) -> None:
+        self._solo().observe(value, exemplar)
 
 
 class MetricsRegistry:
@@ -214,6 +254,9 @@ class MetricsRegistry:
                             "buckets": list(child.bucket_counts),
                             "sum": child.sum,
                             "count": child.count,
+                            "exemplars": [
+                                list(e) if e else None for e in child.exemplars
+                            ],
                         }
                     else:
                         series[key] = child.value
@@ -229,9 +272,16 @@ class MetricsRegistry:
     def merge(self, delta: dict) -> None:
         """Fold a snapshot (or snapshot delta) into this registry.
 
-        Counters and histograms add; gauges take the incoming value.
+        Counters and histograms add; gauges take the incoming value;
+        histogram bucket exemplars keep the worst (largest) observation.
         Families absent here are created from the delta's definitions —
         a worker process may register series the driver never touched.
+
+        Histogram bucket boundaries must match exactly: adding counts
+        bucket-by-bucket across different boundaries would silently
+        misattribute observations, so a mismatch raises
+        :class:`ValueError` instead (set ``REPRO_HIST_BUCKETS``
+        consistently across processes).
         """
         for name, data in delta.items():
             family = self._family(
@@ -239,6 +289,19 @@ class MetricsRegistry:
                 data.get("labelnames", ()),
                 data.get("buckets") or None,
             )
+            if family.kind == "histogram":
+                incoming = data.get("buckets")
+                if incoming:
+                    bounds = tuple(float(b) for b in incoming)
+                    if bounds and bounds[-1] != math.inf:
+                        bounds += (math.inf,)
+                    if bounds != family.buckets:
+                        raise ValueError(
+                            f"cannot merge histogram {name}: incoming bucket "
+                            f"boundaries {bounds} do not match the registered "
+                            f"{family.buckets} — counts would be silently "
+                            "misattributed"
+                        )
             for key, value in data.get("series", {}).items():
                 key = tuple(key)
                 with self._lock:
@@ -248,11 +311,26 @@ class MetricsRegistry:
                 if family.kind == "histogram":
                     with self._lock:
                         counts = value.get("buckets", ())
+                        if len(counts) > len(child.bucket_counts):
+                            raise ValueError(
+                                f"cannot merge histogram {name}: delta carries "
+                                f"{len(counts)} buckets for "
+                                f"{len(child.bucket_counts)} boundaries"
+                            )
                         for i, count in enumerate(counts):
-                            if i < len(child.bucket_counts):
-                                child.bucket_counts[i] += count
+                            child.bucket_counts[i] += count
                         child.sum += value.get("sum", 0.0)
                         child.count += value.get("count", 0)
+                        for i, exemplar in enumerate(value.get("exemplars") or ()):
+                            if exemplar is None or i >= len(child.exemplars):
+                                continue
+                            slot = child.exemplars[i]
+                            if slot is None or exemplar[0] >= slot[0]:
+                                child.exemplars[i] = (
+                                    float(exemplar[0]),
+                                    str(exemplar[1]),
+                                    float(exemplar[2]),
+                                )
                 elif family.kind == "gauge":
                     with self._lock:
                         child.value = value
@@ -271,11 +349,19 @@ class MetricsRegistry:
                         child.bucket_counts = [0] * len(family.buckets)
                         child.sum = 0.0
                         child.count = 0
+                        child.exemplars = [None] * len(family.buckets)
 
     # -- exporters ----------------------------------------------------------
 
     def render_prometheus(self, snapshot: dict | None = None) -> str:
-        """The Prometheus text exposition format of the registry."""
+        """The Prometheus text exposition format of the registry.
+
+        Histogram buckets carry OpenMetrics **exemplars** when one was
+        observed (``... 5 # {trace_id="..."} 0.087 1712345678.0``): the
+        trace ID of the bucket's worst exemplared observation, linking a
+        latency bucket straight to a flight-recorder trace.  The strict
+        :func:`parse_prometheus` validator accepts (and checks) them.
+        """
         if snapshot is None:
             snapshot = self.snapshot()
         lines: list[str] = []
@@ -293,13 +379,24 @@ class MetricsRegistry:
                 )
                 if data["kind"] == "histogram":
                     cumulative = 0
-                    for bound, count in zip(data["buckets"], value["buckets"]):
+                    exemplars = value.get("exemplars") or ()
+                    for i, (bound, count) in enumerate(
+                        zip(data["buckets"], value["buckets"])
+                    ):
                         cumulative += count
                         bucket_labels = rendered + ("," if rendered else "")
-                        lines.append(
+                        line = (
                             f"{name}_bucket{{{bucket_labels}"
                             f'le="{_format_value(bound)}"}} {cumulative}'
                         )
+                        exemplar = exemplars[i] if i < len(exemplars) else None
+                        if exemplar is not None:
+                            ex_value, trace_id, wall = exemplar
+                            line += (
+                                f' # {{trace_id="{_escape_label(trace_id)}"}} '
+                                f"{ex_value!r} {wall:.3f}"
+                            )
+                        lines.append(line)
                     suffix = f"{{{rendered}}}" if rendered else ""
                     lines.append(f"{name}_sum{suffix} {value['sum']!r}")
                     lines.append(f"{name}_count{suffix} {value['count']}")
@@ -309,7 +406,9 @@ class MetricsRegistry:
         return "\n".join(lines) + "\n"
 
     def render_json(self, snapshot: dict | None = None) -> str:
-        """A JSON export with the same content as the Prometheus text."""
+        """A JSON export with the same content as the Prometheus text
+        (histogram values carry per-bucket ``exemplars`` entries of
+        ``[value, trace_id, wall]``, or ``null`` where none landed)."""
         if snapshot is None:
             snapshot = self.snapshot()
         out = {}
@@ -352,6 +451,10 @@ def diff_snapshots(before: dict, after: dict) -> dict:
                     "sum": value["sum"] - prior["sum"],
                     "count": value["count"] - prior["count"],
                 }
+                if value.get("exemplars"):
+                    # exemplars are max-merged, not added: re-sending the
+                    # after-side exemplar is idempotent at the receiver
+                    delta["exemplars"] = value["exemplars"]
                 if delta["count"]:
                     series[key] = delta
             elif data["kind"] == "gauge":
@@ -365,19 +468,84 @@ def diff_snapshots(before: dict, after: dict) -> dict:
     return out
 
 
+def estimate_quantile(
+    bounds: Iterable[float], counts: Iterable[float], q: float
+) -> float | None:
+    """Estimate the *q*-quantile of a histogram from its bucket counts.
+
+    *bounds* are the upper boundaries (the family's ``buckets``, usually
+    ending in ``+Inf``) and *counts* the per-bucket (non-cumulative)
+    counts of a snapshot series.  Standard Prometheus-style estimation:
+    find the bucket the target rank falls in and interpolate linearly
+    inside it; ranks landing in the ``+Inf`` bucket clamp to the last
+    finite boundary.  Returns ``None`` for an empty histogram.
+    """
+    bounds = list(bounds)
+    counts = list(counts)
+    total = sum(counts)
+    if total <= 0:
+        return None
+    rank = min(max(q, 0.0), 1.0) * total
+    cumulative = 0.0
+    lower = 0.0
+    for bound, count in zip(bounds, counts):
+        if count:
+            cumulative += count
+            if cumulative >= rank:
+                if bound == math.inf:
+                    return lower
+                return lower + (bound - lower) * (
+                    (rank - (cumulative - count)) / count
+                )
+        if bound != math.inf:
+            lower = bound
+    return lower
+
+
+def _validate_exemplar(exemplar: str, lineno: int) -> None:
+    """Check the OpenMetrics exemplar tail ``{labels} value [timestamp]``."""
+    if not exemplar.startswith("{"):
+        raise ValueError(f"line {lineno}: exemplar must start with labels")
+    close = exemplar.find("}")
+    if close < 0:
+        raise ValueError(f"line {lineno}: unbalanced exemplar labels")
+    labels = exemplar[1:close]
+    if labels and "=" not in labels:
+        raise ValueError(f"line {lineno}: bad exemplar labels {labels!r}")
+    tokens = exemplar[close + 1:].split()
+    if not tokens or len(tokens) > 2:
+        raise ValueError(
+            f"line {lineno}: exemplar needs a value and an optional "
+            f"timestamp, got {tokens!r}"
+        )
+    for token in tokens:
+        try:
+            float(token.replace("+Inf", "inf"))
+        except ValueError as exc:
+            raise ValueError(
+                f"line {lineno}: bad exemplar number {token!r}"
+            ) from exc
+
+
 def parse_prometheus(text: str) -> dict[str, float]:
     """Parse a text exposition back to ``{series-with-labels: value}``.
 
     Strict enough to catch exporter regressions: every non-comment line
-    must be ``name{labels} value`` with a float-parsable value, and
-    histogram bucket counts must be monotonically non-decreasing in
-    ``le`` order.  Raises :class:`ValueError` on malformed input.
+    must be ``name{labels} value`` with a float-parsable value, histogram
+    bucket counts must be monotonically non-decreasing in ``le`` order,
+    and an OpenMetrics exemplar tail (``... # {trace_id="..."} v ts``)
+    must itself be well-formed and is only allowed on ``_bucket`` or
+    ``_total`` series.  Raises :class:`ValueError` on malformed input.
     """
     series: dict[str, float] = {}
     last_bucket: tuple[str, float] | None = None
     for lineno, line in enumerate(text.splitlines(), 1):
         if not line.strip() or line.startswith("#"):
             continue
+        exemplar = None
+        if " # " in line:
+            line, _, exemplar = line.partition(" # ")
+            _validate_exemplar(exemplar, lineno)
         head, _, raw_value = line.rpartition(" ")
         if not head:
             raise ValueError(f"line {lineno}: no value in {line!r}")
@@ -390,6 +558,12 @@ def parse_prometheus(text: str) -> dict[str, float]:
             raise ValueError(f"line {lineno}: bad metric name {name!r}")
         if "{" in head and not head.endswith("}"):
             raise ValueError(f"line {lineno}: unbalanced labels in {head!r}")
+        if exemplar is not None and not (
+            name.endswith("_bucket") or name.endswith("_total")
+        ):
+            raise ValueError(
+                f"line {lineno}: exemplar on non-bucket/counter series {name!r}"
+            )
         if head in series:
             raise ValueError(f"line {lineno}: duplicate series {head!r}")
         series[head] = value

@@ -160,10 +160,23 @@ NOOP_SPAN = _NoopSpan()
 
 
 class TraceTree:
-    """The root of one collected trace, with traversal helpers."""
+    """The root of one collected trace, with traversal helpers.
+
+    :meth:`on_close` registers completion hooks — callables fired with
+    the tree once the root span has closed (timings final).  This is how
+    the flight recorder sees every request trace without the service
+    layer threading callbacks through handler signatures.  A hook that
+    raises is swallowed: observability must never fail the request it
+    observes.
+    """
 
     def __init__(self, root: Span):
         self.root = root
+        self._close_hooks: list = []
+
+    def on_close(self, hook) -> None:
+        """Call ``hook(tree)`` after the root span closes."""
+        self._close_hooks.append(hook)
 
     def spans(self) -> Iterator[Span]:
         """Preorder traversal of the *live* (non-adopted) spans."""
@@ -206,6 +219,13 @@ def current_tags() -> dict:
     return dict(_STATE.tags)
 
 
+def ambient_tag(name: str, default=None):
+    """One ambient tag without copying the tag dict (hot-path friendly:
+    this is how ``engine.solve`` reads the trace ID for its latency
+    exemplar on every solve)."""
+    return _STATE.tags.get(name, default)
+
+
 @contextmanager
 def bind_tags(**tags) -> Iterator[None]:
     """Stamp *tags* onto every span opened on this thread while active.
@@ -235,14 +255,29 @@ def collecting(name: str, **attrs) -> Iterator[TraceTree]:
     The tree's root span covers the whole ``with`` block; every
     :func:`trace` opened inside (on this thread) nests under it.  The
     root's timing is final only after the block exits.
+
+    Collectors nest: inside an active collector, the new root also
+    becomes a child span of the enclosing one, so an outer ``--trace``
+    sees the whole request subtree while the inner collector (the
+    always-on flight recorder's) still gets its own tree.  Spans are
+    shared, not copied — each is recorded once.
     """
     root = Span(name, attrs)
+    tree = TraceTree(root)
+    stack = _STATE.stack
+    if stack:
+        stack[-1].children.append(root)
     _STATE.stack.append(root)
     try:
-        yield TraceTree(root)
+        yield tree
     finally:
         _STATE.stack.pop()
         root.close()
+        for hook in tree._close_hooks:
+            try:
+                hook(tree)
+            except Exception:  # a broken observer must not fail the work
+                pass
 
 
 @contextmanager

@@ -23,7 +23,12 @@ Two frontends share that one code path:
 See DESIGN.md §8 ("Service layer").
 """
 
-from repro.service.client import ServiceUnavailable, call_service, fetch_text
+from repro.service.client import (
+    ServiceUnavailable,
+    call_service,
+    fetch_json,
+    fetch_text,
+)
 from repro.service.server import ServiceServer
 from repro.service.session import EngineSession, RequestError
 
@@ -33,5 +38,6 @@ __all__ = [
     "ServiceServer",
     "ServiceUnavailable",
     "call_service",
+    "fetch_json",
     "fetch_text",
 ]

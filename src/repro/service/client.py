@@ -92,3 +92,30 @@ def fetch_text(url: str, path: str, *, timeout: float = 30.0) -> str:
         raise ServiceUnavailable(
             f"cannot reach service at {endpoint}: {error}"
         ) from error
+
+
+def fetch_json(url: str, path: str, *, timeout: float = 30.0) -> dict:
+    """GET ``<url>/<path>`` as a JSON object (``/stats``, ``/debug/*``).
+
+    Mirrors :func:`call_service`'s error contract: a 404 (say, an
+    evicted trace ID) whose body is the daemon's JSON envelope is
+    *returned* with its ``error`` key; transport failures and non-JSON
+    bodies raise :class:`ServiceUnavailable`.
+    """
+    endpoint = f"{url.rstrip('/')}/{path.lstrip('/')}"
+    try:
+        with urllib.request.urlopen(endpoint, timeout=timeout) as reply:
+            return _parse_body(reply.read(), endpoint)
+    except urllib.error.HTTPError as error:
+        body = error.read()
+        try:
+            return _parse_body(body, endpoint)
+        except ServiceUnavailable:
+            raise ServiceUnavailable(
+                f"service at {endpoint} answered {error.code} without a "
+                f"JSON body"
+            ) from error
+    except OSError as error:
+        raise ServiceUnavailable(
+            f"cannot reach service at {endpoint}: {error}"
+        ) from error

@@ -22,10 +22,22 @@ Routes::
     POST /delta                                    incremental re-check of a
                                                    mapping revision (reuses
                                                    clean artifacts + verdicts)
-    GET  /stats                                    session + cache accounting
+    GET  /stats                                    session + cache + admission
+                                                   accounting
     GET  /healthz                                  liveness ("ok")
     GET  /metrics                                  Prometheus text exposition
+                                                   (with OpenMetrics exemplars)
     GET  /metrics.json                             the same registry as JSON
+    GET  /debug/requests[?op=&status=&min_ms=&limit=]
+                                                   flight-recorder summaries
+    GET  /debug/requests/<trace_id>                one full span tree (404
+                                                   once evicted from the ring)
+    GET  /debug/slow                               recent slow requests
+
+The ``/debug`` routes are read-only by construction (they reach only the
+session's flight recorder, never a handler) and bypass admission control
+so they stay responsive exactly when the daemon is saturated — the
+moment you need them.
 
 Error mapping: malformed JSON or an unknown route is 400/404; a request
 the session rejects (``RequestError``) is 400; any other ``XsmError``
@@ -38,6 +50,7 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs
 
 from repro.obs import REGISTRY
 from repro.service.session import EngineSession, RequestError
@@ -46,6 +59,14 @@ _REJECTED = REGISTRY.counter(
     "repro_rejected_total",
     "Requests refused by the daemon before reaching the session",
     ("reason",),
+)
+_INFLIGHT = REGISTRY.gauge(
+    "repro_inflight_requests",
+    "Requests currently executing in the daemon",
+)
+_QUEUED = REGISTRY.gauge(
+    "repro_queued_requests",
+    "Admitted requests waiting for a run slot",
 )
 
 #: Largest accepted request body — admission control for memory, not CPU.
@@ -66,20 +87,49 @@ class _Admission:
         self.queue_depth = max(0, int(queue_depth))
         self._admit = threading.Semaphore(self.max_inflight + self.queue_depth)
         self._run = threading.Semaphore(self.max_inflight)
+        self._lock = threading.Lock()
+        self.inflight = 0
+        self.queued = 0
 
     def try_enter(self) -> bool:
-        return self._admit.acquire(blocking=False)
+        admitted = self._admit.acquire(blocking=False)
+        if admitted:
+            with self._lock:
+                self.queued += 1
+                _QUEUED.set(self.queued)
+        return admitted
 
     def start(self) -> None:
         self._run.acquire()
+        with self._lock:
+            self.queued -= 1
+            self.inflight += 1
+            _QUEUED.set(self.queued)
+            _INFLIGHT.set(self.inflight)
 
     def cancel(self) -> None:
         """Give back an admission slot whose request never ran."""
+        with self._lock:
+            self.queued -= 1
+            _QUEUED.set(self.queued)
         self._admit.release()
 
     def leave(self) -> None:
+        with self._lock:
+            self.inflight -= 1
+            _INFLIGHT.set(self.inflight)
         self._run.release()
         self._admit.release()
+
+    def snapshot(self) -> dict:
+        """Live saturation for ``/stats`` (and thus ``repro top``)."""
+        with self._lock:
+            return {
+                "inflight": self.inflight,
+                "queued": self.queued,
+                "max_inflight": self.max_inflight,
+                "queue_depth": self.queue_depth,
+            }
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -142,18 +192,61 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- routes -------------------------------------------------------------
 
+    def _query(self) -> dict:
+        """Single-valued query parameters (last value wins)."""
+        __, __, raw = self.path.partition("?")
+        return {key: values[-1] for key, values in parse_qs(raw).items()}
+
+    @staticmethod
+    def _float_param(query: dict, key: str) -> float | None:
+        raw = query.get(key)
+        if raw is None:
+            return None
+        try:
+            return float(raw)
+        except ValueError:
+            return None
+
     def do_GET(self) -> None:  # noqa: N802
         path = self.path.split("?", 1)[0]
+        session = self.server.session
         if path == "/healthz":
             self._send_text(200, "ok\n")
         elif path == "/metrics":
-            self._send(200, self.server.session.registry.render_prometheus()
+            self._send(200, session.registry.render_prometheus()
                        .encode(), "text/plain; version=0.0.4; charset=utf-8")
         elif path == "/metrics.json":
-            self._send(200, self.server.session.registry.render_json().encode(),
+            self._send(200, session.registry.render_json().encode(),
                        "application/json; charset=utf-8")
         elif path == "/stats":
-            self._send_json(200, self.server.session.stats({}))
+            body = session.stats({})
+            body["server"] = self.server.admission.snapshot()
+            self._send_json(200, body)
+        elif path == "/debug/requests":
+            query = self._query()
+            limit = self._float_param(query, "limit")
+            self._send_json(200, session.debug_requests(
+                op=query.get("op"),
+                status=query.get("status"),
+                min_ms=self._float_param(query, "min_ms"),
+                limit=50 if limit is None else max(1, int(limit)),
+            ))
+        elif path.startswith("/debug/requests/"):
+            trace_id = path[len("/debug/requests/"):]
+            record = session.debug_request(trace_id)
+            if record is None:
+                self._send_json(404, {"error": {
+                    "type": "NotFound",
+                    "message": f"trace {trace_id!r} not recorded or evicted",
+                }})
+            else:
+                self._send_json(200, record)
+        elif path == "/debug/slow":
+            query = self._query()
+            limit = self._float_param(query, "limit")
+            self._send_json(200, session.debug_slow(
+                limit=50 if limit is None else max(1, int(limit)),
+            ))
         else:
             self._send_json(404, {"error": {"type": "NotFound",
                                             "message": f"no route {path!r}"}})

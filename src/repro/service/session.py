@@ -15,10 +15,17 @@ so the same handler serves the CLI adapter, the HTTP daemon and direct
 library use.  Every request gets
 
 * a **request ID** (honoured from the request, generated otherwise)
-  bound as an ambient span tag for the whole handler — every trace span
-  the request opens, including ``solve_many`` worker-chunk spans in
-  other processes and the truncated spans of crashed/hung workers,
-  carries ``request=<id>``, and every ``SolveReport`` records it;
+  and a **trace ID** bound as ambient span tags for the whole handler —
+  every trace span the request opens, including ``solve_many``
+  worker-chunk spans in other processes and the truncated spans of
+  crashed/hung workers, carries ``request=<id>`` and ``trace_id=<id>``,
+  and every ``SolveReport`` records the request ID;
+* a completed-trace record in the session's
+  :class:`~repro.obs.flight.FlightRecorder` — the serialized span tree,
+  status, latency and budget/cache deltas land in the bounded ring that
+  backs the daemon's ``/debug/requests`` routes and the slow-request
+  log (the recorder is always on; pass ``flight=FlightRecorder(
+  enabled=False)`` to run bare);
 * a **per-request budget**: ``request["budget"]`` overrides individual
   :class:`Budget` fields, ``request["timeout"]`` tightens the wall-clock
   deadline (and doubles as the ``solve_many`` watchdog timeout), so a
@@ -57,7 +64,16 @@ from repro.engine import (
 )
 from repro.errors import XsmError
 from repro.incremental import IncrementalEngine
-from repro.obs import REGISTRY, bind_tags, collecting, parse_prometheus, trace
+from repro.obs import (
+    REGISTRY,
+    FlightRecorder,
+    bind_tags,
+    collecting,
+    new_trace_id,
+    parse_prometheus,
+    trace,
+    walk,
+)
 from repro.xmlmodel.xml_io import from_xml, to_xml
 
 _REQUESTS = REGISTRY.counter(
@@ -130,6 +146,25 @@ def _named_texts(request: dict, key: str) -> list[tuple[str, str]]:
     return named
 
 
+def _trace_rollup(tree: dict) -> dict:
+    """Aggregate budget/cache deltas over a request's serialized trace.
+
+    Sums the ``solve`` spans only: their expansion and cache deltas are
+    disjoint (one per solve), whereas outer spans include their children
+    and would double-count.
+    """
+    expansions = 0
+    cache: dict[str, int] = {}
+    spans = 0
+    for node in walk(tree):
+        spans += 1
+        if node.get("name") == "solve":
+            expansions += int(node.get("expansions", 0))
+            for key, delta in (node.get("cache") or {}).items():
+                cache[key] = cache.get(key, 0) + delta
+    return {"expansions": expansions, "cache": cache, "spans": spans}
+
+
 def _exit_code(consistency: Any, absolute: Any) -> int:
     """The CLI exit-code contract for one mapping's check pair."""
     if consistency.is_refuted:
@@ -190,6 +225,7 @@ class EngineSession:
         cache_dir: str | os.PathLike | None = None,
         budget: Budget | None = None,
         registry=REGISTRY,
+        flight: FlightRecorder | None = None,
     ):
         self.jobs = max(1, int(jobs))
         self.cache_dir = os.fspath(cache_dir) if cache_dir else None
@@ -201,6 +237,7 @@ class EngineSession:
         #: and deltas alike.
         self.incremental = IncrementalEngine(cache=self.cache, budget=self.budget)
         self.registry = registry
+        self.flight = flight if flight is not None else FlightRecorder()
         self.started_wall = time.time()
         self.requests: Counter[str] = Counter()
         self._lock = threading.Lock()
@@ -245,15 +282,26 @@ class EngineSession:
              body: Callable[[dict], dict]) -> dict:
         request = dict(request) if request else {}
         request_id = str(request.get("request_id") or self.next_request_id())
-        response: dict[str, Any] = {"command": command, "request_id": request_id}
+        trace_id = str(request.get("trace_id") or new_trace_id())
+        response: dict[str, Any] = {
+            "command": command, "request_id": request_id, "trace_id": trace_id,
+        }
         outcome = "ok"
         started = time.perf_counter()
+        tree = None
         try:
-            with bind_tags(request=request_id):
-                if request.get("trace"):
-                    with collecting("request", command=command) as tree:
+            # the flight recorder makes span collection always-on: the
+            # tree is what lands in the ring (and, on request["trace"],
+            # in the response).  The common spans are cheap — compile
+            # spans only open on cache misses — and the bench_obs
+            # recorder-overhead guard keeps this path honest.  A
+            # disabled recorder restores the old trace-on-demand path.
+            with bind_tags(request=request_id, trace_id=trace_id):
+                if self.flight.enabled or request.get("trace"):
+                    with collecting(
+                        "request", command=command, trace_id=trace_id
+                    ) as tree:
                         payload = body(request)
-                    response["trace"] = tree.to_dict()
                 else:
                     with trace("request", command=command):
                         payload = body(request)
@@ -267,10 +315,26 @@ class EngineSession:
         elapsed = time.perf_counter() - started
         response["ok"] = outcome == "ok"
         response["elapsed"] = elapsed
+        tree_dict = tree.to_dict() if tree is not None else None
+        if request.get("trace") and tree_dict is not None:
+            response["trace"] = tree_dict
         with self._lock:
             self.requests[command] += 1
         _REQUESTS.labels(command=command, outcome=outcome).inc()
-        _REQUEST_LATENCY.labels(command=command).observe(elapsed)
+        _REQUEST_LATENCY.labels(command=command).observe(
+            elapsed, exemplar=trace_id
+        )
+        if self.flight.enabled and tree_dict is not None:
+            self.flight.record(
+                trace_id=trace_id,
+                op=command,
+                status=outcome,
+                duration=elapsed,
+                trace=tree_dict,
+                request_id=request_id,
+                exit_code=response.get("exit_code"),
+                **_trace_rollup(tree_dict),
+            )
         return response
 
     # -- handlers -----------------------------------------------------------
@@ -504,6 +568,7 @@ class EngineSession:
             "cache_by_kind": self.cache.stats_by_kind(),
             "cache_entries_by_kind": self.cache.entries_by_kind(),
             "incremental": self.incremental.stats(),
+            "flight": self.flight.stats(),
             "registry": {
                 "families": len(snapshot),
                 "series": sum(len(d["series"]) for d in snapshot.values()),
@@ -579,6 +644,36 @@ class EngineSession:
             "lines": lines,
             "failures": failures,
             "exit_code": 1 if failures else 0,
+        }
+
+    # -- flight-recorder reads (the daemon's /debug/* routes) ----------------
+    #
+    # These bypass _run on purpose: inspecting the recorder must not
+    # record itself (a polling `repro top` would otherwise flush real
+    # requests out of the ring), must never consume admission slots,
+    # and is read-only by construction.
+
+    def debug_requests(self, op: str | None = None, status: str | None = None,
+                       min_ms: float | None = None, limit: int = 50) -> dict:
+        """Recent request summaries from the flight recorder."""
+        return {
+            "requests": self.flight.requests(
+                op=op, status=status, min_ms=min_ms, limit=limit
+            ),
+            "flight": self.flight.stats(),
+        }
+
+    def debug_request(self, trace_id: str) -> dict | None:
+        """One full record (span tree included), or ``None`` if the
+        trace was never recorded or has been evicted from the ring."""
+        return self.flight.lookup(trace_id)
+
+    def debug_slow(self, limit: int = 50) -> dict:
+        """Recent slow-request summaries."""
+        return {
+            "slow": self.flight.slow(limit=limit),
+            "threshold_ms": self.flight.slow_ms,
+            "slow_log": self.flight.slow_log_path,
         }
 
     # -- generic dispatch (the daemon's routing table) ----------------------

@@ -1,0 +1,477 @@
+"""Tests for the flight recorder: ring buffer, truncation, session
+recording, the daemon's /debug routes and the `repro top` client view."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.obs import (
+    FlightRecorder,
+    TraceTree,
+    ambient_tag,
+    bind_tags,
+    collecting,
+    new_trace_id,
+    trace,
+    truncate_trace,
+    walk,
+)
+from repro.service import (
+    EngineSession,
+    ServiceServer,
+    call_service,
+    fetch_json,
+    fetch_text,
+)
+
+MAPPING_TEXT = """\
+source:
+    f -> item*
+    item(sku)
+target:
+    w -> product*
+    product(sku)
+std: f[item(s)] -> w[product(s)]
+"""
+
+BROKEN_MAPPING_TEXT = "source:\n    f -> a\n"
+
+
+def make_trace(depth: int, fanout: int = 1) -> dict:
+    """A serialized span chain `depth` levels deep (root = level 0)."""
+    node = {"name": f"level-{depth}", "duration": 0.001, "children": []}
+    for level in range(depth - 1, -1, -1):
+        node = {
+            "name": f"level-{level}",
+            "duration": 0.001,
+            "children": [node] * fanout,
+        }
+    return node
+
+
+# ---------------------------------------------------------------------------
+# the recorder itself
+# ---------------------------------------------------------------------------
+
+
+class TestFlightRecorder:
+    def test_record_and_lookup(self):
+        recorder = FlightRecorder(capacity=8, slow_ms=1e9)
+        trace_id = new_trace_id()
+        recorder.record(
+            trace_id=trace_id, op="check", duration=0.25,
+            trace=make_trace(2), request_id="r-1", exit_code=0,
+        )
+        record = recorder.lookup(trace_id)
+        assert record is not None
+        assert record["op"] == "check"
+        assert record["duration_ms"] == pytest.approx(250.0)
+        assert record["request_id"] == "r-1"
+        assert record["trace"]["name"] == "level-0"
+        assert not record["slow"]
+
+    def test_summaries_hide_the_trace(self):
+        recorder = FlightRecorder(capacity=8, slow_ms=1e9)
+        recorder.record(trace_id="t1", op="lint", trace=make_trace(3))
+        (summary,) = recorder.requests()
+        assert "trace" not in summary
+        assert summary["trace_id"] == "t1"
+
+    def test_ring_wraparound_evicts_oldest(self):
+        recorder = FlightRecorder(capacity=3, slow_ms=1e9)
+        for i in range(7):
+            recorder.record(trace_id=f"t{i}", op="check", duration=i / 1000)
+        assert recorder.recorded == 7
+        assert recorder.evicted == 4
+        summaries = recorder.requests()
+        assert [s["trace_id"] for s in summaries] == ["t6", "t5", "t4"]
+        assert recorder.lookup("t0") is None  # evicted: index entry gone too
+        assert recorder.lookup("t6") is not None
+        assert recorder.stats()["buffered"] == 3
+
+    def test_filters(self):
+        recorder = FlightRecorder(capacity=16, slow_ms=1e9)
+        recorder.record(trace_id="a", op="check", status="ok", duration=0.010)
+        recorder.record(trace_id="b", op="lint", status="ok", duration=0.200)
+        recorder.record(trace_id="c", op="check", status="error", duration=0.500)
+        assert {r["trace_id"] for r in recorder.requests(op="check")} == {"a", "c"}
+        assert [r["trace_id"] for r in recorder.requests(status="error")] == ["c"]
+        assert {r["trace_id"] for r in recorder.requests(min_ms=100)} == {"b", "c"}
+        assert len(recorder.requests(limit=2)) == 2
+
+    def test_slow_threshold_and_ring(self):
+        recorder = FlightRecorder(capacity=8, slow_ms=100.0)
+        recorder.record(trace_id="fast", op="check", duration=0.05)
+        recorder.record(trace_id="slow", op="check", duration=0.15)
+        assert recorder.slow_seen == 1
+        (entry,) = recorder.slow()
+        assert entry["trace_id"] == "slow"
+        assert entry["slow"] is True
+        assert recorder.lookup("fast")["slow"] is False
+
+    def test_slow_log_jsonl_sink(self, tmp_path):
+        sink = tmp_path / "slow.jsonl"
+        recorder = FlightRecorder(capacity=8, slow_ms=0.0, slow_log=sink)
+        recorder.record(trace_id="s1", op="check", duration=0.01,
+                        trace=make_trace(2))
+        recorder.record(trace_id="s2", op="lint", duration=0.02)
+        lines = [json.loads(line) for line in sink.read_text().splitlines()]
+        assert [line["trace_id"] for line in lines] == ["s1", "s2"]
+        assert all("trace" not in line for line in lines)  # summaries only
+
+    def test_sink_failure_is_swallowed(self, tmp_path):
+        recorder = FlightRecorder(
+            capacity=4, slow_ms=0.0, slow_log=tmp_path / "no" / "dir" / "x.jsonl"
+        )
+        recorder.record(trace_id="s1", op="check", duration=0.01)
+        assert recorder.slow_seen == 1  # in-memory ring still populated
+
+    def test_disabled_recorder_records_nothing(self):
+        recorder = FlightRecorder(capacity=4, enabled=False)
+        assert recorder.record(trace_id="x", op="check") is None
+        assert recorder.requests() == []
+        assert recorder.recorded == 0
+
+    def test_env_configuration(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FLIGHT_CAPACITY", "7")
+        monkeypatch.setenv("REPRO_SLOW_MS", "250")
+        monkeypatch.setenv("REPRO_FLIGHT_DEPTH", "5")
+        recorder = FlightRecorder()
+        assert recorder.capacity == 7
+        assert recorder.slow_ms == 250.0
+        assert recorder.max_depth == 5
+
+    def test_concurrent_recording_from_many_threads(self):
+        recorder = FlightRecorder(capacity=64, slow_ms=50.0)
+        threads, per_thread = 6, 40
+
+        def hammer(worker: int) -> None:
+            for i in range(per_thread):
+                recorder.record(
+                    trace_id=f"w{worker}-{i}", op="check",
+                    duration=0.1 if i % 4 == 0 else 0.001,
+                    trace=make_trace(3),
+                )
+
+        workers = [
+            threading.Thread(target=hammer, args=(w,)) for w in range(threads)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert recorder.recorded == threads * per_thread
+        assert recorder.evicted == threads * per_thread - 64
+        assert len(recorder.requests(limit=None)) == 64
+        assert recorder.slow_seen == threads * (per_thread // 4)
+        # the dict index and the ring agree exactly
+        for summary in recorder.requests(limit=None):
+            assert recorder.lookup(summary["trace_id"]) is not None
+
+    def test_trace_id_format(self):
+        ids = {new_trace_id() for _ in range(100)}
+        assert len(ids) == 100
+        assert all(len(i) == 16 and int(i, 16) >= 0 for i in ids)
+
+
+class TestTruncateTrace:
+    def test_within_bound_returns_tree_unchanged(self):
+        tree = make_trace(4)
+        assert truncate_trace(tree, max_depth=8) is tree
+
+    def test_beyond_bound_cuts_and_counts(self):
+        tree = truncate_trace(make_trace(50), max_depth=5)
+        depth = 0
+        node = tree
+        while node.get("children"):
+            node = node["children"][0]
+            depth += 1
+        assert depth == 5
+        assert node["truncated"] is True
+        assert node["dropped_spans"] == 45
+        assert node["children"] == []
+
+    def test_fanout_drop_counting(self):
+        tree = truncate_trace(make_trace(3, fanout=2), max_depth=1)
+        cut = tree["children"][0]
+        # each level-1 child drops its full subtree: 2 + 4 = 6 spans
+        assert cut["dropped_spans"] == 6
+
+    def test_adversarial_depth_stays_bounded(self):
+        tree = truncate_trace(make_trace(5000), max_depth=32)
+        assert len(list(walk(tree))) == 33
+
+    def test_original_tree_not_mutated(self):
+        tree = make_trace(10)
+        truncate_trace(tree, max_depth=2)
+        assert len(list(walk(tree))) == 11
+
+
+# ---------------------------------------------------------------------------
+# span-layer hooks the recorder builds on
+# ---------------------------------------------------------------------------
+
+
+class TestSpanCompletionHooks:
+    def test_on_close_fires_with_final_timing(self):
+        seen: list[TraceTree] = []
+        with collecting("request") as tree:
+            tree.on_close(seen.append)
+            with trace("inner"):
+                pass
+            assert not seen  # not before the root closes
+        assert seen == [tree]
+        assert seen[0].root.duration > 0.0
+
+    def test_raising_hook_is_swallowed(self):
+        def explode(_tree):
+            raise RuntimeError("observer bug")
+
+        with collecting("request") as tree:
+            tree.on_close(explode)
+        # reaching here is the assertion: the hook's error died quietly
+
+    def test_ambient_tag_reads_bound_tags(self):
+        assert ambient_tag("trace_id") is None
+        assert ambient_tag("trace_id", "fallback") == "fallback"
+        with bind_tags(trace_id="abc"):
+            assert ambient_tag("trace_id") == "abc"
+        assert ambient_tag("trace_id") is None
+
+    def test_nested_collectors_share_spans(self):
+        with collecting("outer") as outer:
+            with collecting("inner") as inner:
+                with trace("work"):
+                    pass
+        outer_names = [node["name"] for node in walk(outer.to_dict())]
+        assert outer_names == ["outer", "inner", "work"]
+        assert [n["name"] for n in walk(inner.to_dict())] == ["inner", "work"]
+
+
+# ---------------------------------------------------------------------------
+# session integration
+# ---------------------------------------------------------------------------
+
+
+class TestSessionRecording:
+    def test_every_request_is_recorded_with_trace(self):
+        session = EngineSession()
+        response = session.check({"mappings": [MAPPING_TEXT]})
+        assert response["ok"]
+        trace_id = response["trace_id"]
+        record = session.debug_request(trace_id)
+        assert record is not None
+        assert record["op"] == "check"
+        assert record["status"] == "ok"
+        assert record["request_id"] == response["request_id"]
+        assert record["exit_code"] == 0
+        assert record["spans"] >= 3
+        tree = record["trace"]
+        assert tree["name"] == "request"
+        assert tree["attrs"]["trace_id"] == trace_id
+        # the ambient tag stamped every span in the tree
+        assert all(
+            node.get("attrs", {}).get("trace_id") == trace_id
+            for node in walk(tree)
+            if node.get("name") != "chunk"
+        )
+
+    def test_client_supplied_trace_id_honoured(self):
+        session = EngineSession()
+        response = session.lint(
+            {"mappings": [MAPPING_TEXT], "trace_id": "client-chosen"}
+        )
+        assert response["trace_id"] == "client-chosen"
+        assert session.debug_request("client-chosen") is not None
+
+    def test_error_requests_are_recorded_too(self):
+        session = EngineSession()
+        response = session.check({"mappings": [BROKEN_MAPPING_TEXT]})
+        assert not response["ok"]
+        record = session.debug_request(response["trace_id"])
+        assert record["status"] == "error"
+        assert record["exit_code"] == 3
+
+    def test_rollup_aggregates_solve_spans(self):
+        session = EngineSession()
+        response = session.check({"mappings": [MAPPING_TEXT]})
+        record = session.debug_request(response["trace_id"])
+        solves = [
+            node for node in walk(record["trace"]) if node["name"] == "solve"
+        ]
+        assert len(solves) == 2  # consistency + absolute consistency
+        assert record["expansions"] == sum(s["expansions"] for s in solves)
+
+    def test_disabled_recorder_skips_collection(self):
+        session = EngineSession(flight=FlightRecorder(enabled=False))
+        response = session.check({"mappings": [MAPPING_TEXT]})
+        assert response["ok"]
+        assert session.debug_requests()["requests"] == []
+        # trace-on-demand still works with the recorder off
+        traced = session.check({"mappings": [MAPPING_TEXT], "trace": True})
+        assert traced["trace"]["name"] == "request"
+
+    def test_debug_reads_are_not_recorded(self):
+        session = EngineSession()
+        session.lint({"mappings": [MAPPING_TEXT]})
+        before = session.flight.recorded
+        session.debug_requests()
+        session.debug_slow()
+        session.debug_request("whatever")
+        assert session.flight.recorded == before
+
+    def test_stats_exposes_flight_health(self):
+        session = EngineSession(flight=FlightRecorder(capacity=32, slow_ms=5.0))
+        session.lint({"mappings": [MAPPING_TEXT]})
+        stats = session.stats({})
+        flight = stats["flight"]
+        assert flight["capacity"] == 32
+        assert flight["recorded"] >= 1
+        assert flight["slow_threshold_ms"] == 5.0
+
+    def test_eviction_surfaces_as_missing_lookup(self):
+        session = EngineSession(flight=FlightRecorder(capacity=1, slow_ms=1e9))
+        first = session.lint({"mappings": [MAPPING_TEXT]})
+        second = session.lint({"mappings": [MAPPING_TEXT]})
+        assert session.debug_request(first["trace_id"]) is None
+        assert session.debug_request(second["trace_id"]) is not None
+
+    def test_deep_recursion_truncated_in_record(self):
+        session = EngineSession(flight=FlightRecorder(max_depth=3, slow_ms=1e9))
+        with bind_tags():  # isolation: plain request
+            response = session.lint({"mappings": [MAPPING_TEXT]})
+        record = session.debug_request(response["trace_id"])
+        depths = [0]
+
+        def depth_of(node, level=0):
+            depths.append(level)
+            for child in node.get("children", ()):
+                depth_of(child, level + 1)
+
+        depth_of(record["trace"])
+        assert max(depths) <= 3
+
+    def test_exemplar_lands_in_request_latency(self):
+        from repro.obs import REGISTRY
+
+        session = EngineSession()
+        response = session.check({"mappings": [MAPPING_TEXT]})
+        assert response["ok"]
+        snapshot = REGISTRY.snapshot()["repro_request_latency_seconds"]
+        exemplars = snapshot["series"][("check",)]["exemplars"]
+        landed = [e for e in exemplars if e is not None]
+        # exemplars keep the worst observation per bucket, so an earlier
+        # check in this process may outrank ours — but one must exist,
+        # and every slot must carry a trace ID string
+        assert landed
+        assert all(isinstance(e[1], str) and e[1] for e in landed)
+
+
+# ---------------------------------------------------------------------------
+# daemon /debug routes + client views
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def server():
+    session = EngineSession(flight=FlightRecorder(capacity=16, slow_ms=0.0))
+    with ServiceServer(session, port=0) as srv:
+        yield srv
+
+
+class TestDebugRoutes:
+    def test_debug_requests_lists_traffic(self, server):
+        check = call_service(server.url, "check", {"mappings": [MAPPING_TEXT]})
+        lint = call_service(server.url, "lint", {"mappings": [MAPPING_TEXT]})
+        listing = fetch_json(server.url, "debug/requests")
+        ids = {entry["trace_id"] for entry in listing["requests"]}
+        assert {check["trace_id"], lint["trace_id"]} <= ids
+        assert all("trace" not in entry for entry in listing["requests"])
+        assert listing["flight"]["recorded"] >= 2
+
+    def test_debug_requests_filters(self, server):
+        call_service(server.url, "check", {"mappings": [MAPPING_TEXT]})
+        call_service(server.url, "lint", {"mappings": [MAPPING_TEXT]})
+        checks = fetch_json(server.url, "debug/requests?op=check")["requests"]
+        assert checks and all(entry["op"] == "check" for entry in checks)
+        none = fetch_json(
+            server.url, "debug/requests?min_ms=1000000"
+        )["requests"]
+        assert none == []
+        limited = fetch_json(server.url, "debug/requests?limit=1")["requests"]
+        assert len(limited) == 1
+
+    def test_debug_request_full_tree_roundtrip(self, server):
+        response = call_service(
+            server.url, "check", {"mappings": [MAPPING_TEXT]}
+        )
+        record = fetch_json(
+            server.url, f"debug/requests/{response['trace_id']}"
+        )
+        assert record["trace"]["name"] == "request"
+        names = {node["name"] for node in walk(record["trace"])}
+        assert "solve" in names
+
+    def test_debug_request_404_on_unknown_and_evicted(self, server):
+        missing = fetch_json(server.url, "debug/requests/deadbeef00000000")
+        assert missing["error"]["type"] == "NotFound"
+        # wrap the 16-slot ring: the first trace must become a 404
+        first = call_service(server.url, "lint", {"mappings": [MAPPING_TEXT]})
+        for __ in range(16):
+            call_service(server.url, "lint", {"mappings": [MAPPING_TEXT]})
+        evicted = fetch_json(
+            server.url, f"debug/requests/{first['trace_id']}"
+        )
+        assert evicted["error"]["type"] == "NotFound"
+
+    def test_debug_slow_populated_at_zero_threshold(self, server):
+        call_service(server.url, "lint", {"mappings": [MAPPING_TEXT]})
+        slow = fetch_json(server.url, "debug/slow")
+        assert slow["threshold_ms"] == 0.0
+        assert slow["slow"]
+
+    def test_stats_carries_admission_snapshot(self, server):
+        stats = fetch_json(server.url, "stats")
+        server_stats = stats["server"]
+        assert server_stats["max_inflight"] == 4
+        assert server_stats["inflight"] == 0
+        assert "flight" in stats
+
+    def test_metrics_text_carries_parseable_exemplars(self, server):
+        from repro.obs import parse_prometheus
+
+        call_service(server.url, "check", {"mappings": [MAPPING_TEXT]})
+        text = fetch_text(server.url, "metrics")
+        assert " # {trace_id=" in text
+        parse_prometheus(text)  # strict parse must accept exemplar syntax
+
+
+class TestClientViews:
+    def test_repro_top_single_frame(self, server, capsys):
+        call_service(server.url, "check", {"mappings": [MAPPING_TEXT]})
+        code = main(["top", "--url", server.url, "--count", "1", "--plain"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "repro top" in out
+        assert "inflight" in out
+        assert "p50" in out and "p95" in out and "p99" in out
+        assert "slow requests:" in out
+
+    def test_repro_stats_pull_mode(self, server, capsys):
+        call_service(server.url, "lint", {"mappings": [MAPPING_TEXT]})
+        code = main(["stats", "--url", server.url])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "stats: OK" in out
+        assert "flight:" in out
+        assert "prometheus export:" in out
+
+    def test_repro_top_unreachable_daemon_exits_3(self, capsys):
+        code = main([
+            "top", "--url", "http://127.0.0.1:1", "--count", "1", "--plain",
+        ])
+        assert code == 3

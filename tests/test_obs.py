@@ -393,3 +393,136 @@ def test_trace_disabled_overhead_micro():
     # generous 50% in-suite bound: catches O(problem-size) blowups, not
     # scheduler noise; bench_obs.py enforces the real 5% budget
     assert observed <= baseline * 1.5 + 0.01
+
+
+# ---------------------------------------------------------------------------
+# exemplars, quantile estimation, bucket configuration
+# ---------------------------------------------------------------------------
+
+
+class TestExemplars:
+    def test_observe_keeps_worst_exemplar_per_bucket(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h_seconds", buckets=(0.1, 1.0))
+        hist.observe(0.05, exemplar="fast-1")
+        hist.observe(0.09, exemplar="fast-2")
+        hist.observe(0.02, exemplar="fast-3")  # smaller: must not replace
+        hist.observe(0.5, exemplar="mid")
+        snapshot = registry.snapshot()["h_seconds"]["series"][()]
+        exemplars = snapshot["exemplars"]
+        assert exemplars[0][0] == pytest.approx(0.09)
+        assert exemplars[0][1] == "fast-2"
+        assert exemplars[1][1] == "mid"
+        assert exemplars[2] is None  # +Inf bucket: nothing landed there
+
+    def test_observe_without_exemplar_leaves_slot(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h_seconds", buckets=(1.0,))
+        hist.observe(0.5, exemplar="keep")
+        hist.observe(0.9)  # worse value but no exemplar attached
+        snapshot = registry.snapshot()["h_seconds"]["series"][()]
+        assert snapshot["exemplars"][0][1] == "keep"
+
+    def test_render_prometheus_exemplar_syntax_parses(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h_seconds", buckets=(0.1, 1.0))
+        hist.observe(0.05, exemplar="abc123")
+        text = registry.render_prometheus()
+        assert ' # {trace_id="abc123"} 0.05' in text
+        parse_prometheus(text)  # the strict parser must accept it
+
+    def test_parser_rejects_exemplar_on_gauge(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(1)
+        text = registry.render_prometheus().rstrip("\n")
+        text = text.replace("g 1", 'g 1 # {trace_id="x"} 1') + "\n"
+        with pytest.raises(ValueError):
+            parse_prometheus(text)
+
+    def test_merge_max_merges_exemplars(self):
+        first = MetricsRegistry()
+        first.histogram("h_seconds", buckets=(1.0,)).observe(0.3, exemplar="low")
+        second = MetricsRegistry()
+        second.histogram("h_seconds", buckets=(1.0,)).observe(0.7, exemplar="high")
+        first.merge(second.snapshot())
+        merged = first.snapshot()["h_seconds"]["series"][()]
+        assert merged["exemplars"][0][1] == "high"
+        assert merged["count"] == 2
+        # idempotent direction: merging the worse exemplar back keeps it
+        first.merge(second.snapshot())
+        assert first.snapshot()["h_seconds"]["series"][()]["exemplars"][0][1] == "high"
+
+    def test_merge_rejects_mismatched_buckets(self):
+        driver = MetricsRegistry()
+        driver.histogram("h_seconds", buckets=(0.1, 1.0)).observe(0.05)
+        worker = MetricsRegistry()
+        worker.histogram("h_seconds", buckets=(0.5, 2.0)).observe(0.05)
+        before = driver.snapshot()
+        with pytest.raises(ValueError, match="bucket"):
+            driver.merge(worker.snapshot())
+        # the failed merge must not have corrupted the driver's counts
+        assert driver.snapshot() == before
+
+    def test_merge_rejects_excess_bucket_counts(self):
+        registry = MetricsRegistry()
+        registry.histogram("h_seconds", buckets=(1.0,)).observe(0.5)
+        delta = registry.snapshot()
+        series = delta["h_seconds"]["series"][()]
+        series["buckets"] = series["buckets"] + [7]
+        with pytest.raises(ValueError):
+            MetricsRegistry().merge(delta)
+
+
+class TestBucketConfiguration:
+    def test_env_overrides_default_buckets(self, monkeypatch):
+        from repro.obs import BUCKETS_ENV, default_buckets
+
+        monkeypatch.setenv(BUCKETS_ENV, "0.5, 0.1, 2")
+        assert default_buckets() == (0.1, 0.5, 2.0)
+        registry = MetricsRegistry()
+        hist = registry.histogram("h_seconds")
+        assert hist.buckets == (0.1, 0.5, 2.0, float("inf"))
+
+    def test_env_malformed_raises(self, monkeypatch):
+        from repro.obs import BUCKETS_ENV, default_buckets
+
+        monkeypatch.setenv(BUCKETS_ENV, "fast,slow")
+        with pytest.raises(MetricError):
+            default_buckets()
+
+    def test_env_unset_gives_defaults(self, monkeypatch):
+        from repro.obs import BUCKETS_ENV, default_buckets
+        from repro.obs.metrics import DEFAULT_BUCKETS
+
+        monkeypatch.delenv(BUCKETS_ENV, raising=False)
+        assert default_buckets() == DEFAULT_BUCKETS
+
+
+class TestQuantileEstimation:
+    def test_empty_histogram_is_none(self):
+        from repro.obs import estimate_quantile
+
+        assert estimate_quantile((1.0, float("inf")), (0, 0), 0.5) is None
+
+    def test_linear_interpolation_within_bucket(self):
+        from repro.obs import estimate_quantile
+
+        # 10 observations uniformly in (0, 1]: the median interpolates
+        # to the middle of the bucket
+        bounds = (1.0, float("inf"))
+        assert estimate_quantile(bounds, (10, 0), 0.5) == pytest.approx(0.5)
+        assert estimate_quantile(bounds, (10, 0), 0.9) == pytest.approx(0.9)
+
+    def test_quantile_across_buckets(self):
+        from repro.obs import estimate_quantile
+
+        bounds = (0.1, 1.0, float("inf"))
+        counts = (5, 5, 0)
+        assert estimate_quantile(bounds, counts, 0.25) == pytest.approx(0.05)
+        assert estimate_quantile(bounds, counts, 0.75) == pytest.approx(0.55)
+
+    def test_inf_bucket_clamps_to_last_finite_bound(self):
+        from repro.obs import estimate_quantile
+
+        bounds = (0.1, 1.0, float("inf"))
+        assert estimate_quantile(bounds, (0, 0, 4), 0.99) == pytest.approx(1.0)
