@@ -1,13 +1,19 @@
 """CI gate: ``repro lint`` over every mapping in ``examples/mappings/``.
 
-Two assertions per mapping:
+Three legs:
 
 1. no error-severity diagnostics at all — in particular zero ``SM0xx``
    or ``SM2xx`` errors (the intentionally-undecidable demo inputs are
-   *warnings*, never errors);
-2. the emitted diagnostic-code multiset matches the committed snapshot
-   ``examples/expected_lint.json``, so a routing or pass change that
-   silently alters the diagnostics fails CI instead of drifting.
+   *warnings*, never errors) — and the emitted diagnostic-code multiset
+   matches the committed snapshot ``examples/expected_lint.json``, so a
+   routing or pass change that silently alters the diagnostics fails CI
+   instead of drifting;
+2. a fix smoke: a seeded broken mapping must be fully repaired by the
+   ``repro fix`` iteration (verified fixes only), ending with a clean
+   error-free re-lint;
+3. a SARIF artifact: the merged report over the example mappings is
+   exported to ``examples/lint.sarif`` (override with ``--sarif PATH``)
+   and must pass the structural 2.1.0 validator.
 
 Run directly (``make lint-smoke``); pass ``--update`` after an
 intentional diagnostics change to refresh the snapshot.
@@ -15,27 +21,101 @@ intentional diagnostics change to refresh the snapshot.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import sys
 from pathlib import Path
 
-from repro.analysis import Severity, lint_mapping
+from repro.analysis import (
+    Severity,
+    fix_mapping,
+    lint_mapping,
+    merge_reports,
+    sarif_log,
+    select_compatible,
+    validate_sarif,
+)
 from repro.mappings.io import parse_mapping
 
 EXAMPLES = Path(__file__).resolve().parent
 SNAPSHOT = EXAMPLES / "expected_lint.json"
 MAPPINGS = EXAMPLES / "mappings"
 
+#: Seeded breakage for the fix smoke: an unknown label, a duplicate std
+#: and a subsumed std — one representative per quick-fix family.
+FIX_SMOKE_TEXT = """\
+source:
+    r -> a*
+    a(x)
+target:
+    t -> b*
+    b(u)
+std: r[aa(x)] -> t[b(x)]
+std: r[a(y)] -> t[b(y)]
+std: r[a(z)] -> t[b(z)]
+std: r[a(x), a(y)] -> t[b(x)]
+"""
+
+
+def fix_smoke() -> list[str]:
+    """Repair the seeded mapping with verified fixes; return failures."""
+    mapping = parse_mapping(FIX_SMOKE_TEXT)
+    applied = 0
+    for _round in range(8):
+        report, fixes = fix_mapping(mapping, name="fix-smoke")
+        selected = select_compatible(fixes)
+        if not selected:
+            break
+        # batch the round's edits: Fix.apply resolves every edit against
+        # the *unedited* std list, so removals do not shift indices
+        batch = dataclasses.replace(
+            selected[0],
+            edits=tuple(edit for fix in selected for edit in fix.edits),
+        )
+        mapping = batch.apply(mapping)
+        applied += len(selected)
+    final = lint_mapping(mapping, name="fix-smoke")
+    failures = []
+    if applied == 0:
+        failures.append("fix smoke: no verified fixes proposed")
+    for diagnostic in final.errors:
+        failures.append(
+            f"fix smoke: error survived auto-repair: {diagnostic.render()}"
+        )
+    if not failures:
+        print(
+            f"fix smoke: OK ({applied} fix(es) applied, "
+            f"{len(mapping.stds)} std(s) remain, no errors)"
+        )
+    return failures
+
+
+def write_sarif(reports: dict, texts: dict, destination: Path) -> list[str]:
+    """Export the merged example reports as SARIF; return failures."""
+    envelope = merge_reports(list(reports.values()))
+    log = sarif_log(envelope, texts=texts)
+    problems = validate_sarif(log)
+    if problems:
+        return [f"sarif: {problem}" for problem in problems]
+    destination.write_text(json.dumps(log, indent=2, sort_keys=True) + "\n")
+    results = log["runs"][0]["results"]
+    print(f"sarif: OK ({len(results)} result(s) -> {destination})")
+    return []
+
 
 def main(argv: list[str]) -> int:
     update = "--update" in argv
+    sarif_path = EXAMPLES / "lint.sarif"
+    if "--sarif" in argv:
+        sarif_path = Path(argv[argv.index("--sarif") + 1])
     paths = sorted(MAPPINGS.glob("*.xsm"))
     if not paths:
         print("FAIL: no .xsm mappings under examples/mappings/", file=sys.stderr)
         return 1
+    texts = {path.name: path.read_text() for path in paths}
     reports = {
-        path.name: lint_mapping(parse_mapping(path.read_text()), name=path.name)
-        for path in paths
+        name: lint_mapping(parse_mapping(text), name=name)
+        for name, text in texts.items()
     }
     if update:
         SNAPSHOT.write_text(
@@ -87,6 +167,8 @@ def main(argv: list[str]) -> int:
             f"{name}: {counts['error']} error(s), {counts['warning']} "
             f"warning(s), {counts['info']} info(s)"
         )
+    failures.extend(fix_smoke())
+    failures.extend(write_sarif(reports, texts, sarif_path))
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)

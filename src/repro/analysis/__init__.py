@@ -3,7 +3,10 @@
 Zero-solver diagnostics over mappings and DTDs: fragment classification
 and Figure 1–2 complexity-cell prediction (:mod:`.fragment`), the
 diagnostic model and code catalogue (:mod:`.diagnostics`), the analysis
-passes (:mod:`.passes`) and the orchestrator (:mod:`.lint`).
+passes (:mod:`.passes`), the redundancy machinery (:mod:`.redundancy`),
+the orchestrator (:mod:`.lint`), certified quick-fixes (:mod:`.fixes`),
+baseline suppression (:mod:`.suppress`) and SARIF export
+(:mod:`.sarif`).
 """
 
 from repro.analysis.diagnostics import (
@@ -16,6 +19,17 @@ from repro.analysis.diagnostics import (
     SourceLocation,
     family_of,
     merge_reports,
+)
+from repro.analysis.fixes import (
+    FIXABLE_CODES,
+    Fix,
+    StdEdit,
+    apply_edits_to_text,
+    fix_from_dict,
+    fix_mapping,
+    fixes_for_report,
+    select_compatible,
+    verify_fix,
 )
 from repro.analysis.fragment import (
     CellPrediction,
@@ -34,25 +48,48 @@ from repro.analysis.passes import (
     dtd_pass,
     fragment_pass,
     hygiene_pass,
+    redundancy_pass,
+)
+from repro.analysis.redundancy import Subsumption, find_redundancies, subsumes
+from repro.analysis.sarif import sarif_log, validate_sarif
+from repro.analysis.suppress import (
+    apply_baseline,
+    baseline_from_envelope,
+    envelope_exit_code,
+    load_baseline,
+    render_baseline,
 )
 
 __all__ = [
     "CATALOG",
     "FAMILIES",
+    "FIXABLE_CODES",
     "PASSES",
     "CatalogEntry",
     "CellPrediction",
     "Diagnostic",
+    "Fix",
     "LintReport",
     "Severity",
     "SourceLocation",
+    "StdEdit",
+    "Subsumption",
+    "apply_baseline",
+    "apply_edits_to_text",
+    "baseline_from_envelope",
     "composition_pass",
     "diagnostics_for_problem",
     "dtd_pass",
+    "envelope_exit_code",
     "family_of",
+    "find_redundancies",
+    "fix_from_dict",
+    "fix_mapping",
+    "fixes_for_report",
     "fragment_pass",
     "hygiene_pass",
     "lint_mapping",
+    "load_baseline",
     "merge_reports",
     "predict_abscons",
     "predict_composition_consistency",
@@ -60,4 +97,10 @@ __all__ = [
     "predict_consistency",
     "predict_for_problem",
     "predict_membership",
+    "redundancy_pass",
+    "sarif_log",
+    "select_compatible",
+    "subsumes",
+    "validate_sarif",
+    "verify_fix",
 ]

@@ -11,7 +11,8 @@ family:
   nested-relational, recursion, satisfiability),
 * ``SM2xx`` — pattern hygiene (dead or unsafe stds, alphabet and arity
   mismatches, variable hygiene),
-* ``SM3xx`` — composition closure (Theorem 8.2 preconditions).
+* ``SM3xx`` — mapping-level analyses: composition closure (Theorem 8.2
+  preconditions) and redundancy (stds subsumed by other stds).
 
 :class:`LintReport` aggregates the diagnostics of one mapping and
 renders them as human text or JSON; its :meth:`LintReport.exit_code`
@@ -218,6 +219,14 @@ CATALOG: Mapping[str, CatalogEntry] = dict(
                "compositions stay in the class"),
         _entry("SM305", Severity.INFO, "skolem-functions",
                "the stds use Skolem functions (Section 8 semantics)"),
+        # -- SM31x: redundancy (pattern-homomorphism subsumption) --
+        _entry("SM310", Severity.WARNING, "duplicate-std",
+               "an std is a variable-renamed duplicate of an earlier std "
+               "and can be removed without changing the mapping"),
+        _entry("SM311", Severity.WARNING, "subsumed-std",
+               "an std is subsumed by another std (certified by a pattern "
+               "homomorphism): removing it preserves the mapping's "
+               "semantics"),
     ]
 )
 
@@ -226,7 +235,7 @@ FAMILIES: Mapping[str, str] = {
     "SM0": "fragment/complexity",
     "SM1": "DTD class",
     "SM2": "pattern hygiene",
-    "SM3": "composition closure",
+    "SM3": "composition closure / redundancy",
 }
 
 
@@ -245,6 +254,10 @@ class LintReport:
     elapsed: float = 0.0
     passes: tuple[str, ...] = ()
     predictions: dict[str, object] = field(default_factory=dict, repr=False)
+    #: Diagnostics removed from ``diagnostics`` by baseline suppression
+    #: (``repro lint --baseline``); they no longer affect the exit code
+    #: but stay reportable (SARIF marks them ``suppressed``).
+    suppressed: tuple[Diagnostic, ...] = ()
 
     def __iter__(self) -> Iterator[Diagnostic]:
         return iter(self.diagnostics)
@@ -325,6 +338,7 @@ class LintReport:
             "elapsed": self.elapsed,
             "counts": self.counts(),
             "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "suppressed": [d.to_dict() for d in self.suppressed],
         }
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -332,16 +346,42 @@ class LintReport:
 
 
 def merge_reports(reports: Iterable[LintReport]) -> dict[str, object]:
-    """The multi-file JSON envelope of ``repro lint`` (one entry per input)."""
-    rows: list[dict[str, object]] = []
+    """The multi-file JSON envelope of ``repro lint`` (one entry per input).
+
+    The envelope is **deterministic and de-duplicated** (version 2):
+    rows are sorted by report name (original order breaks ties, so
+    unnamed single-mapping lints are unaffected), identical diagnostics
+    within one report collapse to one occurrence, and entirely identical
+    reports (same name, fragment and diagnostics) collapse to one row.
+    ``--jobs`` batches therefore serialize identically regardless of
+    worker scheduling.
+    """
+    deduped: list[LintReport] = []
+    seen_rows: set[tuple[object, ...]] = set()
     worst: Severity | None = None
     for report in reports:
-        rows.append(report.to_dict())
+        diagnostics = tuple(dict.fromkeys(report.diagnostics))
+        row_key = (report.name, report.fragment, diagnostics, report.suppressed)
+        if row_key in seen_rows:
+            continue
+        seen_rows.add(row_key)
+        if diagnostics != report.diagnostics:
+            report = LintReport(
+                fragment=report.fragment,
+                diagnostics=diagnostics,
+                name=report.name,
+                elapsed=report.elapsed,
+                passes=report.passes,
+                predictions=report.predictions,
+                suppressed=report.suppressed,
+            )
+        deduped.append(report)
         severity = report.max_severity()
         if severity is not None and (worst is None or severity > worst):
             worst = severity
+    deduped.sort(key=lambda report: report.name)
     return {
-        "version": 1,
-        "reports": rows,
+        "version": 2,
+        "reports": [report.to_dict() for report in deduped],
         "max_severity": str(worst) if worst is not None else None,
     }

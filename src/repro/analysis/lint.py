@@ -57,7 +57,8 @@ def lint_mapping(
     *context* supplies the compilation cache and budget for the
     pattern-satisfiability checks (the ambient engine context, then a
     fresh default, when omitted).  *only* restricts to a subset of pass
-    names (``fragment``, ``dtd``, ``hygiene``, ``composition``) —
+    names (``fragment``, ``dtd``, ``hygiene``, ``composition``,
+    ``redundancy``) —
     ``engine.solve`` uses it to skip passes irrelevant to routing.
     *memo* is an optional report memo (duck-typed after
     :class:`repro.incremental.LintMemo`): content-identical mappings get

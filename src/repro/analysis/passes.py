@@ -39,6 +39,7 @@ from repro.values import Const, SkolemTerm, Var
 if TYPE_CHECKING:
     from repro.engine.budget import ExecutionContext
     from repro.mappings.mapping import SchemaMapping
+    from repro.patterns.matching import PatternEngine
     from repro.xmlmodel.dtd import DTD
     from repro.xmlmodel.tree import TreeNode
 
@@ -343,12 +344,12 @@ class _WitnessProbe:
     only genuinely dead (or huge-witness) patterns pay for automata.
     """
 
-    def __init__(self, dtd: "DTD"):
+    def __init__(self, dtd: "DTD") -> None:
         from repro.verification.enumeration import LabelTreeEnumerator
 
         self.dtd = dtd
         self._enumerator = LabelTreeEnumerator(dtd)
-        self._engines: list = []
+        self._engines: list[tuple[frozenset[str], "PatternEngine"]] = []
         self._next_size = 1
         self._remaining = _QUICK_WITNESS_TREES
 
@@ -362,7 +363,7 @@ class _WitnessProbe:
             return False
         needed = pattern.labels_used()
 
-        def hit(entries: "list[tuple[frozenset[str], object]]") -> bool:
+        def hit(entries: "list[tuple[frozenset[str], PatternEngine]]") -> bool:
             # a tree missing one of the pattern's labels can never match;
             # the frozenset check keeps the scan cheap across many stds
             return any(
@@ -662,12 +663,46 @@ def composition_pass(
     return diagnostics
 
 
+# ---------------------------------------------------------------------------
+# SM31x: redundancy (std subsumption)
+# ---------------------------------------------------------------------------
+
+
+def redundancy_pass(
+    mapping: "SchemaMapping", context: "ExecutionContext | None" = None
+) -> list[Diagnostic]:
+    """``SM31x``: stds certified redundant by a pattern homomorphism.
+
+    Exact only for comparison- and Skolem-free std pairs; everywhere
+    else the pass stays silent (Unknown-safe) — see
+    :mod:`repro.analysis.redundancy`.
+    """
+    from repro.analysis.redundancy import find_redundancies
+
+    del context  # purely syntactic: no budgets or caches involved
+    diagnostics: list[Diagnostic] = []
+    for subsumption in find_redundancies(mapping):
+        code = "SM310" if subsumption.duplicate else "SM311"
+        diagnostics.append(
+            Diagnostic(
+                code, Severity.WARNING,
+                f"{subsumption.describe()}: removing it preserves the "
+                "mapping's semantics",
+                SourceLocation(subsumption.index),
+                data=(("subsumed_by", subsumption.by),
+                      ("translation", subsumption.translation)),
+            )
+        )
+    return diagnostics
+
+
 #: The pass registry, in execution order.
 PASSES: tuple[tuple[str, object], ...] = (
     ("fragment", fragment_pass),
     ("dtd", dtd_pass),
     ("hygiene", hygiene_pass),
     ("composition", composition_pass),
+    ("redundancy", redundancy_pass),
 )
 
 

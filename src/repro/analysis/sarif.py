@@ -1,0 +1,369 @@
+"""SARIF 2.1.0 export for ``repro lint`` (CI code scanning).
+
+:func:`sarif_log` renders the version-2 lint envelope — plus optional
+verified fixes and the original ``.xsm`` texts — as one SARIF run:
+
+* the full SMxxx catalogue becomes the driver's ``rules`` array (stable
+  indices, default levels),
+* each diagnostic becomes a ``result`` with a logical location (std
+  index / side / path) and, when the input text is available, a
+  physical region pointing at the offending ``std:`` line,
+* verified quick-fixes become SARIF ``fix`` objects (artifact change +
+  replacement over the std line) on their diagnostic's result,
+* baseline-suppressed diagnostics are still emitted, marked with an
+  ``external`` suppression, so code-scanning UIs show them as resolved
+  rather than losing history.
+
+:func:`validate_sarif` is the structural validator the test suite and
+the CI lint gate share; it checks the invariants above rather than the
+full JSON schema (no network, no dependencies).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.analysis.diagnostics import CATALOG, Severity
+from repro.analysis.fixes import Fix, std_line_numbers
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+TOOL_NAME = "repro-lint"
+
+#: Severity → SARIF level.
+_LEVELS = {
+    str(Severity.INFO): "note",
+    str(Severity.WARNING): "warning",
+    str(Severity.ERROR): "error",
+}
+
+#: Stable rule order: the sorted catalogue codes.
+_RULE_CODES = tuple(sorted(CATALOG))
+_RULE_INDEX = {code: index for index, code in enumerate(_RULE_CODES)}
+
+
+def _rules() -> list[dict[str, object]]:
+    rules: list[dict[str, object]] = []
+    for code in _RULE_CODES:
+        entry = CATALOG[code]
+        rules.append(
+            {
+                "id": code,
+                "name": entry.title,
+                "shortDescription": {"text": entry.title},
+                "fullDescription": {"text": entry.summary},
+                "defaultConfiguration": {"level": _LEVELS[str(entry.severity)]},
+            }
+        )
+    return rules
+
+
+def _location(
+    name: str, diagnostic: dict[str, object], std_lines: list[int] | None
+) -> dict[str, object]:
+    location = diagnostic.get("location") or {}
+    assert isinstance(location, dict)
+    physical: dict[str, object] = {"artifactLocation": {"uri": name or "<stdin>"}}
+    std_index = location.get("std_index")
+    if (
+        std_lines is not None
+        and isinstance(std_index, int)
+        and 0 <= std_index < len(std_lines)
+    ):
+        line = std_lines[std_index] + 1  # SARIF regions are 1-based
+        physical["region"] = {"startLine": line, "endLine": line}
+    logical_parts = [
+        f"std {std_index}" if std_index is not None else "mapping",
+        str(location.get("side") or ""),
+        str(location.get("path") or ""),
+    ]
+    return {
+        "physicalLocation": physical,
+        "logicalLocations": [
+            {"fullyQualifiedName": "/".join(part for part in logical_parts if part)}
+        ],
+    }
+
+
+def _fix_object(
+    name: str, fix: dict[str, object], std_lines: list[int] | None
+) -> dict[str, object] | None:
+    """The SARIF ``fix`` for one verified quick-fix, or None when the
+    input text (and hence the std-line regions) is unavailable."""
+    if std_lines is None:
+        return None
+    edits = fix.get("edits")
+    assert isinstance(edits, list)
+    replacements: list[dict[str, object]] = []
+    for edit in edits:
+        assert isinstance(edit, dict)
+        std_index = edit.get("std_index")
+        if not isinstance(std_index, int) or not 0 <= std_index < len(std_lines):
+            return None
+        line = std_lines[std_index] + 1
+        replacement: dict[str, object] = {
+            "deletedRegion": {"startLine": line, "endLine": line}
+        }
+        if edit.get("op") == "replace":
+            replacement["insertedContent"] = {"text": f"std: {edit.get('new_std')}"}
+        replacements.append(replacement)
+    if not replacements:
+        return None
+    return {
+        "description": {"text": str(fix.get("message", ""))},
+        "artifactChanges": [
+            {
+                "artifactLocation": {"uri": name or "<stdin>"},
+                "replacements": replacements,
+            }
+        ],
+    }
+
+
+def _results_for_row(
+    row: dict[str, object],
+    fixes: list[dict[str, object]],
+    text: str | None,
+) -> Iterable[dict[str, object]]:
+    name = str(row.get("name", ""))
+    std_lines = std_line_numbers(text) if text is not None else None
+    unclaimed = list(fixes)
+    for suppressed, diagnostics in (
+        (False, row.get("diagnostics")), (True, row.get("suppressed"))
+    ):
+        if not isinstance(diagnostics, list):
+            continue
+        for diagnostic in diagnostics:
+            assert isinstance(diagnostic, dict)
+            code = str(diagnostic.get("code"))
+            result: dict[str, object] = {
+                "ruleId": code,
+                "ruleIndex": _RULE_INDEX.get(code, -1),
+                "level": _LEVELS.get(str(diagnostic.get("severity")), "none"),
+                "message": {"text": str(diagnostic.get("message", ""))},
+                "locations": [_location(name, diagnostic, std_lines)],
+            }
+            if suppressed:
+                result["suppressions"] = [
+                    {"kind": "external", "justification": "baselined"}
+                ]
+            location = diagnostic.get("location") or {}
+            assert isinstance(location, dict)
+            matched = [
+                fix for fix in unclaimed
+                if fix.get("code") == code
+                and (fix.get("location") or {}).get("std_index")  # type: ignore[union-attr]
+                == location.get("std_index")
+            ]
+            fix_objects = []
+            for fix in matched:
+                unclaimed.remove(fix)
+                rendered = _fix_object(name, fix, std_lines)
+                if rendered is not None:
+                    fix_objects.append(rendered)
+            if fix_objects:
+                result["fixes"] = fix_objects
+            yield result
+
+
+def sarif_log(
+    envelope: dict[str, object],
+    *,
+    fixes: Mapping[str, Iterable[Fix | dict[str, object]]] | None = None,
+    texts: Mapping[str, str] | None = None,
+    tool_version: str = "0",
+) -> dict[str, object]:
+    """Render a lint envelope (plus optional fixes/texts) as SARIF 2.1.0.
+
+    *fixes* maps report names to verified :class:`Fix` objects (or their
+    wire dicts); *texts* maps report names to the original ``.xsm``
+    source, enabling physical line regions and fix replacements.
+    """
+    reports = envelope.get("reports")
+    assert isinstance(reports, list)
+    results: list[dict[str, object]] = []
+    artifacts: dict[str, dict[str, object]] = {}
+    for row in reports:
+        assert isinstance(row, dict)
+        name = str(row.get("name", ""))
+        row_fixes = [
+            fix.to_dict() if isinstance(fix, Fix) else dict(fix)
+            for fix in (fixes or {}).get(name, ())
+        ]
+        text = (texts or {}).get(name)
+        artifacts.setdefault(name or "<stdin>", {
+            "location": {"uri": name or "<stdin>"},
+            "sourceLanguage": "xsm",
+        })
+        results.extend(_results_for_row(row, row_fixes, text))
+    return {
+        "version": SARIF_VERSION,
+        "$schema": SARIF_SCHEMA,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": "https://example.invalid/repro",
+                        "version": tool_version,
+                        "rules": _rules(),
+                    }
+                },
+                "artifacts": sorted(
+                    artifacts.values(), key=lambda a: str(a["location"])
+                ),
+                "results": results,
+            }
+        ],
+    }
+
+
+def validate_sarif(log: object) -> list[str]:
+    """Structural SARIF 2.1.0 validation; returns problems ([] = valid)."""
+    problems: list[str] = []
+
+    def check(condition: bool, message: str) -> bool:
+        if not condition:
+            problems.append(message)
+        return condition
+
+    if not check(isinstance(log, dict), "log must be an object"):
+        return problems
+    assert isinstance(log, dict)
+    check(log.get("version") == SARIF_VERSION, "version must be '2.1.0'")
+    check(isinstance(log.get("$schema"), str), "$schema must be a string")
+    runs = log.get("runs")
+    if not check(isinstance(runs, list) and len(runs) > 0, "runs must be a non-empty array"):
+        return problems
+    assert isinstance(runs, list)
+    for run_index, run in enumerate(runs):
+        where = f"runs[{run_index}]"
+        if not check(isinstance(run, dict), f"{where} must be an object"):
+            continue
+        assert isinstance(run, dict)
+        driver = (run.get("tool") or {}).get("driver") if isinstance(run.get("tool"), dict) else None
+        if not check(isinstance(driver, dict), f"{where}.tool.driver missing"):
+            continue
+        assert isinstance(driver, dict)
+        check(bool(driver.get("name")), f"{where}.tool.driver.name missing")
+        rules = driver.get("rules", [])
+        rule_ids: list[str] = []
+        if check(isinstance(rules, list), f"{where}: rules must be an array"):
+            assert isinstance(rules, list)
+            for rule_index, rule in enumerate(rules):
+                if not check(
+                    isinstance(rule, dict) and isinstance(rule.get("id"), str),
+                    f"{where}.rules[{rule_index}] must have a string id",
+                ):
+                    continue
+                assert isinstance(rule, dict)
+                rule_ids.append(str(rule["id"]))
+            check(
+                len(rule_ids) == len(set(rule_ids)),
+                f"{where}: rule ids must be unique",
+            )
+        results = run.get("results", [])
+        if not check(isinstance(results, list), f"{where}: results must be an array"):
+            continue
+        assert isinstance(results, list)
+        for result_index, result in enumerate(results):
+            rwhere = f"{where}.results[{result_index}]"
+            if not check(isinstance(result, dict), f"{rwhere} must be an object"):
+                continue
+            assert isinstance(result, dict)
+            rule_id = result.get("ruleId")
+            check(
+                isinstance(rule_id, str) and (not rule_ids or rule_id in rule_ids),
+                f"{rwhere}: ruleId {rule_id!r} not in the rules catalogue",
+            )
+            rule_index_value = result.get("ruleIndex")
+            if rule_ids and isinstance(rule_index_value, int) and rule_index_value >= 0:
+                check(
+                    rule_index_value < len(rule_ids)
+                    and rule_ids[rule_index_value] == rule_id,
+                    f"{rwhere}: ruleIndex does not match ruleId",
+                )
+            check(
+                result.get("level") in ("none", "note", "warning", "error"),
+                f"{rwhere}: invalid level {result.get('level')!r}",
+            )
+            message = result.get("message")
+            check(
+                isinstance(message, dict) and isinstance(message.get("text"), str),
+                f"{rwhere}: message.text missing",
+            )
+            locations = result.get("locations", [])
+            if check(isinstance(locations, list), f"{rwhere}: locations must be an array"):
+                assert isinstance(locations, list)
+                for location_index, location in enumerate(locations):
+                    lwhere = f"{rwhere}.locations[{location_index}]"
+                    if not check(isinstance(location, dict), f"{lwhere} must be an object"):
+                        continue
+                    assert isinstance(location, dict)
+                    physical = location.get("physicalLocation")
+                    if isinstance(physical, dict):
+                        artifact = physical.get("artifactLocation")
+                        check(
+                            isinstance(artifact, dict)
+                            and isinstance(artifact.get("uri"), str),
+                            f"{lwhere}: artifactLocation.uri missing",
+                        )
+                        region = physical.get("region")
+                        if region is not None and check(
+                            isinstance(region, dict), f"{lwhere}: region must be an object"
+                        ):
+                            assert isinstance(region, dict)
+                            start = region.get("startLine")
+                            check(
+                                isinstance(start, int) and start >= 1,
+                                f"{lwhere}: region.startLine must be a 1-based int",
+                            )
+            for suppression_index, suppression in enumerate(result.get("suppressions") or []):
+                check(
+                    isinstance(suppression, dict)
+                    and suppression.get("kind") in ("inSource", "external"),
+                    f"{rwhere}.suppressions[{suppression_index}]: invalid kind",
+                )
+            for fix_index, fix in enumerate(result.get("fixes") or []):
+                fwhere = f"{rwhere}.fixes[{fix_index}]"
+                if not check(isinstance(fix, dict), f"{fwhere} must be an object"):
+                    continue
+                assert isinstance(fix, dict)
+                changes = fix.get("artifactChanges")
+                if not check(
+                    isinstance(changes, list) and len(changes) > 0,
+                    f"{fwhere}: artifactChanges must be non-empty",
+                ):
+                    continue
+                assert isinstance(changes, list)
+                for change_index, change in enumerate(changes):
+                    cwhere = f"{fwhere}.artifactChanges[{change_index}]"
+                    if not check(isinstance(change, dict), f"{cwhere} must be an object"):
+                        continue
+                    assert isinstance(change, dict)
+                    artifact = change.get("artifactLocation")
+                    check(
+                        isinstance(artifact, dict)
+                        and isinstance(artifact.get("uri"), str),
+                        f"{cwhere}: artifactLocation.uri missing",
+                    )
+                    replacements = change.get("replacements")
+                    if not check(
+                        isinstance(replacements, list) and len(replacements) > 0,
+                        f"{cwhere}: replacements must be non-empty",
+                    ):
+                        continue
+                    assert isinstance(replacements, list)
+                    for replacement_index, replacement in enumerate(replacements):
+                        pwhere = f"{cwhere}.replacements[{replacement_index}]"
+                        deleted = (
+                            replacement.get("deletedRegion")
+                            if isinstance(replacement, dict)
+                            else None
+                        )
+                        check(
+                            isinstance(deleted, dict)
+                            and isinstance(deleted.get("startLine"), int),
+                            f"{pwhere}: deletedRegion.startLine missing",
+                        )
+    return problems

@@ -1,0 +1,191 @@
+"""Baseline suppression for ``repro lint``.
+
+A *baseline* freezes the diagnostics a codebase already has so CI can
+gate on **new** findings only.  ``repro lint --baseline FILE`` writes
+the file on first use and compares against it afterwards: baselined
+diagnostics move from each report's ``diagnostics`` to its
+``suppressed`` list (they no longer count toward the exit code, but
+SARIF still emits them with a ``suppressions`` entry), new diagnostics
+fail the gate as usual, and baseline entries whose diagnostic has
+disappeared are reported *stale* so the file can be re-tightened.
+
+Everything operates on the version-2 JSON envelope of
+:func:`repro.analysis.diagnostics.merge_reports`, so suppression works
+identically for local lints and ``--url`` daemon responses.
+
+Fingerprints are content-stable: the hash covers the report name, the
+code, the location and the message — not positions in the file — so
+re-ordering stds or adding unrelated ones does not invalidate a
+baseline entry for an untouched diagnostic.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import XsmError
+
+#: Schema version of the baseline file.
+BASELINE_VERSION = 1
+
+#: Severity escalation order for recomputing envelope summaries.
+_SEVERITY_ORDER = ("info", "warning", "error")
+
+
+def fingerprint(name: str, diagnostic: dict[str, object]) -> str:
+    """The stable identity of one diagnostic of one named input."""
+    location = diagnostic.get("location") or {}
+    assert isinstance(location, dict)
+    payload = "\x1f".join(
+        str(part)
+        for part in (
+            name,
+            diagnostic.get("code"),
+            location.get("std_index"),
+            location.get("side"),
+            location.get("path"),
+            diagnostic.get("message"),
+        )
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def _rows(envelope: dict[str, object]) -> Iterator[dict[str, object]]:
+    reports = envelope.get("reports")
+    assert isinstance(reports, list)
+    for row in reports:
+        assert isinstance(row, dict)
+        yield row
+
+
+def _diagnostics(row: dict[str, object]) -> list[dict[str, object]]:
+    diagnostics = row.get("diagnostics")
+    assert isinstance(diagnostics, list)
+    return diagnostics
+
+
+def baseline_from_envelope(envelope: dict[str, object]) -> dict[str, object]:
+    """A baseline file freezing every diagnostic of *envelope*."""
+    entries: dict[str, dict[str, object]] = {}
+    for row in _rows(envelope):
+        name = str(row.get("name", ""))
+        for diagnostic in _diagnostics(row):
+            entries[fingerprint(name, diagnostic)] = {
+                "name": name,
+                "code": diagnostic.get("code"),
+                "message": diagnostic.get("message"),
+            }
+    return {"version": BASELINE_VERSION, "entries": entries}
+
+
+def load_baseline(text: str) -> dict[str, object]:
+    """Parse and sanity-check a baseline file."""
+    try:
+        baseline = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise XsmError(f"baseline file is not valid JSON: {error}") from error
+    if not isinstance(baseline, dict) or baseline.get("version") != BASELINE_VERSION:
+        raise XsmError(
+            f"baseline file must be a version-{BASELINE_VERSION} object "
+            "written by 'repro lint --baseline'"
+        )
+    if not isinstance(baseline.get("entries"), dict):
+        raise XsmError("baseline file has no 'entries' object")
+    return baseline
+
+
+def render_baseline(baseline: dict[str, object]) -> str:
+    return json.dumps(baseline, indent=2, sort_keys=True) + "\n"
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of comparing an envelope against a baseline."""
+
+    envelope: dict[str, object]
+    suppressed: int = 0
+    #: Baseline entries whose diagnostic no longer occurs (re-tighten!).
+    stale: list[dict[str, object]] = field(default_factory=list)
+
+    def summary(self) -> str:
+        parts = [f"{self.suppressed} diagnostic(s) suppressed by baseline"]
+        if self.stale:
+            parts.append(
+                f"{len(self.stale)} stale baseline entr"
+                f"{'y' if len(self.stale) == 1 else 'ies'} "
+                "(diagnostic gone — refresh with --update-baseline)"
+            )
+        return "; ".join(parts)
+
+
+def _recompute_summaries(envelope: dict[str, object]) -> None:
+    worst: str | None = None
+    for row in _rows(envelope):
+        counts = {"error": 0, "warning": 0, "info": 0}
+        for diagnostic in _diagnostics(row):
+            severity = str(diagnostic.get("severity"))
+            if severity in counts:
+                counts[severity] += 1
+            if worst is None or (
+                severity in _SEVERITY_ORDER
+                and _SEVERITY_ORDER.index(severity) > _SEVERITY_ORDER.index(worst)
+            ):
+                worst = severity
+        row["counts"] = counts
+    envelope["max_severity"] = worst
+
+
+def apply_baseline(
+    envelope: dict[str, object], baseline: dict[str, object]
+) -> BaselineResult:
+    """Suppress baselined diagnostics; report what's new and what's stale.
+
+    The input envelope is not mutated.  Suppressed diagnostics move to
+    each row's ``suppressed`` list; per-row counts and the envelope's
+    ``max_severity`` are recomputed from the remainder, so exit codes
+    derived from the returned envelope reflect new findings only.
+    """
+    entries = baseline.get("entries")
+    assert isinstance(entries, dict)
+    result = BaselineResult(envelope=copy.deepcopy(envelope))
+    seen: set[str] = set()
+    for row in _rows(result.envelope):
+        name = str(row.get("name", ""))
+        kept: list[dict[str, object]] = []
+        suppressed = row.setdefault("suppressed", [])
+        assert isinstance(suppressed, list)
+        for diagnostic in _diagnostics(row):
+            mark = fingerprint(name, diagnostic)
+            if mark in entries:
+                seen.add(mark)
+                suppressed.append(diagnostic)
+                result.suppressed += 1
+            else:
+                kept.append(diagnostic)
+        row["diagnostics"] = kept
+    result.stale = [
+        {"fingerprint": mark, **entry}
+        for mark, entry in sorted(entries.items())
+        if mark not in seen and isinstance(entry, dict)
+    ]
+    _recompute_summaries(result.envelope)
+    return result
+
+
+def envelope_exit_code(envelope: dict[str, object], strict: bool = False) -> int:
+    """The lint CLI exit convention, recomputed from an envelope."""
+    errors = warnings = 0
+    for row in _rows(envelope):
+        counts = row.get("counts")
+        assert isinstance(counts, dict)
+        errors += int(counts.get("error", 0))
+        warnings += int(counts.get("warning", 0))
+    if errors:
+        return 1
+    if strict and warnings:
+        return 2
+    return 0

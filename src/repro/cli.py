@@ -64,6 +64,7 @@ exporters regress.  ``REPRO_PROFILE=1`` dumps per-solve cProfile data.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import os
 import sys
 from pathlib import Path
@@ -473,28 +474,189 @@ def _lint_watch(args) -> int:
     return exit_code
 
 
+def _write_or_print(target: str | None, payload: str) -> None:
+    """Write *payload* to a file, or stdout for ``-``/None."""
+    if target and target != "-":
+        Path(target).write_text(payload)
+    else:
+        print(payload, end="" if payload.endswith("\n") else "\n")
+
+
 def cmd_lint(args) -> int:
-    """Static diagnostics for one or more mapping files (no solver runs)."""
+    """Static diagnostics for one or more mapping files (no solver runs
+    unless ``--sarif`` asks for verified fixes too)."""
     if args.watch:
         return _lint_watch(args)
+    import json as json_module
+
+    from repro.analysis import (
+        apply_baseline,
+        baseline_from_envelope,
+        envelope_exit_code,
+        load_baseline,
+        render_baseline,
+        sarif_log,
+    )
+
+    texts = {path: _read(path) for path in args.mappings}
     request = {
-        "mappings": [{"name": path, "text": _read(path)} for path in args.mappings],
+        "mappings": [{"name": path, "text": texts[path]} for path in args.mappings],
         "strict": args.strict,
         "quiet": args.quiet,
     }
+    if args.sarif is not None:
+        # the SARIF export carries verified quick-fixes, so the daemon
+        # (or local session) runs the fix engine's certification gate
+        request["fixes"] = True
     response = _dispatch(args, "lint", request)
-    if args.json:
-        import json as json_module
+    envelope = response["report"]
+    exit_code = response["exit_code"]
 
-        print(json_module.dumps(response["report"], indent=2, sort_keys=True))
-    else:
-        for position, entry in enumerate(response["rendered"]):
-            if len(args.mappings) > 1:
-                if position:
-                    print()
-                print(f"== {entry['name']}")
-            print(entry["text"])
-    return response["exit_code"]
+    suppressed_only: dict[str, object] | None = None
+    if args.baseline:
+        baseline_path = Path(args.baseline)
+        if args.update_baseline or not baseline_path.exists():
+            baseline = baseline_from_envelope(envelope)
+            baseline_path.write_text(render_baseline(baseline))
+            entries = baseline["entries"]
+            assert isinstance(entries, dict)
+            print(
+                f"baseline written: {baseline_path} ({len(entries)} entr"
+                f"{'y' if len(entries) == 1 else 'ies'})",
+                file=sys.stderr,
+            )
+            return 0
+        baseline = load_baseline(baseline_path.read_text())
+        result = apply_baseline(envelope, baseline)
+        envelope = result.envelope
+        suppressed_only = envelope
+        print(result.summary(), file=sys.stderr)
+        for entry in result.stale:
+            print(
+                f"stale baseline entry {entry.get('fingerprint')}: "
+                f"{entry.get('code')} in {entry.get('name')}",
+                file=sys.stderr,
+            )
+        exit_code = envelope_exit_code(envelope, strict=args.strict)
+
+    if args.sarif is not None:
+        fixes_by_name = {
+            entry["name"]: entry["fixes"]
+            for entry in response.get("fixes", [])
+        }
+        log = sarif_log(envelope, fixes=fixes_by_name, texts=texts)
+        _write_or_print(
+            args.sarif, json_module.dumps(log, indent=2, sort_keys=True)
+        )
+        if args.sarif != "-":
+            print(f"SARIF written: {args.sarif}", file=sys.stderr)
+    if args.json:
+        print(json_module.dumps(envelope, indent=2, sort_keys=True))
+    elif args.sarif is None or args.sarif != "-":
+        if suppressed_only is None:
+            for position, entry in enumerate(response["rendered"]):
+                if len(args.mappings) > 1:
+                    if position:
+                        print()
+                    print(f"== {entry['name']}")
+                print(entry["text"])
+        else:
+            # baselined run: the pre-rendered text would show suppressed
+            # diagnostics, so re-render the surviving ones per report
+            for row in envelope["reports"]:
+                for diagnostic in row["diagnostics"]:
+                    print(
+                        f"{diagnostic['severity']} {diagnostic['code']} "
+                        f"[{row['name']}]: {diagnostic['message']}"
+                    )
+    return exit_code
+
+
+def _fix_round(args, name: str, text: str, only_codes: list[str] | None) -> dict:
+    request: dict[str, object] = {
+        "mappings": [{"name": name, "text": text}],
+        "strict": getattr(args, "strict", False),
+        "quiet": True,
+        "fixes": True,
+    }
+    if only_codes:
+        request["only_codes"] = only_codes
+    return _dispatch(args, "lint", request)
+
+
+def _atomic_write(path: str, payload: str) -> None:
+    import tempfile
+
+    directory = str(Path(path).parent or Path("."))
+    handle = tempfile.NamedTemporaryFile(
+        "w", dir=directory, prefix=f".{Path(path).name}.", suffix=".tmp",
+        delete=False,
+    )
+    try:
+        with handle as stream:
+            stream.write(payload)
+        os.replace(handle.name, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(handle.name)
+        raise
+
+
+def cmd_fix(args) -> int:
+    """Apply certified quick-fixes: lint, repair, repeat until stable.
+
+    Every fix was verified in-memory (apply → re-lint clean for its code
+    → solve() non-regression) before being offered; ``--diff`` previews,
+    ``--apply`` writes atomically, and the exit code mirrors ``repro
+    lint`` over the final state of each file.
+    """
+    import difflib
+
+    from repro.analysis import apply_edits_to_text, fix_from_dict, select_compatible
+
+    only_codes = None
+    if args.only:
+        only_codes = sorted(
+            {code.strip() for entry in args.only for code in entry.split(",") if code.strip()}
+        )
+    exit_code = 0
+    for path in args.mappings:
+        original = _read(path)
+        text = original
+        applied: list[str] = []
+        response = _fix_round(args, path, text, only_codes)
+        for __ in range(args.max_rounds):
+            fixes = [
+                fix_from_dict(payload)
+                for payload in response["fixes"][0]["fixes"]
+            ]
+            selected = select_compatible(fixes)
+            if not selected:
+                break
+            edits = [edit for fix in selected for edit in fix.edits]
+            text = apply_edits_to_text(text, edits)
+            applied.extend(fix.render() for fix in selected)
+            response = _fix_round(args, path, text, only_codes)
+        exit_code = max(exit_code, response["exit_code"])
+        if len(args.mappings) > 1:
+            print(f"== {path}")
+        for line in applied:
+            print(f"fixed: {line}")
+        if not applied:
+            print("no applicable fixes")
+        if args.diff and text != original:
+            sys.stdout.writelines(
+                difflib.unified_diff(
+                    original.splitlines(keepends=True),
+                    text.splitlines(keepends=True),
+                    fromfile=f"a/{path}",
+                    tofile=f"b/{path}",
+                )
+            )
+        if args.apply and text != original:
+            _atomic_write(path, text)
+            print(f"wrote {path}")
+    return exit_code
 
 
 def cmd_compose(args) -> int:
@@ -760,6 +922,18 @@ def build_parser() -> argparse.ArgumentParser:
                       help="exit 2 when there are warnings (errors still exit 1)")
     lint.add_argument("--quiet", action="store_true",
                       help="hide info-level diagnostics in text output")
+    lint.add_argument("--sarif", nargs="?", const="-", default=None,
+                      metavar="FILE",
+                      help="write a SARIF 2.1.0 log (rules, results, "
+                      "verified fixes, suppressions) to FILE, or stdout "
+                      "when no FILE is given; implies computing fixes")
+    lint.add_argument("--baseline", default=None, metavar="FILE",
+                      help="suppress diagnostics recorded in FILE (created "
+                      "on first use); new findings still fail, stale "
+                      "entries are reported")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="rewrite --baseline FILE from this run's "
+                      "diagnostics and exit 0")
     lint.add_argument("--watch", action="store_true",
                       help="keep running: poll the files for edits and "
                       "incrementally re-lint/re-solve only what changed")
@@ -777,6 +951,34 @@ def build_parser() -> argparse.ArgumentParser:
     add_obs_options(lint)
     add_url_option(lint)
     lint.set_defaults(handler=cmd_lint)
+
+    fix = commands.add_parser(
+        "fix", help="apply certified quick-fixes proposed by lint"
+    )
+    fix.add_argument("mappings", nargs="+",
+                     help="one or more mapping files; the exit code mirrors "
+                     "`repro lint` over each file's final state")
+    fix.add_argument("--diff", action="store_true",
+                     help="print a unified diff of the repairs")
+    fix.add_argument("--apply", action="store_true",
+                     help="write the repaired file in place (atomic rename)")
+    fix.add_argument("--only", action="append", default=None, metavar="SMxxx",
+                     help="restrict to these diagnostic codes "
+                     "(repeatable, comma-separable)")
+    fix.add_argument("--strict", action="store_true",
+                     help="exit 2 when warnings remain after fixing")
+    fix.add_argument("--max-rounds", type=int, default=8, metavar="N",
+                     help="cap on lint→fix→re-lint rounds per file "
+                     "(default 8)")
+    fix.add_argument("--cache-dir", default=None, metavar="DIR",
+                     help="persistent on-disk compilation cache "
+                     "(default: $REPRO_CACHE_DIR)")
+    fix.add_argument("--cache-size", type=int, default=None, metavar="N",
+                     help="in-memory compilation-cache capacity "
+                     "(default: $REPRO_CACHE_SIZE or 256)")
+    add_obs_options(fix)
+    add_url_option(fix)
+    fix.set_defaults(handler=cmd_fix, stats=False)
 
     compose = commands.add_parser("compose", help="compose two mappings (Thm 8.2)")
     compose.add_argument("first")

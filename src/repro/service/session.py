@@ -469,22 +469,30 @@ class EngineSession:
         return {"mapping": render_mapping(composed), "exit_code": 0}
 
     def lint(self, request: dict | None = None) -> dict:
-        """Static diagnostics for one or more mappings (no solver runs)."""
+        """Static diagnostics for one or more mappings (no solver runs
+        unless ``request["fixes"]`` asks for verified quick-fixes, whose
+        certification gate re-solves consistency)."""
         return self._run("lint", request, self._lint_body)
 
     def _lint_body(self, request: dict) -> dict:
-        from repro.analysis import Severity, lint_mapping, merge_reports
+        from repro.analysis import (
+            Severity,
+            fixes_for_report,
+            lint_mapping,
+            merge_reports,
+        )
         from repro.mappings.io import parse_mapping
 
         named = _named_texts(request, "mappings")
         context = self._context(request)
+        parsed = [(name, parse_mapping(text)) for name, text in named]
         reports = [
-            lint_mapping(parse_mapping(text), context, name=name)
-            for name, text in named
+            lint_mapping(mapping, context, name=name)
+            for name, mapping in parsed
         ]
         strict = bool(request.get("strict"))
         min_severity = Severity.WARNING if request.get("quiet") else Severity.INFO
-        return {
+        response: dict[str, Any] = {
             "report": merge_reports(reports),
             "rendered": [
                 {
@@ -495,6 +503,25 @@ class EngineSession:
             ],
             "exit_code": max(r.exit_code(strict=strict) for r in reports),
         }
+        if request.get("fixes"):
+            only_codes = request.get("only_codes")
+            if only_codes is not None and not isinstance(only_codes, list):
+                raise RequestError(
+                    "request field 'only_codes' must be a list of SMxxx codes"
+                )
+            response["fixes"] = [
+                {
+                    "name": name,
+                    "fixes": [
+                        fix.to_dict()
+                        for fix in fixes_for_report(
+                            mapping, report, context, only_codes=only_codes
+                        )
+                    ],
+                }
+                for (name, mapping), report in zip(parsed, reports)
+            ]
+        return response
 
     def delta(self, request: dict | None = None) -> dict:
         """Incrementally re-check a mapping revision (``POST /delta``).

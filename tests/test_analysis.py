@@ -146,7 +146,7 @@ class TestLintReport:
             lint_mapping(clean()),
             lint_mapping(mk(["r[zz] -> t[b(x)]"])),
         ])
-        assert merged["version"] == 1
+        assert merged["version"] == 2
         assert merged["max_severity"] == "error"
         assert len(merged["reports"]) == 2
         assert merge_reports([])["max_severity"] is None
@@ -155,7 +155,9 @@ class TestLintReport:
 class TestLintMappingApi:
     def test_runs_every_pass_in_order(self):
         report = lint_mapping(clean())
-        assert report.passes == ("fragment", "dtd", "hygiene", "composition")
+        assert report.passes == (
+            "fragment", "dtd", "hygiene", "composition", "redundancy"
+        )
         assert report.elapsed >= 0.0
         assert report.fragment == "SM(↓)"
 
@@ -509,7 +511,7 @@ class TestLintCli:
         ]
         assert main(["lint", "--json", *paths]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert payload["max_severity"] == "warning"
         assert [report["name"] for report in payload["reports"]] == paths
 
